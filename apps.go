@@ -1,0 +1,68 @@
+package econcast
+
+import (
+	"econcast/internal/apps"
+	"econcast/internal/oracle"
+	"econcast/internal/topology"
+)
+
+// OracleGroupputExact computes the exact oracle groupput for a non-clique
+// topology by time-sharing over transmitter configurations — a result
+// beyond the paper's §IV-C bounds, which it always brackets. Limited to 16
+// nodes (the configuration LP enumerates all 2^N transmitter sets).
+func OracleGroupputExact(nw Network, neighbors [][]int) (*OracleSolution, error) {
+	topo := topology.New(len(nw))
+	for i, ns := range neighbors {
+		for _, j := range ns {
+			topo.AddEdge(i, j)
+		}
+	}
+	s, err := oracle.GroupputNonCliqueExact(nw.toModel(), topo)
+	if err != nil {
+		return nil, err
+	}
+	return fromOracle(s), nil
+}
+
+// Discovery tracks pairwise neighbor discovery over a simulation's
+// delivery stream: attach its OnDeliver method to SimConfig.OnDeliver.
+// Times are relative to the start passed to NewDiscovery.
+type Discovery struct{ inner *apps.Discovery }
+
+// NewDiscovery returns a tracker for n nodes, measuring from start.
+func NewDiscovery(n int, start float64) *Discovery {
+	return &Discovery{inner: apps.NewDiscovery(n, start)}
+}
+
+// OnDeliver records one reception.
+func (d *Discovery) OnDeliver(tx, rx int, now float64) { d.inner.OnDeliver(tx, rx, now) }
+
+// Pairs returns how many ordered pairs have met, out of n*(n-1).
+func (d *Discovery) Pairs() (discovered, total int) { return d.inner.Pairs() }
+
+// FullDiscoveryTime returns when the last pair met; ok is false while some
+// pair has not.
+func (d *Discovery) FullDiscoveryTime() (t float64, ok bool) { return d.inner.FullDiscoveryTime() }
+
+// MeanPairwise returns the mean pairwise discovery time over met pairs.
+func (d *Discovery) MeanPairwise() (float64, error) { return d.inner.MeanPairwise() }
+
+// Gossip spreads rumors store-and-forward over the delivery stream: every
+// reception merges the transmitter's rumor set into the receiver's.
+type Gossip struct{ inner *apps.Gossip }
+
+// NewGossip returns a gossip tracker for n nodes (up to 64 rumors).
+func NewGossip(n int) *Gossip { return &Gossip{inner: apps.NewGossip(n)} }
+
+// Inject starts a rumor at a node and returns its id.
+func (g *Gossip) Inject(node int, now float64) (int, error) { return g.inner.Inject(node, now) }
+
+// OnDeliver records one reception.
+func (g *Gossip) OnDeliver(tx, rx int, now float64) { g.inner.OnDeliver(tx, rx, now) }
+
+// Coverage returns how many nodes hold the rumor.
+func (g *Gossip) Coverage(rumor int) int { return g.inner.Coverage(rumor) }
+
+// SpreadTime returns the injection-to-full-coverage time; ok is false
+// while coverage is partial.
+func (g *Gossip) SpreadTime(rumor int) (t float64, ok bool) { return g.inner.SpreadTime(rumor) }

@@ -1,0 +1,114 @@
+package econcast
+
+// bench_test.go holds one benchmark per table and figure of the paper's
+// evaluation, each running the corresponding experiment in quick mode (the
+// full-fidelity versions run through cmd/experiments). Benchmarking them
+// keeps the whole reproduction pipeline exercised by
+// `go test -bench=. -benchmem` and reports how expensive each artifact is
+// to regenerate.
+
+import (
+	"testing"
+
+	"econcast/internal/experiments"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, ok := experiments.Lookup(id)
+	if !ok {
+		b.Fatalf("experiment %q not registered", id)
+	}
+	for i := 0; i < b.N; i++ {
+		tables, err := e.Run(experiments.Options{Quick: true, Seed: uint64(i) + 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tables) == 0 {
+			b.Fatal("no output")
+		}
+	}
+}
+
+// BenchmarkTable2 regenerates Table II (optimal listen/transmit split).
+func BenchmarkTable2(b *testing.B) { benchExperiment(b, "table2") }
+
+// BenchmarkFig2 regenerates Fig. 2 (throughput ratio vs heterogeneity).
+func BenchmarkFig2(b *testing.B) { benchExperiment(b, "fig2") }
+
+// BenchmarkFig3 regenerates Fig. 3 (ratio vs X/L with baselines).
+func BenchmarkFig3(b *testing.B) { benchExperiment(b, "fig3") }
+
+// BenchmarkFig4 regenerates Fig. 4 (burst length vs sigma).
+func BenchmarkFig4(b *testing.B) { benchExperiment(b, "fig4") }
+
+// BenchmarkFig5 regenerates Fig. 5 (latency distributions).
+func BenchmarkFig5(b *testing.B) { benchExperiment(b, "fig5") }
+
+// BenchmarkFig6 regenerates Fig. 6 (grid-topology groupput).
+func BenchmarkFig6(b *testing.B) { benchExperiment(b, "fig6") }
+
+// BenchmarkFig7 regenerates Fig. 7 (emulated-testbed ratios).
+func BenchmarkFig7(b *testing.B) { benchExperiment(b, "fig7") }
+
+// BenchmarkTable3 regenerates Table III (testbed vs Panda).
+func BenchmarkTable3(b *testing.B) { benchExperiment(b, "table3") }
+
+// BenchmarkTable4 regenerates Table IV (ping-count distribution).
+func BenchmarkTable4(b *testing.B) { benchExperiment(b, "table4") }
+
+// BenchmarkTextClaims regenerates the §IV closed forms and the §VII-C
+// 6x/17x Panda comparison.
+func BenchmarkTextClaims(b *testing.B) { benchExperiment(b, "text-homog") }
+
+// --- Ablation benches for the design choices called out in DESIGN.md ---
+
+// BenchmarkAblationOracleVsAchievable measures the analytical pipeline:
+// (P2) LP + (P4) dual solve for one 5-node network.
+func BenchmarkAblationOracleVsAchievable(b *testing.B) {
+	nw := Homogeneous(5, 10*MicroWatt, 500*MicroWatt, 500*MicroWatt)
+	for i := 0; i < b.N; i++ {
+		if _, err := OracleGroupput(nw); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := Achievable(nw, 0.25, Groupput); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationSimulatorThroughput measures simulated seconds per
+// wall-clock second for the discrete-event engine on the reference clique.
+func BenchmarkAblationSimulatorThroughput(b *testing.B) {
+	nw := Homogeneous(5, 10*MicroWatt, 500*MicroWatt, 500*MicroWatt)
+	ach, err := Achievable(nw, 0.5, Groupput)
+	if err != nil {
+		b.Fatal(err)
+	}
+	duration := float64(b.N)
+	warmup := duration / 10
+	if _, err := Simulate(SimConfig{
+		Network: nw, Mode: Groupput, Sigma: 0.5,
+		Duration: duration, Warmup: warmup, Seed: 1, WarmEta: ach.Eta,
+	}); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkAblations regenerates the design-choice ablation tables.
+func BenchmarkAblations(b *testing.B) { benchExperiment(b, "ablations") }
+
+// BenchmarkDiscovery regenerates the neighbor-discovery/gossip extension.
+func BenchmarkDiscovery(b *testing.B) { benchExperiment(b, "discovery") }
+
+// BenchmarkTopologies regenerates the topology-family extension.
+func BenchmarkTopologies(b *testing.B) { benchExperiment(b, "topologies") }
+
+// BenchmarkConvergence regenerates the delta/tau convergence study.
+func BenchmarkConvergence(b *testing.B) { benchExperiment(b, "convergence") }
+
+// BenchmarkHarvesting regenerates the time-varying-harvest study.
+func BenchmarkHarvesting(b *testing.B) { benchExperiment(b, "harvesting") }
+
+// BenchmarkChurn regenerates the node-churn adaptation study.
+func BenchmarkChurn(b *testing.B) { benchExperiment(b, "churn") }

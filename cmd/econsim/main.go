@@ -1,0 +1,113 @@
+// Command econsim runs one EconCast protocol simulation and prints its
+// metrics alongside the analytical predictions.
+//
+// Example:
+//
+//	econsim -n 5 -sigma 0.5 -duration 5000 -warm
+//	econsim -n 25 -grid -sigma 0.25 -battery 2e-3
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"econcast"
+)
+
+func main() {
+	var (
+		n        = flag.Int("n", 5, "number of nodes")
+		rho      = flag.Float64("rho", 10e-6, "power budget per node (W)")
+		listen   = flag.Float64("listen", 500e-6, "listen power L (W)")
+		transmit = flag.Float64("transmit", 500e-6, "transmit power X (W)")
+		sigma    = flag.Float64("sigma", 0.5, "temperature")
+		anyput   = flag.Bool("anyput", false, "maximize anyput instead of groupput")
+		nc       = flag.Bool("nc", false, "use the non-capture variant (EconCast-NC)")
+		grid     = flag.Bool("grid", false, "square-grid topology instead of a clique")
+		duration = flag.Float64("duration", 5000, "simulated seconds")
+		warmup   = flag.Float64("warmup", 1000, "seconds discarded before measuring")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		netFile  = flag.String("network", "", "JSON file with heterogeneous node parameters (overrides -n/-rho/-listen/-transmit)")
+		warm     = flag.Bool("warm", false, "warm-start multipliers from the (P4) solution")
+		battery  = flag.Float64("battery", 0, "initial battery with hard floor (J); 0 = idealized")
+	)
+	flag.Parse()
+
+	mode := econcast.Groupput
+	if *anyput {
+		mode = econcast.Anyput
+	}
+	variant := econcast.Capture
+	if *nc {
+		variant = econcast.NonCapture
+	}
+	nw := econcast.Homogeneous(*n, *rho, *listen, *transmit)
+	if *netFile != "" {
+		data, err := os.ReadFile(*netFile)
+		fatal(err)
+		nw = nil
+		fatal(json.Unmarshal(data, &nw))
+		*n = len(nw)
+	}
+
+	cfg := econcast.SimConfig{
+		Network:      nw,
+		Mode:         mode,
+		Variant:      variant,
+		Sigma:        *sigma,
+		Duration:     *duration,
+		Warmup:       *warmup,
+		Seed:         *seed,
+		BatteryFloor: *battery,
+	}
+	if *grid {
+		side := int(math.Round(math.Sqrt(float64(*n))))
+		if side*side != *n {
+			fatal(fmt.Errorf("-grid needs a square n, got %d", *n))
+		}
+		cfg.Neighbors = econcast.GridNeighbors(side, side)
+	}
+
+	ach, err := econcast.Achievable(nw, *sigma, mode)
+	fatal(err)
+	if *warm {
+		cfg.WarmEta = ach.Eta
+	}
+
+	res, err := econcast.Simulate(cfg)
+	fatal(err)
+
+	fmt.Printf("simulated %v s (measured %v s), seed %d\n", *duration, *duration-*warmup, *seed)
+	fmt.Printf("groupput %.6f   anyput %.6f\n", res.Groupput, res.Anyput)
+	if !*grid {
+		target := res.Groupput
+		if mode == econcast.Anyput {
+			target = res.Anyput
+		}
+		fmt.Printf("analytic T^sigma %.6f (sim/analytic %.3f)\n",
+			ach.Throughput, target/ach.Throughput)
+	}
+	fmt.Printf("packets sent %d, delivered %d\n", res.PacketsSent, res.PacketsDelivered)
+	if res.BurstSamples > 0 {
+		fmt.Printf("mean burst %.2f packets over %d holds (analytic %.3g)\n",
+			res.MeanBurstLength, res.BurstSamples, ach.BurstLength)
+	}
+	if res.LatencyN > 0 {
+		fmt.Printf("latency mean %.2f s, p99 %.2f s (%d samples)\n",
+			res.MeanLatency, res.P99Latency, res.LatencyN)
+	}
+	for i, p := range res.Power {
+		fmt.Printf("node %d: power %.3g W (budget %.3g W), eta %.4g /W\n",
+			i, p, nw[i].Budget, res.Eta[i])
+	}
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "econsim: %v\n", err)
+		os.Exit(1)
+	}
+}

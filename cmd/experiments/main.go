@@ -1,0 +1,98 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments -list
+//	experiments -run fig3 [-quick] [-seed 1]
+//	experiments -all [-quick]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"econcast/internal/experiments"
+)
+
+func main() {
+	var (
+		list  = flag.Bool("list", false, "list available experiments")
+		run   = flag.String("run", "", "experiment id to run (see -list)")
+		all   = flag.Bool("all", false, "run every experiment")
+		quick = flag.Bool("quick", false, "reduced samples/durations for a fast pass")
+		seed  = flag.Uint64("seed", 1, "base random seed")
+		csv   = flag.String("csv", "", "directory to also write each table as a CSV file")
+		svg   = flag.String("svg", "", "directory to also render figure tables as SVG charts")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-12s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	opts := experiments.Options{Quick: *quick, Seed: *seed}
+	for _, dir := range []string{*csv, *svg} {
+		if dir != "" {
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+				os.Exit(1)
+			}
+		}
+	}
+	switch {
+	case *all:
+		for _, e := range experiments.All() {
+			if err := runOne(e, opts, *csv, *svg); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", e.ID, err)
+				os.Exit(1)
+			}
+		}
+	case *run != "":
+		e, ok := experiments.Lookup(*run)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "experiments: unknown id %q (try -list)\n", *run)
+			os.Exit(2)
+		}
+		if err := runOne(e, opts, *csv, *svg); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func runOne(e experiments.Experiment, opts experiments.Options, csvDir, svgDir string) error {
+	fmt.Printf("# %s — %s\n\n", e.ID, e.Title)
+	tables, err := e.Run(opts)
+	if err != nil {
+		return err
+	}
+	for i, t := range tables {
+		fmt.Println(t.Format())
+		if csvDir != "" {
+			name := fmt.Sprintf("%s_%d.csv", e.ID, i)
+			if err := os.WriteFile(filepath.Join(csvDir, name),
+				[]byte(t.CSV()), 0o644); err != nil {
+				return err
+			}
+		}
+		if svgDir != "" && t.Chart != nil {
+			doc, err := t.Chart.SVG()
+			if err != nil {
+				return fmt.Errorf("%s chart: %w", e.ID, err)
+			}
+			name := fmt.Sprintf("%s_%d.svg", e.ID, i)
+			if err := os.WriteFile(filepath.Join(svgDir, name),
+				[]byte(doc), 0o644); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

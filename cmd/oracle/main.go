@@ -1,0 +1,103 @@
+// Command oracle computes the paper's offline-optimal throughput for a
+// homogeneous network: the oracle groupput (P2), the oracle anyput (P3),
+// the achievable T^sigma (P4), and optionally the non-clique grid bounds
+// and the explicit Lemma 1 schedule.
+//
+// Example:
+//
+//	oracle -n 5 -rho 10e-6 -listen 500e-6 -transmit 500e-6 -sigma 0.25
+//	oracle -n 25 -grid
+//	oracle -n 3 -schedule
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"econcast"
+	"econcast/internal/model"
+	"econcast/internal/oracle"
+	"econcast/internal/statespace"
+)
+
+func main() {
+	var (
+		n        = flag.Int("n", 5, "number of nodes")
+		rho      = flag.Float64("rho", 10e-6, "power budget per node (W)")
+		listen   = flag.Float64("listen", 500e-6, "listen power L (W)")
+		transmit = flag.Float64("transmit", 500e-6, "transmit power X (W)")
+		sigma    = flag.Float64("sigma", 0.25, "temperature for the achievable T^sigma")
+		grid     = flag.Bool("grid", false, "also compute square-grid non-clique bounds (n must be a square)")
+		schedule = flag.Bool("schedule", false, "build and validate the Lemma 1 periodic schedule")
+		mixing   = flag.Bool("mixing", false, "Appendix D mixing analysis at the optimal multipliers (n <= 8)")
+	)
+	flag.Parse()
+
+	nw := econcast.Homogeneous(*n, *rho, *listen, *transmit)
+	g, err := econcast.OracleGroupput(nw)
+	fatal(err)
+	a, err := econcast.OracleAnyput(nw)
+	fatal(err)
+	ach, err := econcast.Achievable(nw, *sigma, econcast.Groupput)
+	fatal(err)
+	achA, err := econcast.Achievable(nw, *sigma, econcast.Anyput)
+	fatal(err)
+
+	fmt.Printf("network: N=%d rho=%.3gW L=%.3gW X=%.3gW\n", *n, *rho, *listen, *transmit)
+	fmt.Printf("oracle groupput T*_g        = %.6f  (max %d)\n", g.Throughput, *n-1)
+	fmt.Printf("oracle anyput   T*_a        = %.6f  (max 1)\n", a.Throughput)
+	fmt.Printf("achievable T^%.2f_g (P4)    = %.6f  (ratio %.3f, burst %.3g)\n",
+		*sigma, ach.Throughput, ach.Throughput/g.Throughput, ach.BurstLength)
+	fmt.Printf("achievable T^%.2f_a (P4)    = %.6f  (ratio %.3f)\n",
+		*sigma, achA.Throughput, achA.Throughput/a.Throughput)
+	fmt.Printf("per-node: alpha*=%.6f beta*=%.6f (oracle), alpha=%.6f beta=%.6f (P4)\n",
+		g.Alpha[0], g.Beta[0], ach.Alpha[0], ach.Beta[0])
+
+	if *grid {
+		side := int(math.Round(math.Sqrt(float64(*n))))
+		if side*side != *n {
+			fatal(fmt.Errorf("-grid needs a square n, got %d", *n))
+		}
+		lower, upper, err := econcast.OracleGroupputBounds(nw, econcast.GridNeighbors(side, side))
+		fatal(err)
+		fmt.Printf("grid %dx%d: T*_nc in [%.6f, %.6f]\n", side, side, lower.Throughput, upper.Throughput)
+	}
+
+	if *mixing {
+		if *n > 8 {
+			fatal(fmt.Errorf("-mixing supports n <= 8, got %d", *n))
+		}
+		nwm := model.Homogeneous(*n, *rho, *listen, *transmit)
+		sp, err := statespace.Enumerate(nwm)
+		fatal(err)
+		mix, err := sp.MixingAnalysis(ach.Eta, *sigma, model.Groupput)
+		fatal(err)
+		fmt.Printf("mixing at eta* (sigma=%.2f): SLEM %.6f, spectral gap %.3g, pi_min %.3g (bound %.3g)\n",
+			*sigma, mix.SLEM, mix.SpectralGap, mix.PiMin, mix.PiMinBound)
+		if !math.IsNaN(mix.Conductance) {
+			fmt.Printf("conductance %.4g; Cheeger bound phi^2/2 = %.3g <= gap\n",
+				mix.Conductance, mix.Conductance*mix.Conductance/2)
+		}
+	}
+
+	if *schedule {
+		sol := &oracle.Solution{Throughput: g.Throughput, Alpha: g.Alpha, Beta: g.Beta}
+		alpha, beta := oracle.RatApproxSolution(sol, 10000)
+		nwm := model.Homogeneous(*n, *rho, *listen, *transmit)
+		s, err := oracle.BuildSchedule(nwm, alpha, beta)
+		fatal(err)
+		fatal(s.Validate(nwm))
+		gp, _ := s.Groupput().Float64()
+		fmt.Printf("Lemma 1 schedule: period %d slots, realized groupput %.6f (LP %.6f)\n",
+			s.Period, gp, g.Throughput)
+	}
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "oracle: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,440 @@
+// Package econcast is the public API of this repository: a complete Go
+// implementation of EconCast — the asynchronous distributed protocol of
+// Chen, Ghaderi, Rubenstein and Zussman, "Maximizing Broadcast Throughput
+// Under Ultra-Low-Power Constraints" (ACM CoNEXT 2016 / arXiv:1610.04203)
+// — together with the paper's oracle (offline-optimal) throughput solvers,
+// the entropy-regularized achievable-throughput analysis, deterministic
+// and goroutine-based simulators, the Panda/Birthday/Searchlight baseline
+// protocols, and an emulation of the paper's TI eZ430-RF2500-SEH testbed.
+//
+// The facade mirrors the paper's structure:
+//
+//   - OracleGroupput / OracleAnyput solve problems (P2) and (P3): the best
+//     any centralized scheduler could do under the power budgets.
+//   - Achievable solves problem (P4): the throughput T^sigma EconCast
+//     itself converges to for a given temperature sigma (Theorem 1 says
+//     T^sigma -> T* as sigma -> 0).
+//   - Simulate runs the distributed protocol in a discrete-event radio
+//     simulation and reports throughput, burstiness, latency, and power.
+//   - SimulateTestbed runs the emulated §VIII hardware experiment.
+//   - Panda / Birthday / Searchlight give the prior-art comparison points.
+//
+// Throughput is always normalized as in the paper: the fraction of time
+// spent on successful delivery, counted once per receiver for groupput
+// (maximum N-1) and once per transmission for anyput (maximum 1).
+package econcast
+
+import (
+	"fmt"
+
+	"econcast/internal/baselines"
+	"econcast/internal/econcast"
+	"econcast/internal/model"
+	"econcast/internal/oracle"
+	"econcast/internal/rng"
+	"econcast/internal/sim"
+	"econcast/internal/statespace"
+	"econcast/internal/testbed"
+	"econcast/internal/topology"
+)
+
+// Power units in Watts, for readable configuration literals.
+const (
+	Watt      = 1.0
+	MilliWatt = 1e-3
+	MicroWatt = 1e-6
+)
+
+// Node holds one node's static parameters, all in Watts: its power budget
+// (harvesting rate) rho and its listen/transmit consumption levels L and X.
+type Node struct {
+	Budget        float64
+	ListenPower   float64
+	TransmitPower float64
+}
+
+// Network is an ordered set of nodes forming one broadcast domain.
+type Network []Node
+
+// Homogeneous returns n identical nodes.
+func Homogeneous(n int, budget, listen, transmit float64) Network {
+	nw := make(Network, n)
+	for i := range nw {
+		nw[i] = Node{Budget: budget, ListenPower: listen, TransmitPower: transmit}
+	}
+	return nw
+}
+
+// SampleHeterogeneous draws a random heterogeneous network with the
+// paper's Fig. 2 parameterization at heterogeneity h (h = 10 degenerates
+// to the homogeneous 10 uW / 500 uW network). Deterministic in the seed.
+func SampleHeterogeneous(n int, h float64, seed uint64) Network {
+	m := model.HeterogeneitySpec{N: n, H: h}.Sample(rng.New(seed))
+	return fromModel(m)
+}
+
+func (nw Network) toModel() *model.Network {
+	nodes := make([]model.Node, len(nw))
+	for i, n := range nw {
+		nodes[i] = model.Node{
+			Budget:        n.Budget,
+			ListenPower:   n.ListenPower,
+			TransmitPower: n.TransmitPower,
+		}
+	}
+	return &model.Network{Nodes: nodes}
+}
+
+func fromModel(m *model.Network) Network {
+	nw := make(Network, m.N())
+	for i, n := range m.Nodes {
+		nw[i] = Node{Budget: n.Budget, ListenPower: n.ListenPower, TransmitPower: n.TransmitPower}
+	}
+	return nw
+}
+
+// Mode selects the broadcast-throughput objective.
+type Mode int
+
+// Throughput objectives (Definitions 1 and 2 of the paper).
+const (
+	// Groupput counts each delivered bit once per receiver.
+	Groupput Mode = iota
+	// Anyput counts a delivered bit once if any receiver got it.
+	Anyput
+)
+
+func (m Mode) String() string { return m.toModel().String() }
+
+func (m Mode) toModel() model.Mode {
+	if m == Anyput {
+		return model.Anyput
+	}
+	return model.Groupput
+}
+
+// Variant selects the EconCast flavor (§V-D).
+type Variant int
+
+// Protocol variants.
+const (
+	// Capture (EconCast-C) lets a transmitter hold the channel for
+	// several packets, guided by per-packet ping feedback.
+	Capture Variant = iota
+	// NonCapture (EconCast-NC) releases the channel after every packet.
+	NonCapture
+)
+
+func (v Variant) toInternal() econcast.Variant {
+	if v == NonCapture {
+		return econcast.NonCapture
+	}
+	return econcast.Capture
+}
+
+// OracleSolution is an optimal offline operating point: the per-node
+// listen (Alpha) and transmit (Beta) time fractions and the resulting
+// throughput.
+type OracleSolution struct {
+	Throughput float64
+	Alpha      []float64
+	Beta       []float64
+}
+
+func fromOracle(s *oracle.Solution) *OracleSolution {
+	return &OracleSolution{Throughput: s.Throughput, Alpha: s.Alpha, Beta: s.Beta}
+}
+
+// OracleGroupput solves (P2): the oracle groupput of a clique network.
+func OracleGroupput(nw Network) (*OracleSolution, error) {
+	s, err := oracle.Groupput(nw.toModel())
+	if err != nil {
+		return nil, err
+	}
+	return fromOracle(s), nil
+}
+
+// OracleAnyput solves (P3): the oracle anyput of a clique network.
+func OracleAnyput(nw Network) (*OracleSolution, error) {
+	s, err := oracle.Anyput(nw.toModel())
+	if err != nil {
+		return nil, err
+	}
+	return fromOracle(s), nil
+}
+
+// OracleGroupputBounds returns the §IV-C lower and upper bounds on the
+// oracle groupput for a non-clique topology given as adjacency lists
+// (neighbors[i] lists the nodes that hear node i). When the bounds agree
+// the exact non-clique oracle is known.
+func OracleGroupputBounds(nw Network, neighbors [][]int) (lower, upper *OracleSolution, err error) {
+	if len(neighbors) != len(nw) {
+		return nil, nil, fmt.Errorf("econcast: %d adjacency lists for %d nodes", len(neighbors), len(nw))
+	}
+	topo := topology.New(len(nw))
+	for i, ns := range neighbors {
+		for _, j := range ns {
+			topo.AddEdge(i, j)
+		}
+	}
+	lo, up, err := oracle.GroupputNonCliqueBounds(nw.toModel(), topo)
+	if err != nil {
+		return nil, nil, err
+	}
+	return fromOracle(lo), fromOracle(up), nil
+}
+
+// GridNeighbors returns 4-neighbor adjacency lists for a rows x cols grid,
+// the paper's Fig. 6 topology, for use with OracleGroupputBounds and
+// SimConfig.Neighbors.
+func GridNeighbors(rows, cols int) [][]int {
+	g := topology.Grid(rows, cols)
+	out := make([][]int, g.N())
+	for i := range out {
+		out[i] = append([]int(nil), g.Neighbors(i)...)
+	}
+	return out
+}
+
+// AchievableResult is the solution of the entropy-regularized problem
+// (P4): the throughput EconCast attains at temperature sigma, with the
+// associated operating point and analytics.
+type AchievableResult struct {
+	Throughput  float64   // T^sigma
+	Alpha, Beta []float64 // optimal listen/transmit fractions
+	Eta         []float64 // optimal Lagrange multipliers (1/Watt)
+	BurstLength float64   // analytical average burst length (eqs. 34-35)
+	Converged   bool
+}
+
+// Achievable computes T^sigma by solving (P4) through its Lagrangian dual.
+// Heterogeneous networks are supported up to ~16 nodes (exact state-space
+// enumeration); homogeneous networks of any size use an aggregated
+// representation.
+func Achievable(nw Network, sigma float64, mode Mode) (*AchievableResult, error) {
+	res, err := statespace.SolveP4(nw.toModel(), sigma, mode.toModel(), nil)
+	if err != nil {
+		return nil, err
+	}
+	return &AchievableResult{
+		Throughput:  res.Throughput,
+		Alpha:       res.Alpha,
+		Beta:        res.Beta,
+		Eta:         res.Eta,
+		BurstLength: res.BurstLength,
+		Converged:   res.Converged,
+	}, nil
+}
+
+// SimConfig describes a protocol simulation.
+type SimConfig struct {
+	Network Network
+	Mode    Mode
+	Variant Variant
+	Sigma   float64
+
+	// Neighbors, when non-nil, restricts radio reachability to the given
+	// adjacency lists (nil means a clique). See GridNeighbors.
+	Neighbors [][]int
+
+	Duration float64 // simulated seconds
+	Warmup   float64 // seconds discarded before measuring
+	Seed     uint64
+
+	// Delta and Tau tune the multiplier adaptation of eq. (17); zero
+	// values pick sensible defaults.
+	Delta float64
+	Tau   float64
+
+	// WarmEta warm-starts the multipliers from an AchievableResult.Eta,
+	// skipping the adaptation transient.
+	WarmEta []float64
+
+	// BatteryFloor gives each node the given initial energy (Joules) and
+	// forbids spending below zero: depleted listeners are forced asleep
+	// and depleted transmitters release the channel, as physical hardware
+	// would. Zero keeps the paper's idealized virtual battery.
+	BatteryFloor float64
+
+	// Harvest, when non-nil, replaces each node's constant budget with a
+	// time-varying harvesting profile (node index, seconds since start).
+	Harvest func(node int, t float64) float64
+
+	// OnDeliver, when non-nil, receives every successful packet reception
+	// (transmitter, receiver, time), including during warmup. Discovery
+	// and Gossip trackers plug in here.
+	OnDeliver func(tx, rx int, now float64)
+
+	// Churn, when non-nil, makes node participation time-varying: a node
+	// is present only while Churn(node, t) returns true, modeling mobility
+	// or duty-cycled deployment. The protocol needs no notification of
+	// arrivals or departures — the paper's "unacquainted" property.
+	Churn func(node int, t float64) bool
+}
+
+// SimResult summarizes a simulation run.
+type SimResult struct {
+	Groupput float64
+	Anyput   float64
+
+	PacketsSent      int
+	PacketsDelivered int
+
+	MeanBurstLength float64
+	BurstSamples    int
+
+	MeanLatency float64 // seconds between sleep-separated receive bursts
+	P99Latency  float64
+	LatencyN    int
+
+	Power []float64 // per-node mean consumption over the window (W)
+	Eta   []float64 // final multipliers (1/Watt)
+}
+
+// Simulate runs the distributed protocol in the discrete-event engine.
+func Simulate(cfg SimConfig) (*SimResult, error) {
+	var topo *topology.Topology
+	if cfg.Neighbors != nil {
+		if len(cfg.Neighbors) != len(cfg.Network) {
+			return nil, fmt.Errorf("econcast: %d adjacency lists for %d nodes",
+				len(cfg.Neighbors), len(cfg.Network))
+		}
+		topo = topology.New(len(cfg.Network))
+		for i, ns := range cfg.Neighbors {
+			for _, j := range ns {
+				topo.AddEdge(i, j)
+			}
+		}
+	}
+	m, err := sim.Run(sim.Config{
+		Network:  cfg.Network.toModel(),
+		Topology: topo,
+		Protocol: sim.Protocol{
+			Mode:    cfg.Mode.toModel(),
+			Variant: cfg.Variant.toInternal(),
+			Sigma:   cfg.Sigma,
+			Delta:   cfg.Delta,
+			Tau:     cfg.Tau,
+		},
+		Duration:         cfg.Duration,
+		Warmup:           cfg.Warmup,
+		Seed:             cfg.Seed,
+		WarmEta:          cfg.WarmEta,
+		HardBatteryFloor: cfg.BatteryFloor > 0,
+		InitialBattery:   cfg.BatteryFloor,
+		Harvest:          cfg.Harvest,
+		OnDeliver:        cfg.OnDeliver,
+		Churn:            cfg.Churn,
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &SimResult{
+		Groupput:         m.Groupput,
+		Anyput:           m.Anyput,
+		PacketsSent:      m.PacketsSent,
+		PacketsDelivered: m.PacketsDelivered,
+		MeanBurstLength:  m.BurstLengths.Mean(),
+		BurstSamples:     m.BurstLengths.N(),
+		LatencyN:         m.Latency.N(),
+		Power:            m.Power,
+		Eta:              m.EtaFinal,
+	}
+	if out.LatencyN > 0 {
+		out.MeanLatency = m.Latency.Mean()
+		out.P99Latency = m.Latency.Quantile(0.99)
+	}
+	return out, nil
+}
+
+// TestbedConfig describes an emulated §VIII hardware experiment on TI
+// eZ430-RF2500-SEH-like nodes. Zero fields default to the paper's
+// measured constants (L=67.08 mW, X=56.29 mW, 40 ms packets, 8 ms ping
+// interval, 0.4 ms pings).
+type TestbedConfig struct {
+	N        int
+	Budget   float64 // rho: 1 or 5 mW in the paper
+	Sigma    float64
+	Duration float64
+	Warmup   float64
+	Seed     uint64
+}
+
+// TestbedResult summarizes an emulated experiment.
+type TestbedResult struct {
+	Groupput     float64
+	Power        []float64 // actual consumption incl. regulator overhead
+	VirtualPower []float64 // what the on-node virtual battery accounts
+	PacketsSent  int
+	// PingHistogram[k] is the fraction of transmissions after which the
+	// transmitter decoded k pings (Table IV).
+	PingHistogram []float64
+}
+
+// SimulateTestbed runs the emulated testbed experiment.
+func SimulateTestbed(cfg TestbedConfig) (*TestbedResult, error) {
+	m, err := testbed.Run(testbed.Config{
+		N:        cfg.N,
+		Budget:   cfg.Budget,
+		Sigma:    cfg.Sigma,
+		Duration: cfg.Duration,
+		Warmup:   cfg.Warmup,
+		Seed:     cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	hist := make([]float64, m.PingCounts.Max()+1)
+	for k := range hist {
+		hist[k] = m.PingCounts.Fraction(k)
+	}
+	return &TestbedResult{
+		Groupput:      m.Groupput,
+		Power:         m.Power,
+		VirtualPower:  m.VirtualPower,
+		PacketsSent:   m.PacketsSent,
+		PingHistogram: hist,
+	}, nil
+}
+
+// Panda returns the analytic throughput of the Panda baseline for n
+// identical nodes with the given packet length, optimized under the power
+// budget (the comparison protocol of §VII-C and Table III).
+func Panda(n int, node Node, packetTime float64, mode Mode) (float64, error) {
+	res, err := baselines.PandaOptimize(n, model.Node(node), packetTime, mode.toModel())
+	if err != nil {
+		return 0, err
+	}
+	if mode == Anyput {
+		return res.Anyput, nil
+	}
+	return res.Groupput, nil
+}
+
+// Birthday returns the analytic throughput of the optimized Birthday
+// protocol.
+func Birthday(n int, node Node, mode Mode) (float64, error) {
+	res, err := baselines.BirthdayOptimize(n, model.Node(node), mode.toModel())
+	if err != nil {
+		return 0, err
+	}
+	if mode == Anyput {
+		return res.Anyput, nil
+	}
+	return res.Groupput, nil
+}
+
+// Searchlight returns the paper's upper bound on Searchlight's groupput
+// and its pairwise worst-case discovery latency (seconds) under the
+// Fig. 5 calibration (50 ms slots, 1 ms beacons).
+func Searchlight(n int, node Node) (throughputUB, worstCaseLatency float64, err error) {
+	ub, err := baselines.SearchlightThroughputUpperBound(n, model.Node(node), baselines.SearchlightConfig{})
+	if err != nil {
+		return 0, 0, err
+	}
+	wcl, err := baselines.SearchlightWorstCaseLatency(model.Node(node), baselines.SearchlightConfig{})
+	if err != nil {
+		return 0, 0, err
+	}
+	return ub, wcl, nil
+}

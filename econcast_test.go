@@ -1,0 +1,253 @@
+package econcast
+
+import (
+	"math"
+	"testing"
+)
+
+func demoNet() Network {
+	return Homogeneous(5, 10*MicroWatt, 500*MicroWatt, 500*MicroWatt)
+}
+
+func TestOracleFacade(t *testing.T) {
+	g, err := OracleGroupput(demoNet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Closed form: 5*4*1e-5/(25e-4) = 0.08.
+	if math.Abs(g.Throughput-0.08) > 1e-9 {
+		t.Fatalf("oracle groupput %v, want 0.08", g.Throughput)
+	}
+	a, err := OracleAnyput(demoNet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a.Throughput-0.05) > 1e-9 {
+		t.Fatalf("oracle anyput %v, want 0.05", a.Throughput)
+	}
+	if len(g.Alpha) != 5 || len(g.Beta) != 5 {
+		t.Fatal("solution vectors wrong length")
+	}
+}
+
+func TestAchievableFacade(t *testing.T) {
+	res, err := Achievable(demoNet(), 0.25, Groupput)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("not converged")
+	}
+	if res.Throughput <= 0 || res.Throughput >= 0.08 {
+		t.Fatalf("T^sigma %v outside (0, T*)", res.Throughput)
+	}
+	if res.BurstLength <= 1 {
+		t.Fatalf("burst length %v", res.BurstLength)
+	}
+}
+
+func TestSimulateFacade(t *testing.T) {
+	ach, err := Achievable(demoNet(), 0.5, Groupput)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Simulate(SimConfig{
+		Network:  demoNet(),
+		Mode:     Groupput,
+		Sigma:    0.5,
+		Duration: 3000,
+		Warmup:   500,
+		Seed:     1,
+		WarmEta:  ach.Eta,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(res.Groupput-ach.Throughput) / ach.Throughput; rel > 0.2 {
+		t.Fatalf("simulated %v vs achievable %v", res.Groupput, ach.Throughput)
+	}
+	if res.PacketsSent <= 0 || res.LatencyN < 0 {
+		t.Fatal("metrics missing")
+	}
+}
+
+func TestSimulateGridFacade(t *testing.T) {
+	nw := Homogeneous(9, 10*MicroWatt, 500*MicroWatt, 500*MicroWatt)
+	neighbors := GridNeighbors(3, 3)
+	lower, upper, err := OracleGroupputBounds(nw, neighbors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lower.Throughput <= 0 || upper.Throughput < lower.Throughput {
+		t.Fatalf("bounds wrong: %v / %v", lower.Throughput, upper.Throughput)
+	}
+	res, err := Simulate(SimConfig{
+		Network:      nw,
+		Mode:         Groupput,
+		Sigma:        0.5,
+		Neighbors:    neighbors,
+		Duration:     1500,
+		Warmup:       300,
+		Seed:         2,
+		BatteryFloor: 2e-3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Groupput <= 0 {
+		t.Fatal("no grid throughput")
+	}
+}
+
+func TestSimulateValidatesNeighbors(t *testing.T) {
+	_, err := Simulate(SimConfig{
+		Network:   demoNet(),
+		Sigma:     0.5,
+		Neighbors: [][]int{{1}},
+		Duration:  10,
+	})
+	if err == nil {
+		t.Fatal("mismatched adjacency accepted")
+	}
+	if _, _, err := OracleGroupputBounds(demoNet(), [][]int{{1}}); err == nil {
+		t.Fatal("mismatched adjacency accepted by bounds")
+	}
+}
+
+func TestBaselineFacades(t *testing.T) {
+	node := Node{Budget: 10 * MicroWatt, ListenPower: 500 * MicroWatt, TransmitPower: 500 * MicroWatt}
+	p, err := Panda(5, node, 1e-3, Groupput)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Birthday(5, node, Groupput)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, wcl, err := Searchlight(5, node)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracleG := 0.08
+	for name, v := range map[string]float64{"panda": p, "birthday": b, "searchlight": s} {
+		if v <= 0 || v >= oracleG {
+			t.Errorf("%s throughput %v outside (0, oracle)", name, v)
+		}
+	}
+	if math.Abs(wcl-125) > 1e-9 {
+		t.Errorf("Searchlight WCL %v, want 125", wcl)
+	}
+}
+
+func TestTestbedFacade(t *testing.T) {
+	res, err := SimulateTestbed(TestbedConfig{
+		N: 5, Budget: 1 * MilliWatt, Sigma: 0.25,
+		Duration: 1500, Warmup: 300, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Groupput <= 0 || res.PacketsSent <= 0 {
+		t.Fatal("no testbed activity")
+	}
+	sum := 0.0
+	for _, f := range res.PingHistogram {
+		sum += f
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("ping histogram sums to %v", sum)
+	}
+}
+
+func TestSampleHeterogeneousDeterministic(t *testing.T) {
+	a := SampleHeterogeneous(5, 100, 7)
+	b := SampleHeterogeneous(5, 100, 7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("sampler not deterministic")
+		}
+	}
+	if len(a) != 5 {
+		t.Fatalf("length %d", len(a))
+	}
+}
+
+func TestModeStrings(t *testing.T) {
+	if Groupput.String() != "groupput" || Anyput.String() != "anyput" {
+		t.Fatal("mode strings wrong")
+	}
+}
+
+func TestHarvestHook(t *testing.T) {
+	res, err := Simulate(SimConfig{
+		Network:  demoNet(),
+		Mode:     Groupput,
+		Sigma:    0.5,
+		Duration: 2000,
+		Warmup:   800,
+		Seed:     3,
+		Harvest: func(node int, t float64) float64 {
+			return 10 * MicroWatt // constant, via the hook
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Groupput <= 0 {
+		t.Fatal("no throughput via harvest hook")
+	}
+}
+
+func TestExactOracleFacade(t *testing.T) {
+	nw := Homogeneous(9, 10*MicroWatt, 500*MicroWatt, 500*MicroWatt)
+	neighbors := GridNeighbors(3, 3)
+	exact, err := OracleGroupputExact(nw, neighbors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lower, upper, err := OracleGroupputBounds(nw, neighbors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact.Throughput < lower.Throughput-1e-9 || exact.Throughput > upper.Throughput+1e-9 {
+		t.Fatalf("exact %v outside [%v, %v]", exact.Throughput, lower.Throughput, upper.Throughput)
+	}
+}
+
+func TestAppsFacade(t *testing.T) {
+	nw := demoNet()
+	const start = 200.0
+	d := NewDiscovery(len(nw), start)
+	g := NewGossip(len(nw))
+	rumor := -1
+	res, err := Simulate(SimConfig{
+		Network:  nw,
+		Mode:     Groupput,
+		Sigma:    0.5,
+		Duration: 2500,
+		Warmup:   start,
+		Seed:     9,
+		OnDeliver: func(tx, rx int, now float64) {
+			d.OnDeliver(tx, rx, now)
+			if rumor < 0 && now >= start {
+				rumor, _ = g.Inject(0, now)
+			}
+			g.OnDeliver(tx, rx, now)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PacketsDelivered == 0 {
+		t.Fatal("nothing delivered")
+	}
+	if got, total := d.Pairs(); got == 0 || total != 20 {
+		t.Fatalf("pairs %d/%d", got, total)
+	}
+	if _, err := d.MeanPairwise(); err != nil {
+		t.Fatal(err)
+	}
+	if rumor < 0 || g.Coverage(rumor) < 2 {
+		t.Fatalf("rumor coverage %d", g.Coverage(rumor))
+	}
+}

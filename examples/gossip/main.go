@@ -1,0 +1,65 @@
+// Gossip dissemination: the paper's anyput use case. In a delay-tolerant
+// sensor deployment it is enough for each transmission to reach *some*
+// neighbor, which will itself forward the rumor later — so the network
+// should maximize anyput, not groupput. Anyput mode only needs a 1-bit
+// "is anyone listening?" estimate (gamma-hat) instead of a listener count,
+// and its burstiness is e^{1/sigma} regardless of network size (eq. 35),
+// giving noticeably smoother delivery than groupput mode at the same
+// sigma.
+//
+// This example contrasts the two modes on the same 10-node network.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"econcast"
+)
+
+func main() {
+	nodes := econcast.Homogeneous(10,
+		10*econcast.MicroWatt, 500*econcast.MicroWatt, 500*econcast.MicroWatt)
+	const sigma = 0.3
+
+	oracleAny, err := econcast.OracleAnyput(nodes)
+	if err != nil {
+		log.Fatal(err)
+	}
+	oracleGrp, err := econcast.OracleGroupput(nodes)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("oracles: anyput %.4f (max 1), groupput %.4f (max %d)\n\n",
+		oracleAny.Throughput, oracleGrp.Throughput, len(nodes)-1)
+
+	for _, mode := range []econcast.Mode{econcast.Anyput, econcast.Groupput} {
+		ach, err := econcast.Achievable(nodes, sigma, mode)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := econcast.Simulate(econcast.SimConfig{
+			Network:  nodes,
+			Mode:     mode,
+			Sigma:    sigma,
+			Duration: 8000,
+			Warmup:   2500,
+			Seed:     11,
+			WarmEta:  ach.Eta,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s mode:\n", mode)
+		fmt.Printf("  anyput %.4f, groupput %.4f\n", res.Anyput, res.Groupput)
+		fmt.Printf("  analytic burst length %.1f packets; simulated %.1f\n",
+			ach.BurstLength, res.MeanBurstLength)
+		if res.LatencyN > 0 {
+			fmt.Printf("  inter-burst latency: mean %.1f s, p99 %.1f s\n",
+				res.MeanLatency, res.P99Latency)
+		}
+		fmt.Println()
+	}
+	fmt.Println("anyput mode trades per-receiver volume for shorter, steadier bursts —")
+	fmt.Println("exactly the §VII-D design tradeoff for gossip workloads.")
+}

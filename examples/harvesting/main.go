@@ -1,0 +1,71 @@
+// Harvesting: EconCast under realistic time-varying energy sources. The
+// paper's analysis assumes a constant power budget equal to the mean
+// harvesting rate (§III-A) and notes the protocol adapts to variation
+// through its battery-driven multiplier. Here half the nodes harvest
+// indoor light (office hours), half harvest kinetic energy (motion
+// bursts); all profiles are normalized to the same 10 uW mean, and the
+// protocol is compared against the constant-budget prediction.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"econcast"
+	"econcast/internal/trace"
+)
+
+func main() {
+	const mean = 10 * econcast.MicroWatt
+	nodes := econcast.Homogeneous(6, mean, 500*econcast.MicroWatt, 500*econcast.MicroWatt)
+
+	light := trace.NormalizeTo(trace.IndoorLight{
+		Night: 0.5 * econcast.MicroWatt, Day: 40 * econcast.MicroWatt,
+		OnHour: 8, OffHour: 20,
+	}, mean)
+	kinetic := trace.NormalizeTo(
+		trace.NewKinetic(3, 24*3600, 1.0/600, 120, 0.2*econcast.MicroWatt, 80*econcast.MicroWatt),
+		mean)
+	fmt.Printf("profiles normalized to %.0f uW mean: light %.2f uW, kinetic %.2f uW\n",
+		mean/econcast.MicroWatt, light.Mean()/econcast.MicroWatt, kinetic.Mean()/econcast.MicroWatt)
+
+	profiles := []trace.Trace{light, kinetic, light, kinetic, light, kinetic}
+
+	const sigma = 0.5
+	ach, err := econcast.Achievable(nodes, sigma, econcast.Groupput)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := econcast.Simulate(econcast.SimConfig{
+		Network:  nodes,
+		Mode:     econcast.Groupput,
+		Sigma:    sigma,
+		Duration: 28 * 3600, // a full day cycle after warmup
+		Warmup:   4 * 3600,
+		Seed:     5,
+		Harvest: func(node int, t float64) float64 {
+			// Start mid-morning so light harvesters are productive early.
+			return profiles[node].Rate(t + 9*3600)
+		},
+		// Real storage: 50 mJ capacitor-class buffer with a hard floor.
+		BatteryFloor: 50e-3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("constant-budget prediction T^%.1f = %.4f\n", sigma, ach.Throughput)
+	fmt.Printf("time-varying harvest result     = %.4f (%.0f%%)\n",
+		res.Groupput, 100*res.Groupput/ach.Throughput)
+	fmt.Println("(correlated rich periods can push groupput above the")
+	fmt.Println(" constant-budget prediction: nodes are awake together)")
+	fmt.Println("per-node consumption vs the 10 uW mean harvest:")
+	for i, p := range res.Power {
+		kind := "light  "
+		if i%2 == 1 {
+			kind = "kinetic"
+		}
+		fmt.Printf("  node %d (%s): %5.2f uW\n", i, kind, p/econcast.MicroWatt)
+	}
+}

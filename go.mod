@@ -1,0 +1,3 @@
+module econcast
+
+go 1.22

@@ -1,0 +1,159 @@
+package apps
+
+import (
+	"math"
+	"testing"
+
+	"econcast/internal/econcast"
+	"econcast/internal/model"
+	"econcast/internal/sim"
+)
+
+func TestDiscoveryBookkeeping(t *testing.T) {
+	d := NewDiscovery(3, 10)
+	// Deliveries before the start are ignored.
+	d.OnDeliver(0, 1, 5)
+	if _, ok := d.DiscoveredAt(0, 1); ok {
+		t.Fatal("pre-start delivery recorded")
+	}
+	d.OnDeliver(0, 1, 12)
+	d.OnDeliver(0, 1, 20) // duplicate: first time wins
+	d.OnDeliver(1, 0, 14)
+	if v, ok := d.DiscoveredAt(0, 1); !ok || v != 2 {
+		t.Fatalf("DiscoveredAt(0,1) = %v, %v", v, ok)
+	}
+	got, total := d.Pairs()
+	if got != 2 || total != 6 {
+		t.Fatalf("Pairs = %d/%d", got, total)
+	}
+	if _, ok := d.FullDiscoveryTime(); ok {
+		t.Fatal("full discovery reported prematurely")
+	}
+	mean, err := d.MeanPairwise()
+	if err != nil || math.Abs(mean-3) > 1e-12 {
+		t.Fatalf("mean %v err %v", mean, err)
+	}
+	// Complete all pairs.
+	d.OnDeliver(0, 2, 30)
+	d.OnDeliver(2, 0, 31)
+	d.OnDeliver(1, 2, 32)
+	d.OnDeliver(2, 1, 45)
+	full, ok := d.FullDiscoveryTime()
+	if !ok || full != 35 {
+		t.Fatalf("full discovery %v, %v", full, ok)
+	}
+}
+
+func TestDiscoveryEmptyMean(t *testing.T) {
+	d := NewDiscovery(2, 0)
+	if _, err := d.MeanPairwise(); err == nil {
+		t.Fatal("empty mean should error")
+	}
+}
+
+func TestGossipSpread(t *testing.T) {
+	g := NewGossip(4)
+	r, err := g.Inject(0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Coverage(r) != 1 {
+		t.Fatalf("coverage %d", g.Coverage(r))
+	}
+	// 0 -> 1, then 1 -> 2, 1 -> 3; deliveries from ignorant nodes do nothing.
+	g.OnDeliver(2, 3, 105) // 2 knows nothing yet
+	g.OnDeliver(0, 1, 110)
+	g.OnDeliver(1, 2, 120)
+	if g.Coverage(r) != 3 {
+		t.Fatalf("coverage %d, want 3", g.Coverage(r))
+	}
+	if _, ok := g.SpreadTime(r); ok {
+		t.Fatal("full spread reported prematurely")
+	}
+	if half, ok := g.HalfSpreadTime(r); !ok || half != 10 {
+		t.Fatalf("half spread %v, %v", half, ok)
+	}
+	g.OnDeliver(1, 3, 150)
+	full, ok := g.SpreadTime(r)
+	if !ok || full != 50 {
+		t.Fatalf("spread %v, %v", full, ok)
+	}
+}
+
+func TestGossipMultipleRumors(t *testing.T) {
+	g := NewGossip(3)
+	r0, _ := g.Inject(0, 0)
+	r1, _ := g.Inject(2, 5)
+	// One exchange moves both directions' knowledge separately.
+	g.OnDeliver(0, 2, 10) // rumor 0 reaches node 2
+	g.OnDeliver(2, 1, 20) // node 1 learns both (2 knows r0 and r1)
+	if g.Coverage(r0) != 3 {
+		t.Fatalf("r0 coverage %d", g.Coverage(r0))
+	}
+	if g.Coverage(r1) != 2 {
+		t.Fatalf("r1 coverage %d", g.Coverage(r1))
+	}
+	if full, ok := g.SpreadTime(r0); !ok || full != 20 {
+		t.Fatalf("r0 spread %v %v", full, ok)
+	}
+}
+
+func TestGossipInjectErrors(t *testing.T) {
+	g := NewGossip(2)
+	if _, err := g.Inject(5, 0); err == nil {
+		t.Fatal("bad node accepted")
+	}
+	for i := 0; i < 64; i++ {
+		if _, err := g.Inject(0, 0); err != nil {
+			t.Fatalf("inject %d failed: %v", i, err)
+		}
+	}
+	if _, err := g.Inject(0, 0); err == nil {
+		t.Fatal("65th rumor accepted")
+	}
+}
+
+// End-to-end: EconCast discovers all pairs of a 5-clique well within the
+// Searchlight worst-case bound of 125 s, and gossip floods the network.
+func TestAppsOverSimulator(t *testing.T) {
+	nw := model.Homogeneous(5, 10*model.MicroWatt, 500*model.MicroWatt, 500*model.MicroWatt)
+	const start = 500.0
+	disc := NewDiscovery(5, start)
+	gos := NewGossip(5)
+	var rumor int
+	injected := false
+	cfg := sim.Config{
+		Network:  nw,
+		Protocol: sim.Protocol{Mode: model.Groupput, Variant: econcast.Capture, Sigma: 0.5, Delta: 0.1},
+		Duration: 4000,
+		Warmup:   start,
+		Seed:     4,
+		OnDeliver: func(tx, rx int, now float64) {
+			disc.OnDeliver(tx, rx, now)
+			if !injected && now >= start {
+				rumor, _ = gos.Inject(0, now)
+				injected = true
+			}
+			gos.OnDeliver(tx, rx, now)
+		},
+	}
+	if _, err := sim.Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	full, ok := disc.FullDiscoveryTime()
+	if !ok {
+		got, total := disc.Pairs()
+		t.Fatalf("discovery incomplete: %d/%d pairs", got, total)
+	}
+	if full <= 0 || full > 3500 {
+		t.Fatalf("full discovery time %v implausible", full)
+	}
+	if !injected {
+		t.Fatal("rumor never injected")
+	}
+	if spread, ok := gos.SpreadTime(rumor); !ok {
+		t.Fatalf("rumor reached only %d/5 nodes", gos.Coverage(rumor))
+	} else if spread <= 0 {
+		t.Fatalf("spread time %v", spread)
+	}
+}

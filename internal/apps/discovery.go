@@ -1,0 +1,103 @@
+// Package apps builds the paper's two motivating applications on top of
+// the simulator's delivery hook: neighbor discovery (§I — "nodes utilize a
+// neighbor discovery protocol to identify neighbors within wireless
+// communication range", the groupput use case) and gossip dissemination
+// (the delay-tolerant anyput use case). Both consume the
+// sim.Config.OnDeliver event stream and are engine-agnostic.
+package apps
+
+import (
+	"fmt"
+	"math"
+)
+
+// Discovery tracks pairwise neighbor discovery: the first time each
+// ordered pair (transmitter, receiver) exchanges a packet. This is the
+// metric Searchlight and Panda are designed around, so it makes EconCast
+// directly comparable to them.
+type Discovery struct {
+	n     int
+	start float64
+	first [][]float64 // first[tx][rx] = discovery time, or NaN
+}
+
+// NewDiscovery returns a tracker for n nodes; times are measured relative
+// to start.
+func NewDiscovery(n int, start float64) *Discovery {
+	d := &Discovery{n: n, start: start, first: make([][]float64, n)}
+	for i := range d.first {
+		d.first[i] = make([]float64, n)
+		for j := range d.first[i] {
+			d.first[i][j] = math.NaN()
+		}
+	}
+	return d
+}
+
+// OnDeliver records one reception; plug it into sim.Config.OnDeliver.
+func (d *Discovery) OnDeliver(tx, rx int, now float64) {
+	if now < d.start || tx == rx {
+		return
+	}
+	if math.IsNaN(d.first[tx][rx]) {
+		d.first[tx][rx] = now - d.start
+	}
+}
+
+// DiscoveredAt returns when rx first heard tx, and whether it has.
+func (d *Discovery) DiscoveredAt(tx, rx int) (float64, bool) {
+	v := d.first[tx][rx]
+	return v, !math.IsNaN(v)
+}
+
+// Pairs returns the number of ordered pairs discovered so far, out of
+// n*(n-1).
+func (d *Discovery) Pairs() (discovered, total int) {
+	for i := 0; i < d.n; i++ {
+		for j := 0; j < d.n; j++ {
+			if i != j && !math.IsNaN(d.first[i][j]) {
+				discovered++
+			}
+		}
+	}
+	return discovered, d.n * (d.n - 1)
+}
+
+// FullDiscoveryTime returns the time by which every ordered pair had been
+// discovered; ok is false if some pair never was.
+func (d *Discovery) FullDiscoveryTime() (t float64, ok bool) {
+	worst := 0.0
+	for i := 0; i < d.n; i++ {
+		for j := 0; j < d.n; j++ {
+			if i == j {
+				continue
+			}
+			v := d.first[i][j]
+			if math.IsNaN(v) {
+				return 0, false
+			}
+			if v > worst {
+				worst = v
+			}
+		}
+	}
+	return worst, true
+}
+
+// MeanPairwise returns the mean discovery time over discovered pairs, or
+// an error when nothing has been discovered.
+func (d *Discovery) MeanPairwise() (float64, error) {
+	sum, count := 0.0, 0
+	for i := 0; i < d.n; i++ {
+		for j := 0; j < d.n; j++ {
+			if i != j && !math.IsNaN(d.first[i][j]) {
+				sum += d.first[i][j]
+				count++
+			}
+		}
+	}
+	if count == 0 {
+		return 0, fmt.Errorf("apps: no pairs discovered")
+	}
+	return sum / float64(count), nil
+}

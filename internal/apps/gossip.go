@@ -1,0 +1,112 @@
+package apps
+
+import (
+	"fmt"
+	"math"
+)
+
+// Gossip implements store-and-forward rumor dissemination over the
+// delivery stream: every packet a node transmits carries everything it
+// knows, so each reception merges the transmitter's rumor set into the
+// receiver's. Up to 64 rumors are tracked as a bitset.
+type Gossip struct {
+	n     int
+	know  []uint64    // know[node] = bitset of rumors held
+	birth []float64   // injection time per rumor
+	learn [][]float64 // learn[rumor][node] = time learned, or NaN
+	used  int         // rumors injected so far
+}
+
+// NewGossip returns a gossip tracker for n nodes.
+func NewGossip(n int) *Gossip {
+	return &Gossip{n: n, know: make([]uint64, n)}
+}
+
+// Inject starts a new rumor at the given node and time, returning its id.
+func (g *Gossip) Inject(node int, now float64) (rumor int, err error) {
+	if g.used >= 64 {
+		return 0, fmt.Errorf("apps: rumor capacity (64) exhausted")
+	}
+	if node < 0 || node >= g.n {
+		return 0, fmt.Errorf("apps: node %d out of range", node)
+	}
+	rumor = g.used
+	g.used++
+	g.birth = append(g.birth, now)
+	times := make([]float64, g.n)
+	for i := range times {
+		times[i] = math.NaN()
+	}
+	times[node] = 0
+	g.learn = append(g.learn, times)
+	g.know[node] |= 1 << uint(rumor)
+	return rumor, nil
+}
+
+// OnDeliver merges the transmitter's rumors into the receiver; plug it
+// into sim.Config.OnDeliver.
+func (g *Gossip) OnDeliver(tx, rx int, now float64) {
+	fresh := g.know[tx] &^ g.know[rx]
+	if fresh == 0 {
+		return
+	}
+	g.know[rx] |= fresh
+	for r := 0; r < g.used; r++ {
+		if fresh&(1<<uint(r)) != 0 {
+			g.learn[r][rx] = now - g.birth[r]
+		}
+	}
+}
+
+// Coverage returns how many nodes hold the rumor.
+func (g *Gossip) Coverage(rumor int) int {
+	count := 0
+	for _, k := range g.know {
+		if k&(1<<uint(rumor)) != 0 {
+			count++
+		}
+	}
+	return count
+}
+
+// SpreadTime returns the time from injection until every node held the
+// rumor; ok is false if coverage is still partial.
+func (g *Gossip) SpreadTime(rumor int) (t float64, ok bool) {
+	worst := 0.0
+	for _, v := range g.learn[rumor] {
+		if math.IsNaN(v) {
+			return 0, false
+		}
+		if v > worst {
+			worst = v
+		}
+	}
+	return worst, true
+}
+
+// HalfSpreadTime returns the time until at least half the nodes held the
+// rumor, a standard epidemic-spreading milestone; ok is false if coverage
+// never reached half.
+func (g *Gossip) HalfSpreadTime(rumor int) (t float64, ok bool) {
+	times := make([]float64, 0, g.n)
+	for _, v := range g.learn[rumor] {
+		if !math.IsNaN(v) {
+			times = append(times, v)
+		}
+	}
+	need := (g.n + 1) / 2
+	if len(times) < need {
+		return 0, false
+	}
+	// need-th smallest.
+	for i := 0; i < need; i++ {
+		min := i
+		for j := i + 1; j < len(times); j++ {
+			if times[j] < times[min] {
+				min = j
+			}
+		}
+		times[i], times[min] = times[min], times[i]
+	}
+	return times[need-1], true
+}

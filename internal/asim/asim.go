@@ -1,0 +1,478 @@
+// Package asim runs EconCast networks as concurrent goroutines: each node
+// is a goroutine executing the protocol logic of internal/econcast as
+// firmware would, and a broker goroutine plays the shared radio medium.
+// Coordination uses a conservative virtual clock over request/reply
+// channels, so runs are exactly reproducible despite the concurrency.
+//
+// The broker serializes the medium: it gathers each node's bid for its
+// next event time (state transition or multiplier tick), grants the
+// earliest, and relays channel state (carrier busy, packet completions)
+// back to the affected nodes. Nodes never share memory; everything they
+// learn arrives over their command channel, mirroring the structure of a
+// real deployment (and of the emulated testbed built on top in
+// internal/testbed).
+//
+// asim models clique networks, the setting of the paper's testbed; use
+// internal/sim for non-clique topologies.
+package asim
+
+import (
+	"errors"
+	"math"
+
+	"econcast/internal/econcast"
+	"econcast/internal/model"
+	"econcast/internal/rng"
+)
+
+// Config mirrors sim.Config for clique networks.
+type Config struct {
+	Network *model.Network
+
+	Mode       model.Mode
+	Variant    econcast.Variant
+	Sigma      float64
+	Delta      float64
+	Tau        float64
+	PacketTime float64
+
+	Duration float64
+	Warmup   float64
+	Seed     uint64
+
+	// WarmEta and FreezeEta as in sim.Config (units of 1/Watt).
+	WarmEta   []float64
+	FreezeEta bool
+}
+
+// Metrics are the outputs of a goroutine-based run.
+type Metrics struct {
+	Window            float64
+	Groupput          float64
+	Anyput            float64
+	PacketsSent       int
+	PacketsDelivered  int
+	PacketsAnyDeliver int
+	Power             []float64 // per-node mean consumption over the window
+	EtaFinal          []float64 // units of 1/Watt
+}
+
+// broker -> node commands.
+type cmdKind int
+
+const (
+	cmdBid        cmdKind = iota // submit your next event time
+	cmdFire                      // your transition fires now
+	cmdTick                      // your multiplier tick fires now
+	cmdPacketDone                // your packet ended; decide continue/release
+	cmdStop                      // run over; report final accounting
+)
+
+type command struct {
+	kind      cmdKind
+	now       float64
+	busy      bool // carrier state (excluding the node's own transmission)
+	count     int  // successful receivers (cmdPacketDone)
+	listeners int  // other active listeners (cmdBid/cmdFire; NC estimate)
+	snapshot  bool // cmdStop: battery snapshot request only (warmup boundary)
+}
+
+// node -> broker replies.
+type replyKind int
+
+const (
+	replyBid    replyKind = iota
+	replyAction           // transition outcome: the node's new state
+	replyHold             // packet decision: continue (true) or release
+	replyFinal            // final accounting
+)
+
+type reply struct {
+	kind replyKind
+	node int
+
+	at     float64 // replyBid: next event time (may be +Inf)
+	isTick bool    // replyBid: the event is a tau tick
+
+	state model.State // replyAction: state after the transition
+
+	cont bool // replyHold
+
+	battery float64 // replyFinal / snapshot
+	eta     float64 // replyFinal (scaled units)
+}
+
+// Run executes the configuration and returns metrics.
+func Run(cfg Config) (*Metrics, error) {
+	if cfg.Network == nil {
+		return nil, errors.New("asim: nil network")
+	}
+	if err := cfg.Network.Validate(); err != nil {
+		return nil, err
+	}
+	if !(cfg.Sigma > 0) {
+		return nil, errors.New("asim: sigma must be positive")
+	}
+	if !(cfg.Duration > 0) || cfg.Warmup < 0 || cfg.Warmup >= cfg.Duration {
+		return nil, errors.New("asim: bad duration/warmup")
+	}
+	if cfg.WarmEta != nil && len(cfg.WarmEta) != cfg.Network.N() {
+		return nil, errors.New("asim: WarmEta length mismatch")
+	}
+	b := newBroker(cfg)
+	b.start()
+	return b.loop(), nil
+}
+
+// nodeRuntime is the goroutine-side state of one node ("firmware").
+type nodeRuntime struct {
+	id    int
+	proto *econcast.Node
+	src   *rng.Source
+	cmd   chan command
+	out   chan<- reply
+
+	state model.State
+	last  float64 // virtual time of the last energy accrual
+}
+
+// run is the node goroutine body: a strict request/reply servant of the
+// broker, owning all node-local state.
+func (n *nodeRuntime) run() {
+	for c := range n.cmd {
+		switch c.kind {
+		case cmdBid:
+			n.out <- n.bid(c)
+		case cmdFire:
+			n.advance(c.now)
+			n.fire(c)
+		case cmdTick:
+			n.advance(c.now) // Advance applies eq. (17) at the boundary
+			n.out <- reply{kind: replyAction, node: n.id, state: n.state}
+		case cmdPacketDone:
+			n.advance(c.now)
+			est := n.proto.Estimate(c.count)
+			cont := n.src.Bernoulli(n.proto.ContinueTransmitProb(est))
+			if !cont {
+				n.state = model.Listen
+			}
+			n.out <- reply{kind: replyHold, node: n.id, cont: cont}
+		case cmdStop:
+			n.advance(c.now)
+			n.out <- reply{
+				kind:    replyFinal,
+				node:    n.id,
+				battery: n.proto.Battery(),
+				eta:     n.proto.Eta(),
+			}
+			if !c.snapshot {
+				return
+			}
+		}
+	}
+}
+
+func (n *nodeRuntime) advance(now float64) {
+	if dt := now - n.last; dt > 0 {
+		n.proto.Advance(dt, n.state)
+		n.last = now
+	}
+}
+
+// bid samples the node's next event given the carrier state: the earlier
+// of its next state transition and its next multiplier tick.
+func (n *nodeRuntime) bid(c command) reply {
+	n.advance(c.now)
+	tau := n.proto.Config().Tau
+	// Next tick is the next tau multiple of local accrued time; the broker
+	// aligns ticks by asking every node to bid from t=0, so tick times are
+	// k*tau in virtual time.
+	nextTick := (math.Floor(c.now/tau+1e-9) + 1) * tau
+	transition := math.Inf(1)
+	if n.state != model.Transmit {
+		r := n.proto.Rates(!c.busy, n.proto.Estimate(c.listeners))
+		var total float64
+		switch n.state {
+		case model.Sleep:
+			total = r.SleepToListen
+		case model.Listen:
+			total = r.ListenToSleep + r.ListenToTransmit
+		}
+		if total > 0 {
+			transition = c.now + n.src.Exp(total)
+		}
+	}
+	if nextTick < transition {
+		return reply{kind: replyBid, node: n.id, at: nextTick, isTick: true}
+	}
+	return reply{kind: replyBid, node: n.id, at: transition}
+}
+
+// fire executes the granted transition and reports the new state.
+func (n *nodeRuntime) fire(c command) {
+	switch n.state {
+	case model.Sleep:
+		n.state = model.Listen
+	case model.Listen:
+		r := n.proto.Rates(!c.busy, n.proto.Estimate(c.listeners))
+		total := r.ListenToSleep + r.ListenToTransmit
+		if total > 0 && n.src.Float64()*total < r.ListenToTransmit {
+			n.state = model.Transmit
+		} else {
+			n.state = model.Sleep
+		}
+	}
+	n.out <- reply{kind: replyAction, node: n.id, state: n.state}
+}
+
+// broker owns the virtual clock and the radio medium.
+type broker struct {
+	cfg   Config
+	n     int
+	nodes []*nodeRuntime
+	cmds  []chan command
+	out   chan reply
+
+	now         float64
+	transmitter int // -1 when idle
+	listeners   []int
+	pktEnd      float64
+	states      []model.State
+	bids        []reply
+
+	met           Metrics
+	measuring     bool
+	warmupBattery []float64
+	packetTime    float64
+}
+
+func newBroker(cfg Config) *broker {
+	n := cfg.Network.N()
+	b := &broker{
+		cfg:         cfg,
+		n:           n,
+		nodes:       make([]*nodeRuntime, n),
+		cmds:        make([]chan command, n),
+		out:         make(chan reply),
+		transmitter: -1,
+		states:      make([]model.State, n),
+		bids:        make([]reply, n),
+		packetTime:  cfg.PacketTime,
+	}
+	if b.packetTime == 0 {
+		b.packetTime = 1e-3
+	}
+	master := rng.New(cfg.Seed)
+	for i := 0; i < n; i++ {
+		nd := cfg.Network.Nodes[i]
+		pc := econcast.Config{
+			Mode:          cfg.Mode,
+			Variant:       cfg.Variant,
+			Sigma:         cfg.Sigma,
+			Delta:         cfg.Delta,
+			Tau:           cfg.Tau,
+			Budget:        nd.Budget,
+			ListenPower:   nd.ListenPower,
+			TransmitPower: nd.TransmitPower,
+			PacketTime:    cfg.PacketTime,
+		}
+		if cfg.FreezeEta {
+			pc.Delta = 1e-300
+		}
+		proto := econcast.NewNode(pc)
+		if cfg.WarmEta != nil {
+			p0 := math.Max(nd.ListenPower, nd.TransmitPower)
+			proto.SetEta(cfg.WarmEta[i] * p0)
+		}
+		b.cmds[i] = make(chan command)
+		b.nodes[i] = &nodeRuntime{
+			id:    i,
+			proto: proto,
+			src:   master.Split(),
+			cmd:   b.cmds[i],
+			out:   b.out,
+		}
+	}
+	return b
+}
+
+func (b *broker) start() {
+	for _, n := range b.nodes {
+		go n.run()
+	}
+}
+
+// ask sends a command to node i and waits for its reply.
+func (b *broker) ask(i int, c command) reply {
+	b.cmds[i] <- c
+	return <-b.out
+}
+
+func (b *broker) busyFor(i int) bool {
+	return b.transmitter >= 0 && b.transmitter != i
+}
+
+// otherListeners counts listening nodes other than i, the continuous ping
+// estimate the non-capture variant consumes.
+func (b *broker) otherListeners(i int) int {
+	count := 0
+	for j := 0; j < b.n; j++ {
+		if j != i && b.states[j] == model.Listen {
+			count++
+		}
+	}
+	return count
+}
+
+func (b *broker) rebid(i int) {
+	b.bids[i] = b.ask(i, command{
+		kind: cmdBid, now: b.now, busy: b.busyFor(i),
+		listeners: b.otherListeners(i),
+	})
+}
+
+func (b *broker) rebidAll() {
+	for i := 0; i < b.n; i++ {
+		b.rebid(i)
+	}
+}
+
+// loop is the broker's main scheduling loop.
+func (b *broker) loop() *Metrics {
+	b.rebidAll()
+	for {
+		// Earliest pending event: a node bid or the packet end.
+		best := -1
+		bestAt := math.Inf(1)
+		for i := 0; i < b.n; i++ {
+			if b.states[i] == model.Transmit {
+				continue // packet-driven
+			}
+			if b.bids[i].at < bestAt {
+				bestAt = b.bids[i].at
+				best = i
+			}
+		}
+		usePacket := b.transmitter >= 0 && b.pktEnd <= bestAt
+		eventAt := bestAt
+		if usePacket {
+			eventAt = b.pktEnd
+		}
+		if eventAt > b.cfg.Duration || (best < 0 && !usePacket) {
+			break
+		}
+		b.now = eventAt
+		if !b.measuring && b.now >= b.cfg.Warmup {
+			b.measuring = true
+			b.snapshotBatteries()
+		}
+		if usePacket {
+			b.finishPacket()
+			continue
+		}
+		if b.bids[best].isTick {
+			b.ask(best, command{kind: cmdTick, now: b.now})
+			b.rebid(best)
+			continue
+		}
+		// Grant the transition.
+		r := b.ask(best, command{
+			kind: cmdFire, now: b.now, busy: b.busyFor(best),
+			listeners: b.otherListeners(best),
+		})
+		prev := b.states[best]
+		b.states[best] = r.state
+		switch {
+		case prev == model.Listen && r.state == model.Transmit:
+			b.beginPacket(best)
+		default:
+			b.rebid(best)
+			// The non-capture variant's rates depend on the listener count,
+			// which just changed for everyone else.
+			if b.cfg.Variant == econcast.NonCapture && prev != r.state {
+				for j := 0; j < b.n; j++ {
+					if j != best && b.states[j] == model.Listen {
+						b.rebid(j)
+					}
+				}
+			}
+		}
+	}
+	return b.finish()
+}
+
+// beginPacket starts a hold: captures the listener set and freezes
+// everyone else by rebidding them under a busy carrier.
+func (b *broker) beginPacket(tx int) {
+	b.transmitter = tx
+	b.listeners = b.listeners[:0]
+	for i := 0; i < b.n; i++ {
+		if i != tx && b.states[i] == model.Listen {
+			b.listeners = append(b.listeners, i)
+		}
+	}
+	b.pktEnd = b.now + b.packetTime
+	for i := 0; i < b.n; i++ {
+		if i != tx {
+			b.rebid(i)
+		}
+	}
+}
+
+// finishPacket completes the current packet: account deliveries, ask the
+// transmitter whether it holds the channel, and unfreeze on release.
+func (b *broker) finishPacket() {
+	tx := b.transmitter
+	success := len(b.listeners)
+	if b.measuring {
+		b.met.PacketsSent++
+		b.met.Groupput += float64(success) * b.packetTime
+		b.met.PacketsDelivered += success
+		if success > 0 {
+			b.met.PacketsAnyDeliver++
+			b.met.Anyput += b.packetTime
+		}
+	}
+	r := b.ask(tx, command{kind: cmdPacketDone, now: b.now, count: success})
+	if r.cont {
+		// Hold continues: same transmitter, recapture listeners (frozen, so
+		// unchanged in a clique).
+		b.pktEnd = b.now + b.packetTime
+		return
+	}
+	b.transmitter = -1
+	b.states[tx] = model.Listen
+	b.rebidAll()
+}
+
+func (b *broker) snapshotBatteries() {
+	b.warmupBattery = make([]float64, b.n)
+	for i := 0; i < b.n; i++ {
+		r := b.ask(i, command{kind: cmdStop, now: b.now, snapshot: true})
+		b.warmupBattery[i] = r.battery
+	}
+	// Snapshot rebids are unnecessary: cmdStop with snapshot does not
+	// change node state, and bids remain valid.
+}
+
+func (b *broker) finish() *Metrics {
+	window := b.cfg.Duration - b.cfg.Warmup
+	b.met.Window = window
+	b.met.Groupput /= window
+	b.met.Anyput /= window
+	b.met.Power = make([]float64, b.n)
+	b.met.EtaFinal = make([]float64, b.n)
+	for i := 0; i < b.n; i++ {
+		r := b.ask(i, command{kind: cmdStop, now: b.cfg.Duration})
+		close(b.cmds[i])
+		nd := b.cfg.Network.Nodes[i]
+		start := 0.0
+		if b.warmupBattery != nil {
+			start = b.warmupBattery[i]
+		}
+		b.met.Power[i] = nd.Budget - (r.battery-start)/window
+		p0 := math.Max(nd.ListenPower, nd.TransmitPower)
+		b.met.EtaFinal[i] = r.eta / p0
+	}
+	return &b.met
+}

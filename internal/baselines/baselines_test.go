@@ -1,0 +1,195 @@
+package baselines
+
+import (
+	"math"
+	"testing"
+
+	"econcast/internal/model"
+	"econcast/internal/oracle"
+)
+
+func node10uW() model.Node {
+	return model.Node{
+		Budget:        10 * model.MicroWatt,
+		ListenPower:   500 * model.MicroWatt,
+		TransmitPower: 500 * model.MicroWatt,
+	}
+}
+
+func TestBirthdayEvaluateKnownCase(t *testing.T) {
+	// n=2, Pt=Pl=0.5: groupput = 2*0.5*(0.5)^0*1*0.5 = 0.5;
+	// anyput = 2*0.5*0.5*(1-(1-1)^1) = 0.5.
+	g, a := birthdayEvaluate(2, BirthdayParams{Pt: 0.5, Pl: 0.5})
+	if math.Abs(g-0.5) > 1e-12 || math.Abs(a-0.5) > 1e-12 {
+		t.Fatalf("g=%v a=%v", g, a)
+	}
+}
+
+func TestBirthdayDegenerateParams(t *testing.T) {
+	for _, p := range []BirthdayParams{{0, 0.5}, {0.5, 0}, {1, 0.1}, {0.7, 0.5}} {
+		if g, a := birthdayEvaluate(5, p); g != 0 || a != 0 {
+			t.Fatalf("params %+v gave %v/%v", p, g, a)
+		}
+	}
+}
+
+func TestBirthdayOptimizeFeasibleAndSane(t *testing.T) {
+	node := node10uW()
+	res, err := BirthdayOptimize(5, node, model.Groupput)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := res.Params
+	if p.Pt <= 0 || p.Pl <= 0 {
+		t.Fatalf("degenerate params %+v", p)
+	}
+	// Energy feasibility.
+	if p.Pt*node.TransmitPower+p.Pl*node.ListenPower > node.Budget*(1+1e-9) {
+		t.Fatalf("energy violated: %+v", p)
+	}
+	if res.Groupput <= 0 {
+		t.Fatal("no throughput")
+	}
+	// Against the oracle: Birthday must be well below.
+	orc, _ := oracle.GroupputClosedForm(5, node)
+	if res.Groupput >= orc.Throughput {
+		t.Fatalf("Birthday %v >= oracle %v", res.Groupput, orc.Throughput)
+	}
+}
+
+func TestBirthdaySimulationMatchesAnalytic(t *testing.T) {
+	node := node10uW()
+	res, err := BirthdayOptimize(5, node, model.Groupput)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, a := SimulateBirthday(5, res.Params, 4_000_000, 7)
+	if rel := math.Abs(g-res.Groupput) / res.Groupput; rel > 0.05 {
+		t.Fatalf("sim groupput %v vs analytic %v", g, res.Groupput)
+	}
+	if rel := math.Abs(a-res.Anyput) / res.Anyput; rel > 0.05 {
+		t.Fatalf("sim anyput %v vs analytic %v", a, res.Anyput)
+	}
+}
+
+func TestBirthdayOptimizeErrors(t *testing.T) {
+	if _, err := BirthdayOptimize(1, node10uW(), model.Groupput); err == nil {
+		t.Fatal("n=1 accepted")
+	}
+	if _, err := BirthdayOptimize(5, model.Node{}, model.Groupput); err == nil {
+		t.Fatal("zero node accepted")
+	}
+}
+
+func TestSearchlightPaperCalibration(t *testing.T) {
+	// rho=10uW, L=500uW -> P = 100 slots; with 50 ms slots the worst-case
+	// latency is P * ceil(P/2) / 2 slots = 2500 slots = 125 s, the Fig. 5
+	// anchor.
+	node := node10uW()
+	p, err := SearchlightPeriod(node)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != 100 {
+		t.Fatalf("period %d, want 100", p)
+	}
+	wcl, err := SearchlightWorstCaseLatency(node, SearchlightConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(wcl-125) > 1e-9 {
+		t.Fatalf("worst-case latency %v, want 125 s", wcl)
+	}
+}
+
+func TestSearchlightThroughputBelowOracle(t *testing.T) {
+	node := node10uW()
+	ub, err := SearchlightThroughputUpperBound(5, node, SearchlightConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	orc, _ := oracle.GroupputClosedForm(5, node)
+	if ub <= 0 || ub >= orc.Throughput {
+		t.Fatalf("Searchlight UB %v vs oracle %v", ub, orc.Throughput)
+	}
+}
+
+func TestSearchlightErrors(t *testing.T) {
+	if _, err := SearchlightPeriod(model.Node{}); err == nil {
+		t.Fatal("zero node accepted")
+	}
+	if _, err := SearchlightThroughputUpperBound(1, node10uW(), SearchlightConfig{}); err == nil {
+		t.Fatal("n=1 accepted")
+	}
+}
+
+func TestPandaOptimizeFeasible(t *testing.T) {
+	node := node10uW()
+	res, err := PandaOptimize(5, node, 1e-3, model.Groupput)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PowerRate > node.Budget*(1+1e-9) {
+		t.Fatalf("power %v exceeds budget", res.PowerRate)
+	}
+	if res.Groupput <= 0 {
+		t.Fatal("no throughput")
+	}
+	orc, _ := oracle.GroupputClosedForm(5, node)
+	ratio := res.Groupput / orc.Throughput
+	// The paper's §VII-C comparison implies Panda reaches only a few
+	// percent of the oracle at L = X (EconCast outperforms it 6x at
+	// sigma=0.5 where EconCast's own ratio is ~0.14, and 17x at
+	// sigma=0.25 where EconCast reaches ~0.43).
+	if ratio < 0.005 || ratio > 0.10 {
+		t.Fatalf("Panda/oracle ratio %v outside the expected band (params %+v)",
+			ratio, res.Params)
+	}
+}
+
+func TestPandaSimulationMatchesAnalytic(t *testing.T) {
+	node := node10uW()
+	res, err := PandaOptimize(5, node, 1e-3, model.Groupput)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := SimulatePanda(5, node, 1e-3, res.Params, 300000, 11)
+	if rel := math.Abs(sim.Groupput-res.Groupput) / res.Groupput; rel > 0.05 {
+		t.Fatalf("sim groupput %v vs analytic %v", sim.Groupput, res.Groupput)
+	}
+	if rel := math.Abs(sim.PowerRate-res.PowerRate) / res.PowerRate; rel > 0.05 {
+		t.Fatalf("sim power %v vs analytic %v", sim.PowerRate, res.PowerRate)
+	}
+	if rel := math.Abs(sim.Anyput-res.Anyput) / res.Anyput; rel > 0.05 {
+		t.Fatalf("sim anyput %v vs analytic %v", sim.Anyput, res.Anyput)
+	}
+}
+
+func TestPandaErrors(t *testing.T) {
+	if _, err := PandaOptimize(1, node10uW(), 1e-3, model.Groupput); err == nil {
+		t.Fatal("n=1 accepted")
+	}
+	if _, err := PandaOptimize(5, node10uW(), 0, model.Groupput); err == nil {
+		t.Fatal("theta=0 accepted")
+	}
+}
+
+// The headline §VII-C claim: EconCast's achievable/oracle ratio at L=X
+// exceeds Panda's by ~6x at sigma=0.5 and ~17x at sigma=0.25. Here we pin
+// Panda's side of that ratio; the full claim is checked in the experiments
+// package where both sides are computed.
+func TestPandaRatioBandForHeadlineClaim(t *testing.T) {
+	node := node10uW()
+	res, err := PandaOptimize(5, node, 1e-3, model.Groupput)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orc, _ := oracle.GroupputClosedForm(5, node)
+	ratio := res.Groupput / orc.Throughput
+	// EconCast's ratios are ~0.143 (sigma=0.5) and ~0.428 (sigma=0.25);
+	// the 6x / 17x claims need Panda in roughly [0.14/6.5, 0.43/15] =
+	// [0.022, 0.029] -- allow a generous band around it.
+	if ratio < 0.01 || ratio > 0.06 {
+		t.Fatalf("Panda ratio %v outside headline band", ratio)
+	}
+}

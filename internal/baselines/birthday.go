@@ -1,0 +1,144 @@
+// Package baselines reconstructs the three prior-art protocols the paper
+// compares against in §VII-C: Birthday protocols (McGlynn & Borbash,
+// MobiHoc'01), Searchlight (Bakht et al., MobiCom'12), and Panda
+// (Margolies et al., JSAC'16). None have open-source implementations, so
+// each is rebuilt from its paper's description; every file documents the
+// modeling assumptions. All three operate under stricter assumptions than
+// EconCast (homogeneous nodes, known N, slotting or parameter exchange).
+//
+// Throughput values are normalized like the oracle's: the fraction of time
+// spent on successful (per-receiver, for groupput) delivery, so they are
+// directly comparable to oracle.Groupput and statespace.SolveP4 outputs.
+package baselines
+
+import (
+	"fmt"
+	"math"
+
+	"econcast/internal/model"
+	"econcast/internal/rng"
+)
+
+// BirthdayParams are the per-slot action probabilities of the Birthday
+// protocol: in every slot a node independently transmits with probability
+// Pt, listens with probability Pl, and sleeps otherwise.
+type BirthdayParams struct {
+	Pt, Pl float64
+}
+
+// BirthdayResult is the analytic performance of the Birthday protocol at
+// given parameters.
+type BirthdayResult struct {
+	Params   BirthdayParams
+	Groupput float64
+	Anyput   float64
+}
+
+// birthdayEvaluate computes the exact per-slot expected throughput of the
+// Birthday protocol with n nodes:
+//
+//	groupput = n * Pt * (1-Pt)^(n-2) * (n-1) * Pl
+//
+// (a transmission succeeds when exactly one node transmits; each of the
+// other n-1 nodes independently listens with probability Pl, and
+// P(exactly i transmits) * E[listeners | i transmits] telescopes to the
+// expression above), and
+//
+//	anyput = n * Pt * (1-Pt)^(n-1) * (1 - (1 - Pl/(1-Pt))^(n-1)).
+func birthdayEvaluate(n int, p BirthdayParams) (groupput, anyput float64) {
+	if n < 2 || p.Pt <= 0 || p.Pl <= 0 || p.Pt >= 1 || p.Pt+p.Pl > 1 {
+		return 0, 0
+	}
+	nf := float64(n)
+	groupput = nf * p.Pt * math.Pow(1-p.Pt, nf-2) * (nf - 1) * p.Pl
+	condListen := p.Pl / (1 - p.Pt)
+	anyput = nf * p.Pt * math.Pow(1-p.Pt, nf-1) *
+		(1 - math.Pow(1-condListen, nf-1))
+	return groupput, anyput
+}
+
+// BirthdayOptimize returns the energy-feasible Birthday parameters that
+// maximize the requested throughput measure for n identical nodes. The
+// power constraint (with slot length equal to the packet length) is
+// Pt*X + Pl*L <= rho; at the optimum it binds, leaving a one-dimensional
+// unimodal problem in Pt solved by golden-section search.
+func BirthdayOptimize(n int, node model.Node, mode model.Mode) (BirthdayResult, error) {
+	if n < 2 {
+		return BirthdayResult{}, fmt.Errorf("baselines: Birthday needs n >= 2, got %d", n)
+	}
+	if err := (&model.Network{Nodes: []model.Node{node}}).Validate(); err != nil {
+		return BirthdayResult{}, err
+	}
+	score := func(pt float64) (float64, BirthdayParams) {
+		pl := (node.Budget - pt*node.TransmitPower) / node.ListenPower
+		if pl <= 0 {
+			return 0, BirthdayParams{}
+		}
+		if pt+pl > 1 {
+			pl = 1 - pt
+		}
+		p := BirthdayParams{Pt: pt, Pl: pl}
+		g, a := birthdayEvaluate(n, p)
+		if mode == model.Anyput {
+			return a, p
+		}
+		return g, p
+	}
+	hi := math.Min(node.Budget/node.TransmitPower, 1)
+	// Golden-section search on (0, hi).
+	const phi = 0.6180339887498949
+	lo := 0.0
+	a := hi - phi*(hi-lo)
+	b := lo + phi*(hi-lo)
+	fa, _ := score(a)
+	fb, _ := score(b)
+	for i := 0; i < 200; i++ {
+		if fa < fb {
+			lo = a
+			a, fa = b, fb
+			b = lo + phi*(hi-lo)
+			fb, _ = score(b)
+		} else {
+			hi = b
+			b, fb = a, fa
+			a = hi - phi*(hi-lo)
+			fa, _ = score(a)
+		}
+	}
+	best, params := score((lo + hi) / 2)
+	g, any := birthdayEvaluate(n, params)
+	_ = best
+	return BirthdayResult{Params: params, Groupput: g, Anyput: any}, nil
+}
+
+// SimulateBirthday runs a slotted Monte Carlo of the Birthday protocol and
+// returns the empirical normalized groupput and anyput. It exists to
+// validate the closed forms above.
+func SimulateBirthday(n int, p BirthdayParams, slots int, seed uint64) (groupput, anyput float64) {
+	src := rng.New(seed)
+	var groupSlots, anySlots int
+	for s := 0; s < slots; s++ {
+		tx := -1
+		collision := false
+		listeners := 0
+		for i := 0; i < n; i++ {
+			u := src.Float64()
+			switch {
+			case u < p.Pt:
+				if tx >= 0 {
+					collision = true
+				}
+				tx = i
+			case u < p.Pt+p.Pl:
+				listeners++
+			}
+		}
+		if tx >= 0 && !collision {
+			groupSlots += listeners
+			if listeners > 0 {
+				anySlots++
+			}
+		}
+	}
+	return float64(groupSlots) / float64(slots), float64(anySlots) / float64(slots)
+}

@@ -1,0 +1,184 @@
+package baselines
+
+import (
+	"fmt"
+	"math"
+
+	"econcast/internal/model"
+	"econcast/internal/rng"
+)
+
+// Panda (Margolies et al., "Panda: Neighbor discovery on a power
+// harvesting budget", IEEE JSAC 2016) is reconstructed from its renewal
+// description: homogeneous nodes that know N cycle through
+//
+//	sleep (exponential, rate lambda) -> listen (up to a window omega) ->
+//	transmit or receive -> sleep.
+//
+// A regeneration cycle starts with all nodes asleep. The first node to
+// wake listens for omega and, hearing nothing, transmits one packet of
+// length theta. Other nodes that wake during the window listen until the
+// packet completes and receive it; nodes that wake mid-packet sense the
+// busy carrier and return to sleep (negligible energy). The protocol's
+// parameters (lambda, omega) are chosen offline to maximize throughput
+// under the per-node power budget, exactly the kind of centralized
+// optimization Panda performs with its knowledge of N, rho, L, X.
+//
+// Modeling notes (documented deviations from [14], which tunes a few more
+// implementation details): the wake offset within the window follows the
+// exact truncated-exponential law; carrier sensing is perfect; ping/ACK
+// overheads are ignored, which only favors Panda in the comparison.
+
+// PandaParams are the tunable parameters of the Panda reconstruction.
+type PandaParams struct {
+	Lambda float64 // per-node wake rate while sleeping (1/s)
+	Omega  float64 // listen window before transmitting (s)
+}
+
+// PandaResult is the analytic performance of Panda at chosen parameters.
+type PandaResult struct {
+	Params    PandaParams
+	Groupput  float64 // normalized (fraction of time per receiver)
+	Anyput    float64
+	PowerRate float64 // mean per-node consumption (W)
+}
+
+// pandaEvaluate computes the renewal-reward performance of Panda.
+func pandaEvaluate(n int, node model.Node, theta float64, p PandaParams) PandaResult {
+	if n < 2 || p.Lambda <= 0 || p.Omega <= 0 {
+		return PandaResult{Params: p}
+	}
+	nf := float64(n)
+	// Cycle: idle wait Exp(n*lambda), then window omega, then packet theta.
+	cycle := 1/(nf*p.Lambda) + p.Omega + theta
+	// Probability another given node wakes during the window.
+	q := 1 - math.Exp(-p.Lambda*p.Omega)
+	// Expected wake offset within the window given waking in it
+	// (truncated exponential): E[U] = 1/lambda - omega*exp(-l*w)/q.
+	eu := 1/p.Lambda - p.Omega*math.Exp(-p.Lambda*p.Omega)/q
+	// Receivers listen for the window remainder plus the packet.
+	recvListen := (p.Omega - eu) + theta
+
+	expReceivers := (nf - 1) * q
+	groupput := expReceivers * theta / cycle
+	anyput := (1 - math.Pow(1-q, nf-1)) * theta / cycle
+
+	// Per-node energy per cycle: initiator role rotates uniformly.
+	initiator := p.Omega*node.ListenPower + theta*node.TransmitPower
+	receiver := q * recvListen * node.ListenPower
+	energy := initiator/nf + (nf-1)/nf*receiver
+	return PandaResult{
+		Params:    p,
+		Groupput:  groupput,
+		Anyput:    anyput,
+		PowerRate: energy / cycle,
+	}
+}
+
+// PandaOptimize searches (lambda, omega) for the highest throughput in the
+// given mode under the power budget, mimicking Panda's offline parameter
+// optimization. theta is the packet length in seconds.
+func PandaOptimize(n int, node model.Node, theta float64, mode model.Mode) (PandaResult, error) {
+	if n < 2 {
+		return PandaResult{}, fmt.Errorf("baselines: Panda needs n >= 2, got %d", n)
+	}
+	if theta <= 0 {
+		return PandaResult{}, fmt.Errorf("baselines: packet length must be positive")
+	}
+	if err := (&model.Network{Nodes: []model.Node{node}}).Validate(); err != nil {
+		return PandaResult{}, err
+	}
+	score := func(r PandaResult) float64 {
+		if r.PowerRate > node.Budget {
+			return 0
+		}
+		if mode == model.Anyput {
+			return r.Anyput
+		}
+		return r.Groupput
+	}
+	// Log-space grid over lambda and omega, then local refinement.
+	best := PandaResult{}
+	bestScore := 0.0
+	for _, lgL := range logspace(1e-3, 1e4, 60) {
+		for _, lgW := range logspace(theta/10, 1e3, 60) {
+			r := pandaEvaluate(n, node, theta, PandaParams{Lambda: lgL, Omega: lgW})
+			if s := score(r); s > bestScore {
+				bestScore = s
+				best = r
+			}
+		}
+	}
+	if bestScore == 0 {
+		return PandaResult{}, fmt.Errorf("baselines: no feasible Panda parameters")
+	}
+	// Refine around the grid optimum with coordinate-wise shrinkage.
+	cur := best.Params
+	span := 3.0
+	for iter := 0; iter < 40; iter++ {
+		improved := false
+		for _, cand := range []PandaParams{
+			{cur.Lambda * span, cur.Omega}, {cur.Lambda / span, cur.Omega},
+			{cur.Lambda, cur.Omega * span}, {cur.Lambda, cur.Omega / span},
+			{cur.Lambda * span, cur.Omega / span}, {cur.Lambda / span, cur.Omega * span},
+		} {
+			r := pandaEvaluate(n, node, theta, cand)
+			if s := score(r); s > bestScore {
+				bestScore = s
+				best = r
+				cur = cand
+				improved = true
+			}
+		}
+		if !improved {
+			span = math.Sqrt(span)
+			if span < 1.0001 {
+				break
+			}
+		}
+	}
+	return best, nil
+}
+
+func logspace(lo, hi float64, n int) []float64 {
+	out := make([]float64, n)
+	llo, lhi := math.Log(lo), math.Log(hi)
+	for i := range out {
+		out[i] = math.Exp(llo + (lhi-llo)*float64(i)/float64(n-1))
+	}
+	return out
+}
+
+// SimulatePanda Monte-Carlos the renewal cycle to validate pandaEvaluate:
+// it draws wake times explicitly and measures throughput and power.
+func SimulatePanda(n int, node model.Node, theta float64, p PandaParams, cycles int, seed uint64) PandaResult {
+	src := rng.New(seed)
+	var totalTime, group, anyp, energyAll float64
+	for c := 0; c < cycles; c++ {
+		// Time until the first of n sleepers wakes.
+		idle := src.Exp(float64(n) * p.Lambda)
+		cycleTime := idle + p.Omega + theta
+		receivers := 0
+		var energy float64
+		energy += p.Omega*node.ListenPower + theta*node.TransmitPower // initiator
+		for j := 1; j < n; j++ {
+			u := src.Exp(p.Lambda)
+			if u < p.Omega {
+				receivers++
+				energy += ((p.Omega - u) + theta) * node.ListenPower
+			}
+		}
+		totalTime += cycleTime
+		group += float64(receivers) * theta
+		if receivers > 0 {
+			anyp += theta
+		}
+		energyAll += energy
+	}
+	return PandaResult{
+		Params:    p,
+		Groupput:  group / totalTime,
+		Anyput:    anyp / totalTime,
+		PowerRate: energyAll / totalTime / float64(n),
+	}
+}

@@ -1,0 +1,307 @@
+// Package econcast implements the paper's contribution: the EconCast
+// distributed protocol (§V). A Node transitions between sleep, listen, and
+// transmit states with exponential rates (eq. 18) that it adapts online
+// from the dynamics of its energy storage through a Lagrange multiplier
+// update (eq. 17). Nodes know only their own power consumption levels and
+// observe (i) carrier sense and (ii) a listener estimate obtained from
+// low-cost pings; they need no knowledge of the network size or of other
+// nodes' budgets.
+//
+// The package is pure protocol logic: a host runtime (the discrete-event
+// simulator in internal/sim, the goroutine runtime in internal/asim, or the
+// emulated testbed in internal/testbed) drives time, carrier sensing, and
+// ping collection, and samples transition delays from the rates a Node
+// reports.
+package econcast
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"econcast/internal/model"
+)
+
+// Variant selects between the two EconCast versions of §V-D, which differ
+// only in transmit-state behaviour.
+type Variant int
+
+const (
+	// Capture is EconCast-C: a transmitter may hold the channel for
+	// several back-to-back packets, re-estimating the listener count after
+	// each packet from pings and continuing with probability
+	// 1 - exp(-estimate/sigma).
+	Capture Variant = iota
+	// NonCapture is EconCast-NC: the channel is released after every
+	// packet; the listener estimate instead boosts the listen->transmit
+	// rate.
+	NonCapture
+)
+
+func (v Variant) String() string {
+	if v == NonCapture {
+		return "EconCast-NC"
+	}
+	return "EconCast-C"
+}
+
+// Config holds a node's protocol parameters.
+type Config struct {
+	Mode    model.Mode // throughput objective: groupput or anyput
+	Variant Variant
+	Sigma   float64 // temperature; smaller approaches the oracle (§V-F)
+
+	// Delta is the multiplier step size and Tau the update interval in
+	// seconds (eq. 17, with the constant choice recommended in §V-F).
+	Delta float64
+	Tau   float64
+
+	// Node hardware parameters (Watts).
+	Budget        float64 // rho: harvesting / budget rate
+	ListenPower   float64 // L
+	TransmitPower float64 // X
+
+	// PacketTime is the duration of one unit packet in seconds; the rates
+	// of eq. (18) are expressed per packet time. Default 1 ms.
+	PacketTime float64
+
+	// InitialBattery is b(0) in Joules. BatteryCapacity caps storage
+	// (harvest overflow is lost); zero or negative means unbounded.
+	// If ClampBatteryAtZero is set the battery cannot go negative, which
+	// models a node that physically cannot overspend; by default the
+	// battery may dip below zero transiently, like the paper's virtual
+	// battery.
+	InitialBattery     float64
+	BatteryCapacity    float64
+	ClampBatteryAtZero bool
+
+	// Harvest, when non-nil, replaces the constant Budget charging rate
+	// with a time-varying profile (argument: seconds since the node
+	// started). Budget must still be set (it is used for validation and as
+	// the nominal rate); the multiplier update needs no change since
+	// eq. (17) observes only battery differences.
+	Harvest func(elapsed float64) float64
+}
+
+// withDefaults fills unset fields.
+func (c Config) withDefaults() Config {
+	if c.PacketTime == 0 {
+		c.PacketTime = 1e-3
+	}
+	if c.Delta == 0 {
+		c.Delta = 0.05
+	}
+	if c.Tau == 0 {
+		c.Tau = 200 * c.PacketTime
+	}
+	return c
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	c = c.withDefaults()
+	if !(c.Sigma > 0) {
+		return fmt.Errorf("econcast: sigma %v must be positive", c.Sigma)
+	}
+	if !(c.Budget > 0) || !(c.ListenPower > 0) || !(c.TransmitPower > 0) {
+		return errors.New("econcast: budget, listen and transmit power must be positive")
+	}
+	if !(c.PacketTime > 0) || !(c.Tau > 0) || !(c.Delta > 0) {
+		return errors.New("econcast: packet time, tau and delta must be positive")
+	}
+	return nil
+}
+
+// Rates is the set of transition rates of eq. (18) in events per second,
+// already gated by carrier sense.
+type Rates struct {
+	SleepToListen    float64
+	ListenToSleep    float64
+	ListenToTransmit float64
+	TransmitToListen float64
+}
+
+// Node is the per-node EconCast state machine: the Lagrange multiplier,
+// the virtual battery, and the rate laws. It is not safe for concurrent
+// use; each host goroutine owns one Node.
+type Node struct {
+	cfg Config
+	p0  float64 // power scale max(L, X); eta is per this scale
+
+	eta float64
+
+	battery         float64 // physical store (clamped if configured)
+	ledger          float64 // estimator ledger: unclamped virtual battery
+	intervalStart   float64 // ledger level at the start of the interval
+	intervalElapsed float64 // seconds into the current tau interval
+	elapsed         float64 // total seconds advanced since start
+
+	updates int // number of multiplier updates applied
+}
+
+// NewNode returns a node with the given configuration. It panics on an
+// invalid configuration; call Config.Validate first for graceful handling.
+func NewNode(cfg Config) *Node {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	cfg = cfg.withDefaults()
+	n := &Node{
+		cfg:           cfg,
+		p0:            math.Max(cfg.ListenPower, cfg.TransmitPower),
+		battery:       cfg.InitialBattery,
+		ledger:        cfg.InitialBattery,
+		intervalStart: cfg.InitialBattery,
+	}
+	return n
+}
+
+// Config returns the node's (defaulted) configuration.
+func (n *Node) Config() Config { return n.cfg }
+
+// Eta returns the current Lagrange multiplier (dimensionless, scaled to the
+// node's own max power level).
+func (n *Node) Eta() float64 { return n.eta }
+
+// SetEta overrides the multiplier, e.g. to warm-start from an analytical
+// solution. The expected scale is eta_analytical * max(L, X).
+func (n *Node) SetEta(eta float64) {
+	if eta < 0 {
+		eta = 0
+	}
+	n.eta = eta
+}
+
+// Battery returns the current energy storage level in Joules.
+func (n *Node) Battery() float64 { return n.battery }
+
+// Updates returns how many multiplier updates have been applied.
+func (n *Node) Updates() int { return n.updates }
+
+// Depleted reports whether the battery is at or below zero.
+func (n *Node) Depleted() bool { return n.battery <= 0 }
+
+// Estimate converts a listener count into the estimate the protocol
+// consumes: c-hat for groupput mode, gamma-hat for anyput mode (§V-B).
+func (n *Node) Estimate(listeners int) float64 {
+	if n.cfg.Mode == model.Anyput {
+		if listeners > 0 {
+			return 1
+		}
+		return 0
+	}
+	return float64(listeners)
+}
+
+// natural returns the dimensionless exponent eta * power / sigma used by
+// the rate laws; power is scaled by the node's own p0 so eta stays O(1).
+func (n *Node) scaled(power float64) float64 {
+	return n.eta * power / n.p0 / n.cfg.Sigma
+}
+
+// Rates evaluates eq. (18) for the current multiplier. carrierFree is the
+// indicator A(t): when false (an ongoing transmission is sensed), the
+// sleep->listen, listen->sleep and listen->transmit transitions freeze.
+// estimate is c-hat (groupput) or gamma-hat (anyput), used by the
+// listen->transmit rate of the non-capture variant and the
+// transmit->listen rate of the capture variant. Rates are per second.
+func (n *Node) Rates(carrierFree bool, estimate float64) Rates {
+	perSec := 1 / n.cfg.PacketTime
+	a := 0.0
+	if carrierFree {
+		a = 1
+	}
+	r := Rates{
+		SleepToListen: a * math.Exp(-n.scaled(n.cfg.ListenPower)) * perSec,
+		ListenToSleep: a * perSec,
+	}
+	lx := n.scaled(n.cfg.ListenPower) - n.scaled(n.cfg.TransmitPower)
+	switch n.cfg.Variant {
+	case Capture:
+		r.ListenToTransmit = a * math.Exp(lx) * perSec
+		r.TransmitToListen = math.Exp(-estimate/n.cfg.Sigma) * perSec
+	case NonCapture:
+		r.ListenToTransmit = a * math.Exp(lx+estimate/n.cfg.Sigma) * perSec
+		r.TransmitToListen = perSec
+	}
+	return r
+}
+
+// ContinueTransmitProb is the packetized form of the transmit-state
+// holding time (§V-B, §VIII-C): after each unit packet an EconCast-C
+// transmitter continues with probability 1 - exp(-estimate/sigma). The
+// non-capture variant always releases (probability 0).
+func (n *Node) ContinueTransmitProb(estimate float64) float64 {
+	if n.cfg.Variant == NonCapture {
+		return 0
+	}
+	return 1 - math.Exp(-estimate/n.cfg.Sigma)
+}
+
+// Advance accrues dt seconds of operation in the given state: the battery
+// charges at the budget rate and drains at the state's power draw, and the
+// multiplier update of eq. (17) fires at every tau boundary crossed.
+func (n *Node) Advance(dt float64, st model.State) {
+	if dt < 0 {
+		panic("econcast: negative dt")
+	}
+	draw := n.power(st)
+	for dt > 0 {
+		step := dt
+		if remaining := n.cfg.Tau - n.intervalElapsed; step > remaining {
+			step = remaining
+		}
+		harvest := n.cfg.Budget
+		if n.cfg.Harvest != nil {
+			// Piecewise-constant within the step, sampled at its start;
+			// steps never exceed tau, so slowly-varying profiles are
+			// integrated accurately.
+			harvest = n.cfg.Harvest(n.elapsed)
+		}
+		n.elapsed += step
+		net := (harvest - draw) * step
+		// The estimator ledger is the paper's virtual battery: it may go
+		// negative so eq. (17) keeps seeing true overspending even when
+		// the physical store is pinned at zero.
+		n.ledger += net
+		n.battery += net
+		if n.cfg.BatteryCapacity > 0 {
+			if n.battery > n.cfg.BatteryCapacity {
+				n.battery = n.cfg.BatteryCapacity
+			}
+			if n.ledger > n.cfg.BatteryCapacity {
+				n.ledger = n.cfg.BatteryCapacity
+			}
+		}
+		if n.cfg.ClampBatteryAtZero && n.battery < 0 {
+			n.battery = 0
+		}
+		n.intervalElapsed += step
+		dt -= step
+		if n.intervalElapsed >= n.cfg.Tau-1e-15 {
+			n.updateMultiplier()
+		}
+	}
+}
+
+// updateMultiplier applies eq. (17): eta <- [eta - delta * (b_k - b_{k-1})
+// / tau]^+, with the virtual-battery slope normalized by the node's power
+// scale so eta and delta are dimensionless.
+func (n *Node) updateMultiplier() {
+	slope := (n.ledger - n.intervalStart) / n.cfg.Tau / n.p0
+	n.eta = math.Max(0, n.eta-n.cfg.Delta*slope)
+	n.intervalStart = n.ledger
+	n.intervalElapsed = 0
+	n.updates++
+}
+
+func (n *Node) power(st model.State) float64 {
+	switch st {
+	case model.Listen:
+		return n.cfg.ListenPower
+	case model.Transmit:
+		return n.cfg.TransmitPower
+	default:
+		return 0
+	}
+}

@@ -1,0 +1,152 @@
+package experiments
+
+import (
+	"fmt"
+
+	"econcast/internal/econcast"
+	"econcast/internal/model"
+	"econcast/internal/rng"
+	"econcast/internal/sim"
+	"econcast/internal/statespace"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "ablations",
+		Title: "Ablations: ping noise, delta/tau tradeoff (§V-F), C vs NC, storage size",
+		Run:   runAblations,
+	})
+}
+
+func ablationNet() *model.Network {
+	return model.Homogeneous(5, 10*model.MicroWatt, 500*model.MicroWatt, 500*model.MicroWatt)
+}
+
+func runAblations(opts Options) ([]*Table, error) {
+	duration, warmup := 12000.0, 2000.0
+	algIters := 4000
+	if opts.Quick {
+		duration, warmup = 2500, 500
+		algIters = 800
+	}
+	nw := ablationNet()
+	ref, err := statespace.SolveP4(nw, 0.5, model.Groupput, nil)
+	if err != nil {
+		return nil, err
+	}
+
+	// 1. Ping-estimate noise: each listener's ping is lost independently
+	// with probability p; the transmitter's c-hat undercounts.
+	noise := &Table{
+		Name:  "Ablation: ping loss probability vs throughput (sigma=0.5, warm start)",
+		Notes: fmt.Sprintf("analytic T^0.5 = %s; estimates need not be accurate for EconCast to function (§V-C)", f4(ref.Throughput)),
+		Head:  []string{"ping loss", "groupput", "vs analytic"},
+	}
+	for _, loss := range []float64{0, 0.25, 0.5, 0.75} {
+		cfg := sim.Config{
+			Network:  nw,
+			Protocol: sim.Protocol{Mode: model.Groupput, Variant: econcast.Capture, Sigma: 0.5},
+			Duration: duration, Warmup: warmup, Seed: opts.Seed + uint64(loss*100),
+			WarmEta: ref.Eta,
+		}
+		if loss > 0 {
+			p := loss
+			cfg.EstimateListeners = func(actual int, src *rng.Source) int {
+				count := 0
+				for k := 0; k < actual; k++ {
+					if !src.Bernoulli(p) {
+						count++
+					}
+				}
+				return count
+			}
+		}
+		m, err := sim.Run(cfg)
+		if err != nil {
+			return nil, err
+		}
+		noise.Rows = append(noise.Rows, []string{
+			fmt.Sprintf("%.0f%%", 100*loss), f4(m.Groupput), f3(m.Groupput / ref.Throughput),
+		})
+	}
+
+	// 2. delta/tau tradeoff via Algorithm 1: large steps adapt fast but
+	// oscillate; small steps converge slowly (§V-F).
+	dt := &Table{
+		Name: "Ablation: Algorithm 1 step size (delta) vs convergence (§V-F)",
+		Head: []string{"schedule", "iters", "final violation", "throughput err"},
+	}
+	for _, c := range []struct {
+		name  string
+		delta func(int) float64
+	}{
+		{"constant 0.05", statespace.ConstantDelta(0.05)},
+		{"constant 0.5", statespace.ConstantDelta(0.5)},
+		{"constant 5", statespace.ConstantDelta(5)},
+		{"harmonic 2/k", statespace.HarmonicDelta(2)},
+	} {
+		res, trace, err := statespace.SolveAlgorithm1(nw, 0.5, model.Groupput, c.delta, algIters)
+		if err != nil {
+			return nil, err
+		}
+		last := trace.Violation[len(trace.Violation)-1]
+		dt.Rows = append(dt.Rows, []string{
+			c.name, fmt.Sprintf("%d", algIters), f4(last),
+			f3((res.Throughput - ref.Throughput) / ref.Throughput),
+		})
+	}
+
+	// 3. Capture vs non-capture: same stationary throughput, very
+	// different burstiness.
+	cvn := &Table{
+		Name: "Ablation: EconCast-C vs EconCast-NC (sigma=0.5, frozen eta*)",
+		Head: []string{"variant", "groupput", "hold length", "mean latency (s)"},
+	}
+	for _, v := range []econcast.Variant{econcast.Capture, econcast.NonCapture} {
+		m, err := sim.Run(sim.Config{
+			Network:  nw,
+			Protocol: sim.Protocol{Mode: model.Groupput, Variant: v, Sigma: 0.5},
+			Duration: duration, Warmup: warmup, Seed: opts.Seed + 7,
+			WarmEta: ref.Eta, FreezeEta: true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		lat := 0.0
+		if m.Latency.N() > 0 {
+			lat = m.Latency.Mean()
+		}
+		cvn.Rows = append(cvn.Rows, []string{
+			v.String(), f4(m.Groupput), f3(m.BurstLengths.Mean()), f3(lat),
+		})
+	}
+
+	// 4. Storage size under a hard battery floor at sigma=0.25: small
+	// stores truncate bursts (and throughput); larger stores approach the
+	// idealized virtual battery.
+	refQ, err := statespace.SolveP4(nw, 0.25, model.Groupput, nil)
+	if err != nil {
+		return nil, err
+	}
+	store := &Table{
+		Name:  "Ablation: energy storage size with a hard floor (sigma=0.25, cold start)",
+		Notes: fmt.Sprintf("analytic T^0.25 = %s; bursts need storage (§VII-D)", f4(refQ.Throughput)),
+		Head:  []string{"initial store", "groupput", "vs analytic"},
+	}
+	for _, floor := range []float64{0.2e-3, 1e-3, 5e-3, 20e-3} {
+		m, err := sim.Run(sim.Config{
+			Network:  nw,
+			Protocol: sim.Protocol{Mode: model.Groupput, Variant: econcast.Capture, Sigma: 0.25, Delta: 0.1},
+			Duration: duration, Warmup: warmup, Seed: opts.Seed + 11,
+			HardBatteryFloor: true, InitialBattery: floor,
+		})
+		if err != nil {
+			return nil, err
+		}
+		store.Rows = append(store.Rows, []string{
+			fmt.Sprintf("%.1f mJ", floor*1e3), f4(m.Groupput), f3(m.Groupput / refQ.Throughput),
+		})
+	}
+
+	return []*Table{noise, dt, cvn, store}, nil
+}

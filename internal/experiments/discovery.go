@@ -1,0 +1,146 @@
+package experiments
+
+import (
+	"fmt"
+
+	"econcast/internal/apps"
+	"econcast/internal/baselines"
+	"econcast/internal/econcast"
+	"econcast/internal/model"
+	"econcast/internal/sim"
+	"econcast/internal/statespace"
+	"econcast/internal/stats"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "discovery",
+		Title: "Extension: neighbor-discovery and gossip-spread times over EconCast",
+		Run:   runDiscovery,
+	})
+}
+
+// runDiscovery evaluates the paper's two motivating applications end to
+// end: pairwise neighbor discovery (comparable to Searchlight's
+// worst-case metric) and store-and-forward rumor dissemination.
+func runDiscovery(opts Options) ([]*Table, error) {
+	node := model.Node{
+		Budget:        10 * model.MicroWatt,
+		ListenPower:   500 * model.MicroWatt,
+		TransmitPower: 500 * model.MicroWatt,
+	}
+	reps := 10
+	duration := 6000.0
+	if opts.Quick {
+		reps = 3
+		duration = 3000
+	}
+	wcl, err := baselines.SearchlightWorstCaseLatency(node, baselines.SearchlightConfig{})
+	if err != nil {
+		return nil, err
+	}
+
+	disc := &Table{
+		Name: "Neighbor discovery: time until all ordered pairs have met (seconds)",
+		Notes: fmt.Sprintf("EconCast groupput mode, warm-started; Searchlight pairwise worst case: %.0f s; "+
+			"%d runs per row", wcl, reps),
+		Head: []string{"N", "sigma", "mean pairwise", "full discovery (mean)", "full (max)", "complete runs"},
+	}
+	goss := &Table{
+		Name: "Gossip: rumor spread from one node (seconds)",
+		Head: []string{"N", "sigma", "mode", "half coverage", "full coverage", "complete runs"},
+	}
+
+	for _, n := range []int{5, 10} {
+		for _, sigma := range []float64{0.5, 0.25} {
+			nw := model.Homogeneous(n, node.Budget, node.ListenPower, node.TransmitPower)
+			ref, err := statespace.SolveP4(nw, sigma, model.Groupput, nil)
+			if err != nil {
+				return nil, err
+			}
+			var pairMean, fullMean stats.Accumulator
+			fullMax := 0.0
+			complete := 0
+			for rep := 0; rep < reps; rep++ {
+				const start = 200.0
+				d := apps.NewDiscovery(n, start)
+				_, err := sim.Run(sim.Config{
+					Network:   nw,
+					Protocol:  sim.Protocol{Mode: model.Groupput, Variant: econcast.Capture, Sigma: sigma, Delta: 0.1},
+					Duration:  duration,
+					Warmup:    start,
+					Seed:      opts.Seed + uint64(rep) + uint64(n)*50 + uint64(sigma*1000),
+					WarmEta:   ref.Eta,
+					OnDeliver: d.OnDeliver,
+				})
+				if err != nil {
+					return nil, err
+				}
+				if m, err := d.MeanPairwise(); err == nil {
+					pairMean.Add(m)
+				}
+				if full, ok := d.FullDiscoveryTime(); ok {
+					complete++
+					fullMean.Add(full)
+					if full > fullMax {
+						fullMax = full
+					}
+				}
+			}
+			disc.Rows = append(disc.Rows, []string{
+				fmt.Sprintf("%d", n), fmt.Sprintf("%.2f", sigma),
+				f3(pairMean.Mean()), f3(fullMean.Mean()), f3(fullMax),
+				fmt.Sprintf("%d/%d", complete, reps),
+			})
+
+			// Gossip spread in both modes.
+			for _, mode := range []model.Mode{model.Anyput, model.Groupput} {
+				refM, err := statespace.SolveP4(nw, sigma, mode, nil)
+				if err != nil {
+					return nil, err
+				}
+				var half, full stats.Accumulator
+				completeG := 0
+				for rep := 0; rep < reps; rep++ {
+					const start = 200.0
+					g := apps.NewGossip(n)
+					rumor, injected := 0, false
+					_, err := sim.Run(sim.Config{
+						Network:  nw,
+						Protocol: sim.Protocol{Mode: mode, Variant: econcast.Capture, Sigma: sigma, Delta: 0.1},
+						Duration: duration,
+						Warmup:   start,
+						Seed:     opts.Seed + 1000 + uint64(rep) + uint64(n)*50 + uint64(sigma*1000),
+						WarmEta:  refM.Eta,
+						OnDeliver: func(tx, rx int, now float64) {
+							if !injected && now >= start {
+								rumor, _ = g.Inject(0, now)
+								injected = true
+							}
+							g.OnDeliver(tx, rx, now)
+						},
+					})
+					if err != nil {
+						return nil, err
+					}
+					if !injected {
+						continue
+					}
+					if h, ok := g.HalfSpreadTime(rumor); ok {
+						half.Add(h)
+					}
+					if f, ok := g.SpreadTime(rumor); ok {
+						completeG++
+						full.Add(f)
+					}
+				}
+				goss.Rows = append(goss.Rows, []string{
+					fmt.Sprintf("%d", n), fmt.Sprintf("%.2f", sigma), mode.String(),
+					f3(half.Mean()), f3(full.Mean()),
+					fmt.Sprintf("%d/%d", completeG, reps),
+				})
+			}
+		}
+	}
+	return []*Table{disc, goss}, nil
+}

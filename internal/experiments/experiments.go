@@ -1,0 +1,132 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§IV, §VII, §VIII): each experiment is a named runner that
+// produces the same rows or series the paper reports, computed from this
+// repository's oracle solvers, state-space analysis, simulators, baselines,
+// and testbed emulator. EXPERIMENTS.md records paper-vs-measured values.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"econcast/internal/viz"
+)
+
+// Options tunes a run. Quick mode shrinks sample counts and simulation
+// horizons so the whole suite finishes in seconds (used by tests and
+// benchmarks); full mode reproduces publication-quality estimates.
+type Options struct {
+	Quick bool
+	Seed  uint64
+}
+
+// Table is a printable result: a header row plus data rows. Tables that
+// correspond to one of the paper's figures also carry a Chart, rendered to
+// SVG by cmd/experiments -svg.
+type Table struct {
+	Name  string
+	Notes string
+	Head  []string
+	Rows  [][]string
+	Chart *viz.Chart
+}
+
+// Format renders the table as aligned text.
+func (t *Table) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", t.Name)
+	if t.Notes != "" {
+		fmt.Fprintf(&b, "%s\n", t.Notes)
+	}
+	widths := make([]int, len(t.Head))
+	for i, h := range t.Head {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Head)
+	for _, r := range t.Rows {
+		line(r)
+	}
+	return b.String()
+}
+
+// Experiment regenerates one paper artifact.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(Options) ([]*Table, error)
+}
+
+var registry = map[string]Experiment{}
+
+func register(e Experiment) {
+	if _, dup := registry[e.ID]; dup {
+		panic("experiments: duplicate id " + e.ID)
+	}
+	registry[e.ID] = e
+}
+
+// Lookup returns the experiment with the given ID.
+func Lookup(id string) (Experiment, bool) {
+	e, ok := registry[id]
+	return e, ok
+}
+
+// All returns every registered experiment sorted by ID.
+func All() []Experiment {
+	out := make([]Experiment, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+func f3(v float64) string { return fmt.Sprintf("%.3f", v) }
+func f4(v float64) string { return fmt.Sprintf("%.4f", v) }
+func pct(v float64) string {
+	return fmt.Sprintf("%.1f%%", 100*v)
+}
+func sci(v float64) string { return fmt.Sprintf("%.3g", v) }
+
+// CSV renders the table as comma-separated values (header first). Cells
+// containing commas or quotes are quoted.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				b.WriteByte('"')
+				b.WriteString(strings.ReplaceAll(c, "\"", "\"\""))
+				b.WriteByte('"')
+			} else {
+				b.WriteString(c)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Head)
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	return b.String()
+}

@@ -1,0 +1,138 @@
+package experiments
+
+import (
+	"fmt"
+
+	"econcast/internal/baselines"
+	"econcast/internal/model"
+	"econcast/internal/oracle"
+	"econcast/internal/statespace"
+	"econcast/internal/viz"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "fig3",
+		Title: "Fig. 3: throughput ratio vs X/L with Panda/Birthday/Searchlight (N=5, rho=10uW, L+X=1mW)",
+		Run:   runFig3,
+	})
+}
+
+// fig3Ratios are the X/L values of the paper's x-axis.
+var fig3Ratios = []struct {
+	label  string
+	xOverL float64
+}{
+	{"1/9", 1.0 / 9}, {"1/4", 0.25}, {"3/7", 3.0 / 7}, {"2/3", 2.0 / 3},
+	{"1", 1}, {"3/2", 1.5}, {"7/3", 7.0 / 3}, {"4", 4}, {"9", 9},
+}
+
+func runFig3(opts Options) ([]*Table, error) {
+	const (
+		n     = 5
+		rho   = 10 * model.MicroWatt
+		total = model.MilliWatt // L + X
+		theta = 1e-3
+	)
+	sigmas := []float64{0.1, 0.25, 0.5}
+
+	tg := &Table{
+		Name: "Fig. 3(a): groupput ratio T^sigma_g/T*_g vs X/L, with prior art",
+		Head: []string{"X/L", "sigma=0.1", "sigma=0.25", "sigma=0.5",
+			"Panda", "Birthday", "Searchlight"},
+	}
+	ta := &Table{
+		Name: "Fig. 3(b): anyput ratio T^sigma_a/T*_a vs X/L",
+		Head: []string{"X/L", "sigma=0.1", "sigma=0.25", "sigma=0.5"},
+	}
+	const chartFloor = 1e-4 // log-axis display floor; full values in the table
+	gNames := []string{"sigma=0.10", "sigma=0.25", "sigma=0.50", "Panda", "Birthday", "Searchlight"}
+	cg := &viz.Chart{
+		Title:    "Fig. 3(a): groupput ratio vs X/L",
+		Subtitle: "N=5, rho=10uW, L+X=1mW; points below 1e-4 omitted (see table)",
+		XLabel:   "X/L", YLabel: "T^sigma_g / T*_g",
+		XLog: true, YLog: true,
+	}
+	for _, n := range gNames {
+		cg.Series = append(cg.Series, viz.Series{Name: n})
+	}
+	ca := &viz.Chart{
+		Title:    "Fig. 3(b): anyput ratio vs X/L",
+		Subtitle: "N=5, rho=10uW, L+X=1mW; points below 1e-4 omitted (see table)",
+		XLabel:   "X/L", YLabel: "T^sigma_a / T*_a",
+		XLog: true, YLog: true,
+	}
+	for _, n := range gNames[:3] {
+		ca.Series = append(ca.Series, viz.Series{Name: n})
+	}
+	addPoint := func(c *viz.Chart, si int, x, y float64) {
+		if y >= chartFloor {
+			c.Series[si].X = append(c.Series[si].X, x)
+			c.Series[si].Y = append(c.Series[si].Y, y)
+		}
+	}
+
+	for _, r := range fig3Ratios {
+		l := total / (1 + r.xOverL)
+		x := total - l
+		node := model.Node{Budget: rho, ListenPower: l, TransmitPower: x}
+		nw := model.Homogeneous(n, rho, l, x)
+
+		og, err := oracle.Groupput(nw)
+		if err != nil {
+			return nil, err
+		}
+		oa, err := oracle.Anyput(nw)
+		if err != nil {
+			return nil, err
+		}
+
+		rowG := []string{r.label}
+		rowA := []string{r.label}
+		for si, sigma := range sigmas {
+			pg, err := statespace.SolveP4(nw, sigma, model.Groupput, nil)
+			if err != nil {
+				return nil, err
+			}
+			pa, err := statespace.SolveP4(nw, sigma, model.Anyput, nil)
+			if err != nil {
+				return nil, err
+			}
+			rowG = append(rowG, f3(pg.Throughput/og.Throughput))
+			rowA = append(rowA, f3(pa.Throughput/oa.Throughput))
+			addPoint(cg, si, r.xOverL, pg.Throughput/og.Throughput)
+			addPoint(ca, si, r.xOverL, pa.Throughput/oa.Throughput)
+		}
+
+		panda, err := baselines.PandaOptimize(n, node, theta, model.Groupput)
+		if err != nil {
+			return nil, err
+		}
+		bday, err := baselines.BirthdayOptimize(n, node, model.Groupput)
+		if err != nil {
+			return nil, err
+		}
+		sl, err := baselines.SearchlightThroughputUpperBound(n, node, baselines.SearchlightConfig{})
+		if err != nil {
+			return nil, err
+		}
+		rowG = append(rowG,
+			f3(panda.Groupput/og.Throughput),
+			f3(bday.Groupput/og.Throughput),
+			f3(sl/og.Throughput))
+		addPoint(cg, 3, r.xOverL, panda.Groupput/og.Throughput)
+		addPoint(cg, 4, r.xOverL, bday.Groupput/og.Throughput)
+		addPoint(cg, 5, r.xOverL, sl/og.Throughput)
+		tg.Rows = append(tg.Rows, rowG)
+		ta.Rows = append(ta.Rows, rowA)
+	}
+	tg.Chart = cg
+	ta.Chart = ca
+	tg.Notes = fmt.Sprintf("oracle at X/L=1: T*_g=%s; shape target: EconCast >> baselines near X~L, ratios rise as sigma falls",
+		func() string {
+			nw := model.Homogeneous(n, rho, 0.5*total, 0.5*total)
+			og, _ := oracle.Groupput(nw)
+			return f4(og.Throughput)
+		}())
+	return []*Table{tg, ta}, nil
+}

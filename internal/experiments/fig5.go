@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"fmt"
+
+	"econcast/internal/baselines"
+	"econcast/internal/econcast"
+	"econcast/internal/model"
+	"econcast/internal/sim"
+	"econcast/internal/statespace"
+	"econcast/internal/viz"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "fig5",
+		Title: "Fig. 5: latency CDF / mean / 99th percentile; Searchlight worst case",
+		Run:   runFig5,
+	})
+}
+
+// cdfAt are the time points at which the latency CDF is tabulated.
+var cdfAt = []float64{5, 25, 50, 75, 100, 125}
+
+func runFig5(opts Options) ([]*Table, error) {
+	node := model.Node{
+		Budget:        10 * model.MicroWatt,
+		ListenPower:   500 * model.MicroWatt,
+		TransmitPower: 500 * model.MicroWatt,
+	}
+	duration, warmup := 40000.0, 2000.0
+	if opts.Quick {
+		duration, warmup = 5000, 500
+	}
+
+	mk := func(mode model.Mode) (*Table, error) {
+		t := &Table{
+			Name: fmt.Sprintf("Fig. 5(%s): %s latency (seconds)",
+				map[model.Mode]string{model.Groupput: "a", model.Anyput: "b"}[mode], mode),
+			Head: []string{"N", "sigma", "mean", "p99", "samples",
+				"CDF@5s", "@25s", "@50s", "@75s", "@100s", "@125s"},
+		}
+		chart := &viz.Chart{
+			Title:    t.Name,
+			Subtitle: "rho=10uW, L=X=500uW; CDF of inter-burst latency",
+			XLabel:   "latency (s)", YLabel: "CDF",
+		}
+		for _, n := range []int{5, 10} {
+			for _, sigma := range []float64{0.25, 0.5} {
+				nw := model.Homogeneous(n, node.Budget, node.ListenPower, node.TransmitPower)
+				ref, err := statespace.SolveP4(nw, sigma, mode, nil)
+				if err != nil {
+					return nil, err
+				}
+				m, err := sim.Run(sim.Config{
+					Network:  nw,
+					Protocol: sim.Protocol{Mode: mode, Variant: econcast.Capture, Sigma: sigma, Delta: 0.1},
+					Duration: duration,
+					Warmup:   warmup,
+					Seed:     opts.Seed + uint64(n)*10 + uint64(sigma*100),
+					WarmEta:  ref.Eta,
+				})
+				if err != nil {
+					return nil, err
+				}
+				mean, p99 := 0.0, 0.0
+				if m.Latency.N() > 0 {
+					mean = m.Latency.Mean()
+					p99 = m.Latency.Quantile(0.99)
+				}
+				row := []string{
+					fmt.Sprintf("%d", n), fmt.Sprintf("%.2f", sigma),
+					f3(mean), f3(p99), fmt.Sprintf("%d", m.Latency.N()),
+				}
+				// CDF series (the actual content of the paper's figure).
+				series := viz.Series{Name: fmt.Sprintf("N=%d sigma=%.2f", n, sigma)}
+				for _, at := range cdfAt {
+					v := m.Latency.At(at)
+					row = append(row, f3(v))
+					series.X = append(series.X, at)
+					series.Y = append(series.Y, v)
+				}
+				chart.Series = append(chart.Series, series)
+				t.Rows = append(t.Rows, row)
+			}
+		}
+		t.Chart = chart
+		return t, nil
+	}
+
+	tg, err := mk(model.Groupput)
+	if err != nil {
+		return nil, err
+	}
+	wcl, err := baselines.SearchlightWorstCaseLatency(node, baselines.SearchlightConfig{})
+	if err != nil {
+		return nil, err
+	}
+	tg.Notes = fmt.Sprintf("Searchlight pairwise worst-case latency: %.0f s (paper: 125 s)", wcl)
+	ta, err := mk(model.Anyput)
+	if err != nil {
+		return nil, err
+	}
+	return []*Table{tg, ta}, nil
+}

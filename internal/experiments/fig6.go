@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"fmt"
+
+	"econcast/internal/econcast"
+	"econcast/internal/model"
+	"econcast/internal/oracle"
+	"econcast/internal/sim"
+	"econcast/internal/topology"
+	"econcast/internal/viz"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "fig6",
+		Title: "Fig. 6: grid-topology oracle groupput and simulated EconCast groupput",
+		Run:   runFig6,
+	})
+}
+
+func runFig6(opts Options) ([]*Table, error) {
+	sizes := []int{4, 9, 16, 25, 36, 49, 64, 81, 100}
+	sigmas := []float64{0.25, 0.5, 0.75}
+	duration, warmup := 20000.0, 3000.0
+	if opts.Quick {
+		sizes = []int{4, 9, 25}
+		duration, warmup = 3000, 500
+	}
+
+	t := &Table{
+		Name: "Fig. 6: grid topologies, rho=10uW, L=X=500uW",
+		Notes: "T*_nc from the §IV-C bounds (exact when lower == upper); " +
+			"simulated groupput uses the battery floor to survive cold start",
+		Head: []string{"N", "T*_nc lower", "T*_nc upper",
+			"sim sigma=0.25", "sim sigma=0.5", "sim sigma=0.75", "ratio@0.25"},
+	}
+	chart := &viz.Chart{
+		Title:    "Fig. 6: grid-topology groupput",
+		Subtitle: "rho=10uW, L=X=500uW; oracle T*_nc and simulated EconCast",
+		XLabel:   "number of nodes N", YLabel: "groupput",
+		YLog: true,
+	}
+	chart.Series = append(chart.Series,
+		viz.Series{Name: "T*_nc"},
+		viz.Series{Name: "sim sigma=0.25"},
+		viz.Series{Name: "sim sigma=0.50"},
+		viz.Series{Name: "sim sigma=0.75"},
+	)
+	for _, n := range sizes {
+		nw := model.Homogeneous(n, 10*model.MicroWatt, 500*model.MicroWatt, 500*model.MicroWatt)
+		topo := topology.SquareGrid(n)
+		lower, upper, err := oracle.GroupputNonCliqueBounds(nw, topo)
+		if err != nil {
+			return nil, err
+		}
+		row := []string{fmt.Sprintf("%d", n), f4(lower.Throughput), f4(upper.Throughput)}
+		chart.Series[0].X = append(chart.Series[0].X, float64(n))
+		chart.Series[0].Y = append(chart.Series[0].Y, lower.Throughput)
+		var first float64
+		for si, sigma := range sigmas {
+			m, err := sim.Run(sim.Config{
+				Network:          nw,
+				Topology:         topo,
+				Protocol:         sim.Protocol{Mode: model.Groupput, Variant: econcast.Capture, Sigma: sigma, Delta: 0.1},
+				Duration:         duration,
+				Warmup:           warmup,
+				Seed:             opts.Seed + uint64(n),
+				HardBatteryFloor: true,
+				InitialBattery:   2e-3,
+			})
+			if err != nil {
+				return nil, err
+			}
+			if sigma == sigmas[0] {
+				first = m.Groupput
+			}
+			row = append(row, f4(m.Groupput))
+			if m.Groupput > 0 {
+				chart.Series[1+si].X = append(chart.Series[1+si].X, float64(n))
+				chart.Series[1+si].Y = append(chart.Series[1+si].Y, m.Groupput)
+			}
+		}
+		row = append(row, f3(first/lower.Throughput))
+		t.Rows = append(t.Rows, row)
+	}
+	t.Chart = chart
+	return []*Table{t}, nil
+}

@@ -1,0 +1,78 @@
+package lp
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzSolve checks that the simplex never panics, always returns a valid
+// status, and that any reported optimum is actually feasible, on LPs
+// decoded from arbitrary bytes.
+func FuzzSolve(f *testing.F) {
+	f.Add([]byte{2, 1, 10, 20, 1, 1, 50, 0})
+	f.Add([]byte{1, 3, 200, 5, 5, 5, 1, 2, 3, 4, 5, 6})
+	f.Add([]byte{3, 2, 0, 0, 0, 255, 255, 128, 7, 9})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 4 {
+			return
+		}
+		n := int(data[0]%4) + 1
+		m := int(data[1]%4) + 1
+		rest := data[2:]
+		at := 0
+		next := func() float64 {
+			if at >= len(rest) {
+				return 1
+			}
+			v := float64(int(rest[at]) - 128)
+			at++
+			return v / 16
+		}
+		p := NewProblem(Maximize, n)
+		for j := 0; j < n; j++ {
+			p.C[j] = next()
+		}
+		for i := 0; i < m; i++ {
+			row := make([]float64, n)
+			for j := range row {
+				row[j] = next()
+			}
+			rhs := next()
+			switch i % 3 {
+			case 0:
+				p.AddLE(row, rhs)
+			case 1:
+				p.AddGE(row, rhs)
+			default:
+				p.AddEQ(row, rhs)
+			}
+		}
+		// Box the variables so every instance is bounded.
+		for j := 0; j < n; j++ {
+			row := make([]float64, n)
+			row[j] = 1
+			p.AddLE(row, 100)
+		}
+		res, err := Solve(p)
+		if err != nil {
+			return // iteration-limit failures are allowed, panics are not
+		}
+		switch res.Status {
+		case Optimal:
+			if len(res.X) != n {
+				t.Fatalf("solution length %d", len(res.X))
+			}
+			for _, v := range res.X {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Fatalf("non-finite solution %v", res.X)
+				}
+			}
+			if !feasible(p, res.X, 1e-5) {
+				t.Fatalf("infeasible optimum %v", res.X)
+			}
+		case Infeasible, Unbounded:
+		default:
+			t.Fatalf("invalid status %v", res.Status)
+		}
+	})
+}

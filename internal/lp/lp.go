@@ -1,0 +1,414 @@
+// Package lp implements a dense two-phase primal simplex solver for linear
+// programs over non-negative variables. It is the substrate for every
+// oracle-throughput computation in this repository: problems (P2) and (P3)
+// of the paper and their non-clique variants all reduce to small dense LPs.
+//
+// The solver handles <=, >= and = constraints, maximization and
+// minimization, and reports infeasibility and unboundedness. Pivoting uses
+// Dantzig's rule with a Bland's-rule fallback after an iteration threshold,
+// which guarantees termination on degenerate problems.
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Sense selects the optimization direction of a Problem.
+type Sense int
+
+// Optimization directions.
+const (
+	Maximize Sense = iota
+	Minimize
+)
+
+// Rel is the relation of one constraint row.
+type Rel int
+
+// Constraint relations.
+const (
+	LE Rel = iota // <=
+	GE            // >=
+	EQ            // =
+)
+
+func (r Rel) String() string {
+	switch r {
+	case LE:
+		return "<="
+	case GE:
+		return ">="
+	case EQ:
+		return "="
+	}
+	return "?"
+}
+
+// Status reports the outcome of a solve.
+type Status int
+
+// Solve outcomes.
+const (
+	Optimal Status = iota
+	Infeasible
+	Unbounded
+)
+
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	}
+	return "unknown"
+}
+
+// Problem is a linear program over variables x >= 0:
+//
+//	max (or min)  C . x
+//	subject to    A[i] . x  Rel[i]  B[i]   for every row i
+//
+// Rows are added with AddLE, AddGE and AddEQ. The zero value with a set C is
+// an unconstrained problem.
+type Problem struct {
+	Sense Sense
+	C     []float64
+	A     [][]float64
+	Rel   []Rel
+	B     []float64
+}
+
+// NewProblem returns a problem with n variables and the given sense. The
+// objective starts at zero; set coefficients through C.
+func NewProblem(sense Sense, n int) *Problem {
+	return &Problem{Sense: sense, C: make([]float64, n)}
+}
+
+// NumVars returns the number of structural variables.
+func (p *Problem) NumVars() int { return len(p.C) }
+
+// NumRows returns the number of constraint rows.
+func (p *Problem) NumRows() int { return len(p.A) }
+
+func (p *Problem) addRow(row []float64, rel Rel, rhs float64) {
+	if len(row) != len(p.C) {
+		panic(fmt.Sprintf("lp: row has %d coefficients, problem has %d variables",
+			len(row), len(p.C)))
+	}
+	r := append([]float64(nil), row...)
+	p.A = append(p.A, r)
+	p.Rel = append(p.Rel, rel)
+	p.B = append(p.B, rhs)
+}
+
+// AddLE appends the constraint row . x <= rhs. The row is copied.
+func (p *Problem) AddLE(row []float64, rhs float64) { p.addRow(row, LE, rhs) }
+
+// AddGE appends the constraint row . x >= rhs. The row is copied.
+func (p *Problem) AddGE(row []float64, rhs float64) { p.addRow(row, GE, rhs) }
+
+// AddEQ appends the constraint row . x = rhs. The row is copied.
+func (p *Problem) AddEQ(row []float64, rhs float64) { p.addRow(row, EQ, rhs) }
+
+// Result holds the outcome of Solve. X and Objective are meaningful only
+// when Status == Optimal.
+type Result struct {
+	Status    Status
+	X         []float64
+	Objective float64
+}
+
+const (
+	pivotTol   = 1e-9 // smallest pivot magnitude considered nonzero
+	reducedTol = 1e-9 // reduced-cost optimality tolerance
+	feasTol    = 1e-7 // phase-1 residual considered feasible
+	blandAfter = 2000 // iterations of Dantzig before switching to Bland
+)
+
+// ErrIterationLimit is returned when the simplex fails to terminate within
+// its iteration budget, which indicates a numerical pathology.
+var ErrIterationLimit = errors.New("lp: simplex iteration limit exceeded")
+
+// tableau is the dense simplex tableau: m constraint rows plus an objective
+// row, over ncols structural+slack+artificial columns.
+type tableau struct {
+	m, ncols int
+	rows     [][]float64 // m rows, each ncols wide
+	rhs      []float64   // length m, kept >= 0
+	obj      []float64   // reduced costs, length ncols
+	objRHS   float64     // negated objective value accumulator
+	basis    []int       // basic column of each row
+	artBegin int         // first artificial column index
+}
+
+// Solve optimizes the problem and returns the result. The returned error is
+// non-nil only for numerical failure (iteration limit); infeasible and
+// unbounded problems are reported through Result.Status.
+func Solve(p *Problem) (*Result, error) {
+	n := p.NumVars()
+	m := p.NumRows()
+
+	// Count slack and artificial columns. Rows with negative rhs are
+	// normalized by negation (flipping the relation) so rhs >= 0.
+	type rowKind struct {
+		rel Rel
+		neg bool
+	}
+	kinds := make([]rowKind, m)
+	nSlack := 0
+	nArt := 0
+	for i := 0; i < m; i++ {
+		rel := p.Rel[i]
+		neg := p.B[i] < 0
+		if neg {
+			switch rel {
+			case LE:
+				rel = GE
+			case GE:
+				rel = LE
+			}
+		}
+		kinds[i] = rowKind{rel, neg}
+		switch rel {
+		case LE:
+			nSlack++
+		case GE:
+			nSlack++ // surplus
+			nArt++
+		case EQ:
+			nArt++
+		}
+	}
+
+	t := &tableau{
+		m:        m,
+		ncols:    n + nSlack + nArt,
+		rhs:      make([]float64, m),
+		obj:      make([]float64, n+nSlack+nArt),
+		basis:    make([]int, m),
+		artBegin: n + nSlack,
+	}
+	t.rows = make([][]float64, m)
+	flat := make([]float64, m*t.ncols)
+	for i := range t.rows {
+		t.rows[i], flat = flat[:t.ncols:t.ncols], flat[t.ncols:]
+	}
+
+	slackCol := n
+	artCol := t.artBegin
+	for i := 0; i < m; i++ {
+		sign := 1.0
+		if kinds[i].neg {
+			sign = -1
+		}
+		for j := 0; j < n; j++ {
+			t.rows[i][j] = sign * p.A[i][j]
+		}
+		t.rhs[i] = sign * p.B[i]
+		switch kinds[i].rel {
+		case LE:
+			t.rows[i][slackCol] = 1
+			t.basis[i] = slackCol
+			slackCol++
+		case GE:
+			t.rows[i][slackCol] = -1
+			slackCol++
+			t.rows[i][artCol] = 1
+			t.basis[i] = artCol
+			artCol++
+		case EQ:
+			t.rows[i][artCol] = 1
+			t.basis[i] = artCol
+			artCol++
+		}
+	}
+
+	// Phase 1: maximize -(sum of artificials). Price out the artificial
+	// basics so the objective row is consistent with the basis.
+	if nArt > 0 {
+		for j := t.artBegin; j < t.ncols; j++ {
+			t.obj[j] = -1
+		}
+		t.objRHS = 0
+		for i := 0; i < m; i++ {
+			if t.basis[i] >= t.artBegin {
+				// obj += row (cost of basic artificial is -1; subtracting
+				// cB*row with cB=-1 adds the row).
+				for j := 0; j < t.ncols; j++ {
+					t.obj[j] += t.rows[i][j]
+				}
+				t.objRHS += t.rhs[i]
+			}
+		}
+		status, err := t.iterate(t.ncols) // artificials may enter in phase 1
+		if err != nil {
+			return nil, err
+		}
+		if status == Unbounded {
+			// Phase 1 is bounded by construction; reaching here means a
+			// numerical failure.
+			return nil, errors.New("lp: phase 1 reported unbounded")
+		}
+		if t.objRHS > feasTol {
+			return &Result{Status: Infeasible}, nil
+		}
+		// Drive any artificial still in the basis out, or detect the row as
+		// redundant (all-zero) and leave it; its rhs is ~0.
+		for i := 0; i < m; i++ {
+			if t.basis[i] < t.artBegin {
+				continue
+			}
+			pivoted := false
+			for j := 0; j < t.artBegin; j++ {
+				if math.Abs(t.rows[i][j]) > pivotTol {
+					t.pivot(i, j)
+					pivoted = true
+					break
+				}
+			}
+			if !pivoted {
+				// Redundant row: zero it so it can never constrain phase 2.
+				for j := range t.rows[i] {
+					t.rows[i][j] = 0
+				}
+				t.rhs[i] = 0
+				t.rows[i][t.basis[i]] = 1 // keep the basic artificial at 0
+			}
+		}
+	}
+
+	// Phase 2: install the real objective (converted to maximization) and
+	// price out the basics.
+	sign := 1.0
+	if p.Sense == Minimize {
+		sign = -1
+	}
+	for j := range t.obj {
+		t.obj[j] = 0
+	}
+	for j := 0; j < n; j++ {
+		t.obj[j] = sign * p.C[j]
+	}
+	t.objRHS = 0
+	for i := 0; i < m; i++ {
+		b := t.basis[i]
+		if b < n && t.obj[b] != 0 {
+			c := t.obj[b]
+			for j := 0; j < t.ncols; j++ {
+				t.obj[j] -= c * t.rows[i][j]
+			}
+			t.objRHS -= c * t.rhs[i]
+		}
+	}
+	status, err := t.iterate(t.artBegin) // artificials must not re-enter
+	if err != nil {
+		return nil, err
+	}
+	if status == Unbounded {
+		return &Result{Status: Unbounded}, nil
+	}
+
+	x := make([]float64, n)
+	for i := 0; i < m; i++ {
+		if b := t.basis[i]; b < n {
+			x[b] = t.rhs[i]
+		}
+	}
+	objective := 0.0
+	for j := 0; j < n; j++ {
+		objective += p.C[j] * x[j]
+	}
+	return &Result{Status: Optimal, X: x, Objective: objective}, nil
+}
+
+// iterate runs simplex pivots until optimality or unboundedness, allowing
+// entering columns in [0, maxCol).
+func (t *tableau) iterate(maxCol int) (Status, error) {
+	limit := 200 * (t.m + t.ncols + 10)
+	for iter := 0; iter < limit; iter++ {
+		bland := iter >= blandAfter
+		enter := -1
+		best := reducedTol
+		for j := 0; j < maxCol; j++ {
+			if t.obj[j] > reducedTol {
+				if bland {
+					enter = j
+					break
+				}
+				if t.obj[j] > best {
+					best = t.obj[j]
+					enter = j
+				}
+			}
+		}
+		if enter < 0 {
+			return Optimal, nil
+		}
+		// Ratio test; Bland-compatible tie-break on smallest basis index.
+		leave := -1
+		bestRatio := math.Inf(1)
+		for i := 0; i < t.m; i++ {
+			a := t.rows[i][enter]
+			if a <= pivotTol {
+				continue
+			}
+			ratio := t.rhs[i] / a
+			if ratio < bestRatio-1e-12 ||
+				(ratio < bestRatio+1e-12 && (leave < 0 || t.basis[i] < t.basis[leave])) {
+				bestRatio = ratio
+				leave = i
+			}
+		}
+		if leave < 0 {
+			return Unbounded, nil
+		}
+		t.pivot(leave, enter)
+	}
+	return Optimal, ErrIterationLimit
+}
+
+// pivot performs a Gauss-Jordan pivot on (row, col), making col basic in row.
+func (t *tableau) pivot(row, col int) {
+	pr := t.rows[row]
+	pv := pr[col]
+	inv := 1 / pv
+	for j := range pr {
+		pr[j] *= inv
+	}
+	pr[col] = 1 // avoid drift
+	t.rhs[row] *= inv
+	if t.rhs[row] < 0 && t.rhs[row] > -1e-12 {
+		t.rhs[row] = 0
+	}
+	for i := 0; i < t.m; i++ {
+		if i == row {
+			continue
+		}
+		f := t.rows[i][col]
+		if f == 0 {
+			continue
+		}
+		ri := t.rows[i]
+		for j := range ri {
+			ri[j] -= f * pr[j]
+		}
+		ri[col] = 0
+		t.rhs[i] -= f * t.rhs[row]
+		if t.rhs[i] < 0 && t.rhs[i] > -1e-9 {
+			t.rhs[i] = 0
+		}
+	}
+	if f := t.obj[col]; f != 0 {
+		for j := range t.obj {
+			t.obj[j] -= f * pr[j]
+		}
+		t.obj[col] = 0
+		t.objRHS -= f * t.rhs[row]
+	}
+	t.basis[row] = col
+}

@@ -1,0 +1,464 @@
+package lp
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"econcast/internal/rng"
+)
+
+func solveOK(t *testing.T, p *Problem) *Result {
+	t.Helper()
+	res, err := Solve(p)
+	if err != nil {
+		t.Fatalf("Solve error: %v", err)
+	}
+	return res
+}
+
+func wantOptimal(t *testing.T, res *Result, obj float64, tol float64) {
+	t.Helper()
+	if res.Status != Optimal {
+		t.Fatalf("status = %v, want optimal", res.Status)
+	}
+	if math.Abs(res.Objective-obj) > tol {
+		t.Fatalf("objective = %v, want %v (x=%v)", res.Objective, obj, res.X)
+	}
+}
+
+func TestSimpleMaximize(t *testing.T) {
+	// max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18  ->  36 at (2, 6).
+	p := NewProblem(Maximize, 2)
+	p.C = []float64{3, 5}
+	p.AddLE([]float64{1, 0}, 4)
+	p.AddLE([]float64{0, 2}, 12)
+	p.AddLE([]float64{3, 2}, 18)
+	res := solveOK(t, p)
+	wantOptimal(t, res, 36, 1e-9)
+	if math.Abs(res.X[0]-2) > 1e-9 || math.Abs(res.X[1]-6) > 1e-9 {
+		t.Fatalf("x = %v, want (2, 6)", res.X)
+	}
+}
+
+func TestSimpleMinimizeWithGE(t *testing.T) {
+	// min 2x + 3y s.t. x + y >= 10, x >= 2  ->  21 at (2, 8)? No:
+	// cost of x is cheaper, so x=10, y=0 except x>=2 non-binding: 20 at (10,0).
+	p := NewProblem(Minimize, 2)
+	p.C = []float64{2, 3}
+	p.AddGE([]float64{1, 1}, 10)
+	p.AddGE([]float64{1, 0}, 2)
+	res := solveOK(t, p)
+	wantOptimal(t, res, 20, 1e-9)
+}
+
+func TestEquality(t *testing.T) {
+	// max x + 2y s.t. x + y = 5, x <= 3 -> y=5-x, obj = 10 - x -> x=0, obj 10.
+	p := NewProblem(Maximize, 2)
+	p.C = []float64{1, 2}
+	p.AddEQ([]float64{1, 1}, 5)
+	p.AddLE([]float64{1, 0}, 3)
+	res := solveOK(t, p)
+	wantOptimal(t, res, 10, 1e-9)
+}
+
+func TestInfeasible(t *testing.T) {
+	p := NewProblem(Maximize, 1)
+	p.C = []float64{1}
+	p.AddLE([]float64{1}, 1)
+	p.AddGE([]float64{1}, 2)
+	res := solveOK(t, p)
+	if res.Status != Infeasible {
+		t.Fatalf("status = %v, want infeasible", res.Status)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	p := NewProblem(Maximize, 2)
+	p.C = []float64{1, 1}
+	p.AddGE([]float64{1, 0}, 1)
+	res := solveOK(t, p)
+	if res.Status != Unbounded {
+		t.Fatalf("status = %v, want unbounded", res.Status)
+	}
+}
+
+func TestMinimizeUnboundedBelow(t *testing.T) {
+	// Variables are non-negative, so min x with x >= 3 is bounded: 3.
+	p := NewProblem(Minimize, 1)
+	p.C = []float64{1}
+	p.AddGE([]float64{1}, 3)
+	res := solveOK(t, p)
+	wantOptimal(t, res, 3, 1e-9)
+}
+
+func TestNegativeRHS(t *testing.T) {
+	// -x <= -2 is x >= 2; max -x  ->  -2.
+	p := NewProblem(Maximize, 1)
+	p.C = []float64{-1}
+	p.AddLE([]float64{-1}, -2)
+	res := solveOK(t, p)
+	wantOptimal(t, res, -2, 1e-9)
+}
+
+func TestDegenerate(t *testing.T) {
+	// Classic degenerate LP; Bland fallback must terminate.
+	p := NewProblem(Maximize, 4)
+	p.C = []float64{0.75, -150, 0.02, -6}
+	p.AddLE([]float64{0.25, -60, -0.04, 9}, 0)
+	p.AddLE([]float64{0.5, -90, -0.02, 3}, 0)
+	p.AddLE([]float64{0, 0, 1, 0}, 1)
+	res := solveOK(t, p)
+	wantOptimal(t, res, 0.05, 1e-9)
+}
+
+func TestRedundantEquality(t *testing.T) {
+	// Duplicated equality rows leave an artificial basic at zero.
+	p := NewProblem(Maximize, 2)
+	p.C = []float64{1, 1}
+	p.AddEQ([]float64{1, 1}, 4)
+	p.AddEQ([]float64{2, 2}, 8) // redundant
+	p.AddLE([]float64{1, 0}, 3)
+	res := solveOK(t, p)
+	wantOptimal(t, res, 4, 1e-9)
+}
+
+func TestZeroObjective(t *testing.T) {
+	p := NewProblem(Maximize, 2)
+	p.AddLE([]float64{1, 1}, 1)
+	res := solveOK(t, p)
+	wantOptimal(t, res, 0, 1e-12)
+}
+
+func TestRowLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	p := NewProblem(Maximize, 2)
+	p.AddLE([]float64{1}, 1)
+}
+
+func TestRowIsCopied(t *testing.T) {
+	p := NewProblem(Maximize, 2)
+	row := []float64{1, 1}
+	p.AddLE(row, 2)
+	row[0] = 99
+	if p.A[0][0] != 1 {
+		t.Fatal("AddLE did not copy the row")
+	}
+}
+
+// feasible reports whether x satisfies all constraints of p within tol.
+func feasible(p *Problem, x []float64, tol float64) bool {
+	for _, v := range x {
+		if v < -tol {
+			return false
+		}
+	}
+	for i, row := range p.A {
+		dot := 0.0
+		for j, a := range row {
+			dot += a * x[j]
+		}
+		switch p.Rel[i] {
+		case LE:
+			if dot > p.B[i]+tol {
+				return false
+			}
+		case GE:
+			if dot < p.B[i]-tol {
+				return false
+			}
+		case EQ:
+			if math.Abs(dot-p.B[i]) > tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// bruteForce enumerates all basic solutions of the standard-form problem
+// (after adding slacks for LE rows only; test problems use only LE) and
+// returns the best feasible objective. Used to cross-check small instances.
+func bruteForceLE(p *Problem) (float64, bool) {
+	n := p.NumVars()
+	m := p.NumRows()
+	ncols := n + m
+	// Build equality system [A I] x = b.
+	a := make([][]float64, m)
+	for i := range a {
+		a[i] = make([]float64, ncols)
+		copy(a[i], p.A[i])
+		a[i][n+i] = 1
+	}
+	best := math.Inf(-1)
+	found := false
+	// Enumerate all column subsets of size m.
+	idx := make([]int, m)
+	var rec func(start, k int)
+	rec = func(start, k int) {
+		if k == m {
+			x, ok := solveSquare(a, p.B, idx)
+			if !ok {
+				return
+			}
+			full := make([]float64, ncols)
+			neg := false
+			for t, j := range idx {
+				if x[t] < -1e-9 {
+					neg = true
+					break
+				}
+				full[j] = x[t]
+			}
+			if neg {
+				return
+			}
+			obj := 0.0
+			for j := 0; j < n; j++ {
+				obj += p.C[j] * full[j]
+			}
+			if !found || obj > best {
+				best = obj
+				found = true
+			}
+			return
+		}
+		for j := start; j < ncols; j++ {
+			idx[k] = j
+			rec(j+1, k+1)
+		}
+	}
+	rec(0, 0)
+	return best, found
+}
+
+// solveSquare solves the m x m system formed by the selected columns.
+func solveSquare(a [][]float64, b []float64, cols []int) ([]float64, bool) {
+	m := len(b)
+	mat := make([][]float64, m)
+	for i := range mat {
+		mat[i] = make([]float64, m+1)
+		for t, j := range cols {
+			mat[i][t] = a[i][j]
+		}
+		mat[i][m] = b[i]
+	}
+	for c := 0; c < m; c++ {
+		piv := -1
+		bestAbs := 1e-9
+		for r := c; r < m; r++ {
+			if math.Abs(mat[r][c]) > bestAbs {
+				bestAbs = math.Abs(mat[r][c])
+				piv = r
+			}
+		}
+		if piv < 0 {
+			return nil, false
+		}
+		mat[c], mat[piv] = mat[piv], mat[c]
+		inv := 1 / mat[c][c]
+		for j := c; j <= m; j++ {
+			mat[c][j] *= inv
+		}
+		for r := 0; r < m; r++ {
+			if r == c || mat[r][c] == 0 {
+				continue
+			}
+			f := mat[r][c]
+			for j := c; j <= m; j++ {
+				mat[r][j] -= f * mat[c][j]
+			}
+		}
+	}
+	x := make([]float64, m)
+	for i := range x {
+		x[i] = mat[i][m]
+	}
+	return x, true
+}
+
+// Property test: on random small LE-form LPs with b >= 0 (always feasible at
+// the origin), the simplex objective matches brute-force enumeration of
+// basic solutions, and the returned point is feasible.
+func TestRandomAgainstBruteForce(t *testing.T) {
+	src := rng.New(99)
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + src.Intn(4)
+		m := 1 + src.Intn(4)
+		p := NewProblem(Maximize, n)
+		for j := 0; j < n; j++ {
+			p.C[j] = src.Uniform(-2, 3)
+		}
+		bounded := false
+		for i := 0; i < m; i++ {
+			row := make([]float64, n)
+			for j := 0; j < n; j++ {
+				row[j] = src.Uniform(-1, 2)
+			}
+			p.AddLE(row, src.Uniform(0, 5))
+		}
+		// Ensure boundedness by boxing every variable.
+		for j := 0; j < n; j++ {
+			row := make([]float64, n)
+			row[j] = 1
+			p.AddLE(row, 10)
+		}
+		bounded = true
+		_ = bounded
+
+		res, err := Solve(p)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if res.Status != Optimal {
+			t.Fatalf("trial %d: status %v for boxed feasible LP", trial, res.Status)
+		}
+		if !feasible(p, res.X, 1e-6) {
+			t.Fatalf("trial %d: infeasible solution %v", trial, res.X)
+		}
+		want, ok := bruteForceLE(p)
+		if !ok {
+			t.Fatalf("trial %d: brute force found no solution", trial)
+		}
+		if math.Abs(res.Objective-want) > 1e-6*math.Max(1, math.Abs(want)) {
+			t.Fatalf("trial %d: objective %v, brute force %v", trial,
+				res.Objective, want)
+		}
+	}
+}
+
+// Regression shape: the paper's homogeneous (P2) closed form.
+// max sum(alpha_i) s.t. alpha_i L + beta_i X <= rho, alpha_i + beta_i <= 1,
+// sum beta_i <= 1, alpha_i <= sum_{j != i} beta_j.
+func TestHomogeneousGroupputClosedForm(t *testing.T) {
+	const (
+		n   = 5
+		rho = 10e-6
+		l   = 500e-6
+		x   = 500e-6
+	)
+	p := NewProblem(Maximize, 2*n) // alpha_0..alpha_4, beta_0..beta_4
+	for i := 0; i < n; i++ {
+		p.C[i] = 1
+	}
+	for i := 0; i < n; i++ {
+		row := make([]float64, 2*n)
+		row[i] = l
+		row[n+i] = x
+		p.AddLE(row, rho)
+		row2 := make([]float64, 2*n)
+		row2[i] = 1
+		row2[n+i] = 1
+		p.AddLE(row2, 1)
+		row3 := make([]float64, 2*n)
+		row3[i] = 1
+		for j := 0; j < n; j++ {
+			if j != i {
+				row3[n+j] = -1
+			}
+		}
+		p.AddLE(row3, 0)
+	}
+	sumBeta := make([]float64, 2*n)
+	for j := 0; j < n; j++ {
+		sumBeta[n+j] = 1
+	}
+	p.AddLE(sumBeta, 1)
+
+	res := solveOK(t, p)
+	beta := rho / (x + float64(n-1)*l)
+	alpha := float64(n-1) * beta
+	want := float64(n) * alpha
+	wantOptimal(t, res, want, 1e-9)
+}
+
+func BenchmarkSolveP2Size100(b *testing.B) {
+	const n = 100
+	build := func() *Problem {
+		p := NewProblem(Maximize, 2*n)
+		for i := 0; i < n; i++ {
+			p.C[i] = 1
+		}
+		for i := 0; i < n; i++ {
+			row := make([]float64, 2*n)
+			row[i] = 0.05
+			row[n+i] = 0.05
+			p.AddLE(row, 0.001)
+			row3 := make([]float64, 2*n)
+			row3[i] = 1
+			for j := 0; j < n; j++ {
+				if j != i {
+					row3[n+j] = -1
+				}
+			}
+			p.AddLE(row3, 0)
+		}
+		sumBeta := make([]float64, 2*n)
+		for j := 0; j < n; j++ {
+			sumBeta[n+j] = 1
+		}
+		p.AddLE(sumBeta, 1)
+		return p
+	}
+	p := build()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Solve(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Property (testing/quick): no random feasible point of a random boxed LP
+// can beat the simplex optimum.
+func TestNoFeasiblePointBeatsOptimum(t *testing.T) {
+	src := rng.New(123)
+	f := func() bool {
+		n := 1 + src.Intn(3)
+		p := NewProblem(Maximize, n)
+		for j := 0; j < n; j++ {
+			p.C[j] = src.Uniform(-1, 2)
+		}
+		for i := 0; i < 1+src.Intn(3); i++ {
+			row := make([]float64, n)
+			for j := range row {
+				row[j] = src.Uniform(-1, 2)
+			}
+			p.AddLE(row, src.Uniform(0.5, 4))
+		}
+		for j := 0; j < n; j++ {
+			row := make([]float64, n)
+			row[j] = 1
+			p.AddLE(row, 5)
+		}
+		res, err := Solve(p)
+		if err != nil || res.Status != Optimal {
+			return false
+		}
+		// Rejection-sample feasible points and compare.
+		for trial := 0; trial < 200; trial++ {
+			x := make([]float64, n)
+			for j := range x {
+				x[j] = src.Uniform(0, 5)
+			}
+			if !feasible(p, x, 0) {
+				continue
+			}
+			obj := 0.0
+			for j := range x {
+				obj += p.C[j] * x[j]
+			}
+			if obj > res.Objective+1e-7 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(func() bool { return f() }, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,261 @@
+// Package model defines the paper's basic node and network model (§III):
+// heterogeneous nodes with a power budget rho and listen/transmit power
+// consumption levels L and X, three node states (sleep, listen, transmit),
+// collision-free network states, and the two broadcast-throughput measures
+// groupput and anyput.
+//
+// Units are SI throughout: Watts for power, Joules for energy, seconds for
+// time. Throughput is dimensionless: the fraction of time useful
+// (per-receiver, for groupput) packet delivery is in progress, so the
+// unconstrained maxima are N-1 for groupput and 1 for anyput.
+package model
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"econcast/internal/rng"
+)
+
+// Convenience power units.
+const (
+	Watt      = 1.0
+	MilliWatt = 1e-3
+	MicroWatt = 1e-6
+)
+
+// State is the operating state of a single node.
+type State uint8
+
+// Node states (§III-A). Sleep consumes no power; Listen and Transmit
+// consume the node's L and X respectively.
+const (
+	Sleep State = iota
+	Listen
+	Transmit
+)
+
+func (s State) String() string {
+	switch s {
+	case Sleep:
+		return "sleep"
+	case Listen:
+		return "listen"
+	case Transmit:
+		return "transmit"
+	}
+	return fmt.Sprintf("State(%d)", uint8(s))
+}
+
+// Power returns the power a node draws in state s given its parameters.
+func (n Node) Power(s State) float64 {
+	switch s {
+	case Listen:
+		return n.ListenPower
+	case Transmit:
+		return n.TransmitPower
+	default:
+		return 0
+	}
+}
+
+// Mode selects which broadcast-throughput measure a protocol or analysis
+// maximizes (Definitions 1 and 2).
+type Mode int
+
+// Throughput modes.
+const (
+	// Groupput counts each delivered bit once per receiver.
+	Groupput Mode = iota
+	// Anyput counts a delivered bit once if at least one receiver got it.
+	Anyput
+)
+
+func (m Mode) String() string {
+	if m == Anyput {
+		return "anyput"
+	}
+	return "groupput"
+}
+
+// Node holds the static parameters of one node: its power budget and its
+// listen/transmit power consumption levels, all in Watts.
+type Node struct {
+	Budget        float64 // rho_i: power budget (harvesting rate)
+	ListenPower   float64 // L_i
+	TransmitPower float64 // X_i
+}
+
+// Network is an ordered collection of nodes.
+type Network struct {
+	Nodes []Node
+}
+
+// Homogeneous returns a network of n identical nodes.
+func Homogeneous(n int, rho, listen, transmit float64) *Network {
+	nodes := make([]Node, n)
+	for i := range nodes {
+		nodes[i] = Node{Budget: rho, ListenPower: listen, TransmitPower: transmit}
+	}
+	return &Network{Nodes: nodes}
+}
+
+// N returns the number of nodes.
+func (nw *Network) N() int { return len(nw.Nodes) }
+
+// Homogeneous reports whether all nodes share identical parameters.
+func (nw *Network) Homogeneous() bool {
+	for _, n := range nw.Nodes[1:] {
+		if n != nw.Nodes[0] {
+			return false
+		}
+	}
+	return true
+}
+
+// Validate checks that the network is non-empty and every node has strictly
+// positive budget and power levels.
+func (nw *Network) Validate() error {
+	if len(nw.Nodes) == 0 {
+		return errors.New("model: empty network")
+	}
+	for i, n := range nw.Nodes {
+		if !(n.Budget > 0) || math.IsInf(n.Budget, 0) {
+			return fmt.Errorf("model: node %d: budget %v must be positive and finite", i, n.Budget)
+		}
+		if !(n.ListenPower > 0) || math.IsInf(n.ListenPower, 0) {
+			return fmt.Errorf("model: node %d: listen power %v must be positive and finite", i, n.ListenPower)
+		}
+		if !(n.TransmitPower > 0) || math.IsInf(n.TransmitPower, 0) {
+			return fmt.Errorf("model: node %d: transmit power %v must be positive and finite", i, n.TransmitPower)
+		}
+	}
+	return nil
+}
+
+// MaxNodesExact is the largest network for which the collision-free state
+// space W can be enumerated exactly (listener sets are stored as bits of a
+// uint64, and (N+2)*2^(N-1) must stay manageable).
+const MaxNodesExact = 24
+
+// NetState is one collision-free network state w in W: at most one
+// transmitter, any subset of the remaining nodes listening, the rest
+// asleep (§III-C).
+type NetState struct {
+	Transmitter int    // transmitting node index, or -1 if none
+	Listeners   uint64 // bitmask of listening nodes
+}
+
+// NoTransmitter marks a NetState without a transmitter.
+const NoTransmitter = -1
+
+// Valid reports whether the state is internally consistent for an n-node
+// network: transmitter in range (or -1) and not simultaneously listening.
+func (s NetState) Valid(n int) bool {
+	if n <= 0 || n > 64 {
+		return false
+	}
+	if s.Listeners>>uint(n) != 0 {
+		return false
+	}
+	if s.Transmitter == NoTransmitter {
+		return true
+	}
+	if s.Transmitter < 0 || s.Transmitter >= n {
+		return false
+	}
+	return s.Listeners&(1<<uint(s.Transmitter)) == 0
+}
+
+// StateOf returns the state of node i under s.
+func (s NetState) StateOf(i int) State {
+	if i == s.Transmitter {
+		return Transmit
+	}
+	if s.Listeners&(1<<uint(i)) != 0 {
+		return Listen
+	}
+	return Sleep
+}
+
+// NumListeners returns c_w, the number of listening nodes.
+func (s NetState) NumListeners() int {
+	return popcount(s.Listeners)
+}
+
+// HasTransmitter returns nu_w: whether exactly one node transmits.
+func (s NetState) HasTransmitter() bool { return s.Transmitter != NoTransmitter }
+
+// Throughput returns T_w for the given mode (Definition 3): nu_w * c_w for
+// groupput, nu_w * gamma_w for anyput.
+func (s NetState) Throughput(mode Mode) float64 {
+	if !s.HasTransmitter() {
+		return 0
+	}
+	c := s.NumListeners()
+	if mode == Anyput {
+		if c > 0 {
+			return 1
+		}
+		return 0
+	}
+	return float64(c)
+}
+
+func popcount(x uint64) int {
+	count := 0
+	for x != 0 {
+		x &= x - 1
+		count++
+	}
+	return count
+}
+
+// NumStates returns |W| = (N+2) * 2^(N-1), the size of the collision-free
+// state space (§III-C).
+func NumStates(n int) int {
+	return (n + 2) << uint(n-1)
+}
+
+// HeterogeneitySpec is the Fig. 2 network sampler parameterization: for
+// heterogeneity h, each node's L and X are drawn uniformly from
+// [510-h, 490+h] microwatts, and rho = exp(h') microwatts with h' uniform
+// on [-ln(h/100), ln h]. h = 10 degenerates to the homogeneous network with
+// L = X = 500 uW, rho = 10 uW.
+type HeterogeneitySpec struct {
+	N int
+	H float64
+}
+
+// Sample draws one heterogeneous network per the spec.
+func (sp HeterogeneitySpec) Sample(src *rng.Source) *Network {
+	if sp.N <= 0 {
+		panic("model: HeterogeneitySpec with N <= 0")
+	}
+	if sp.H < 10 {
+		panic("model: HeterogeneitySpec with H < 10")
+	}
+	nodes := make([]Node, sp.N)
+	lo := (510 - sp.H) * MicroWatt
+	hi := (490 + sp.H) * MicroWatt
+	hpLo := -math.Log(sp.H / 100)
+	hpHi := math.Log(sp.H)
+	for i := range nodes {
+		nodes[i] = Node{
+			ListenPower:   uniformOrPoint(src, lo, hi),
+			TransmitPower: uniformOrPoint(src, lo, hi),
+			Budget:        math.Exp(uniformOrPoint(src, hpLo, hpHi)) * MicroWatt,
+		}
+	}
+	return &Network{Nodes: nodes}
+}
+
+// uniformOrPoint handles the degenerate lo == hi interval that arises at
+// h = 10.
+func uniformOrPoint(src *rng.Source, lo, hi float64) float64 {
+	if hi <= lo {
+		return lo
+	}
+	return src.Uniform(lo, hi)
+}

@@ -1,0 +1,219 @@
+package model
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"econcast/internal/rng"
+)
+
+func TestStateString(t *testing.T) {
+	cases := map[State]string{Sleep: "sleep", Listen: "listen", Transmit: "transmit"}
+	for s, want := range cases {
+		if s.String() != want {
+			t.Errorf("%d.String() = %q", s, s.String())
+		}
+	}
+	if State(9).String() != "State(9)" {
+		t.Errorf("unknown state string = %q", State(9).String())
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if Groupput.String() != "groupput" || Anyput.String() != "anyput" {
+		t.Fatal("mode strings wrong")
+	}
+}
+
+func TestNodePower(t *testing.T) {
+	n := Node{Budget: 1, ListenPower: 2, TransmitPower: 3}
+	if n.Power(Sleep) != 0 || n.Power(Listen) != 2 || n.Power(Transmit) != 3 {
+		t.Fatal("Power wrong")
+	}
+}
+
+func TestHomogeneous(t *testing.T) {
+	nw := Homogeneous(5, 10*MicroWatt, 500*MicroWatt, 500*MicroWatt)
+	if nw.N() != 5 {
+		t.Fatalf("N = %d", nw.N())
+	}
+	if !nw.Homogeneous() {
+		t.Fatal("not homogeneous")
+	}
+	if err := nw.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	nw.Nodes[2].Budget = 1 * MicroWatt
+	if nw.Homogeneous() {
+		t.Fatal("heterogeneous network reported homogeneous")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []*Network{
+		{},
+		{Nodes: []Node{{Budget: 0, ListenPower: 1, TransmitPower: 1}}},
+		{Nodes: []Node{{Budget: 1, ListenPower: 0, TransmitPower: 1}}},
+		{Nodes: []Node{{Budget: 1, ListenPower: 1, TransmitPower: -1}}},
+		{Nodes: []Node{{Budget: math.Inf(1), ListenPower: 1, TransmitPower: 1}}},
+		{Nodes: []Node{{Budget: math.NaN(), ListenPower: 1, TransmitPower: 1}}},
+	}
+	for i, nw := range bad {
+		if err := nw.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted invalid network", i)
+		}
+	}
+}
+
+func TestNetStateBasics(t *testing.T) {
+	s := NetState{Transmitter: 2, Listeners: 0b1011} // nodes 0,1,3 listen
+	if !s.Valid(5) {
+		t.Fatal("valid state rejected")
+	}
+	if s.StateOf(2) != Transmit || s.StateOf(0) != Listen || s.StateOf(4) != Sleep {
+		t.Fatal("StateOf wrong")
+	}
+	if s.NumListeners() != 3 {
+		t.Fatalf("NumListeners = %d", s.NumListeners())
+	}
+	if !s.HasTransmitter() {
+		t.Fatal("HasTransmitter false")
+	}
+	if s.Throughput(Groupput) != 3 {
+		t.Fatalf("groupput T_w = %v", s.Throughput(Groupput))
+	}
+	if s.Throughput(Anyput) != 1 {
+		t.Fatalf("anyput T_w = %v", s.Throughput(Anyput))
+	}
+}
+
+func TestNetStateNoListeners(t *testing.T) {
+	s := NetState{Transmitter: 0, Listeners: 0}
+	if s.Throughput(Groupput) != 0 || s.Throughput(Anyput) != 0 {
+		t.Fatal("transmitting into the void should yield zero throughput")
+	}
+}
+
+func TestNetStateNoTransmitter(t *testing.T) {
+	s := NetState{Transmitter: NoTransmitter, Listeners: 0b11}
+	if s.Throughput(Groupput) != 0 || s.Throughput(Anyput) != 0 {
+		t.Fatal("no transmitter should yield zero throughput")
+	}
+	if !s.Valid(2) {
+		t.Fatal("valid idle state rejected")
+	}
+}
+
+func TestNetStateInvalid(t *testing.T) {
+	cases := []struct {
+		s NetState
+		n int
+	}{
+		{NetState{Transmitter: 1, Listeners: 0b10}, 3}, // transmitter listening
+		{NetState{Transmitter: 3, Listeners: 0}, 3},    // out of range
+		{NetState{Transmitter: -2, Listeners: 0}, 3},   // bad sentinel
+		{NetState{Transmitter: -1, Listeners: 0b100}, 2},
+		{NetState{Transmitter: -1, Listeners: 0}, 0},
+	}
+	for i, c := range cases {
+		if c.s.Valid(c.n) {
+			t.Errorf("case %d: invalid state accepted", i)
+		}
+	}
+}
+
+func TestNumStates(t *testing.T) {
+	// (N+2)*2^(N-1): the paper's state-space size.
+	cases := map[int]int{1: 3, 2: 8, 3: 20, 5: 112, 10: 6144}
+	for n, want := range cases {
+		if got := NumStates(n); got != want {
+			t.Errorf("NumStates(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestHeterogeneityDegeneratesAtH10(t *testing.T) {
+	src := rng.New(1)
+	nw := HeterogeneitySpec{N: 5, H: 10}.Sample(src)
+	for i, n := range nw.Nodes {
+		if math.Abs(n.ListenPower-500*MicroWatt) > 1e-15 ||
+			math.Abs(n.TransmitPower-500*MicroWatt) > 1e-15 {
+			t.Fatalf("node %d: L=%v X=%v, want 500uW", i, n.ListenPower, n.TransmitPower)
+		}
+		if math.Abs(n.Budget-10*MicroWatt) > 1e-12 {
+			t.Fatalf("node %d: rho=%v, want 10uW", i, n.Budget)
+		}
+	}
+}
+
+func TestHeterogeneityRanges(t *testing.T) {
+	src := rng.New(2)
+	const h = 250.0
+	spec := HeterogeneitySpec{N: 50, H: h}
+	for trial := 0; trial < 20; trial++ {
+		nw := spec.Sample(src)
+		if err := nw.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		for i, n := range nw.Nodes {
+			lo, hi := (510-h)*MicroWatt, (490+h)*MicroWatt
+			if n.ListenPower < lo || n.ListenPower > hi {
+				t.Fatalf("node %d: L=%v outside [%v,%v]", i, n.ListenPower, lo, hi)
+			}
+			if n.TransmitPower < lo || n.TransmitPower > hi {
+				t.Fatalf("node %d: X=%v outside", i, n.TransmitPower)
+			}
+			// rho in [100/h, h] microwatts.
+			if n.Budget < 100/h*MicroWatt*0.999 || n.Budget > h*MicroWatt*1.001 {
+				t.Fatalf("node %d: rho=%v outside [%v,%v] uW", i,
+					n.Budget/MicroWatt, 100/h, h)
+			}
+		}
+	}
+}
+
+func TestHeterogeneityMedianBudget(t *testing.T) {
+	// The paper: rho has median 10 uW for any h (since h' is symmetric about
+	// ln 10 ... in fact U[-ln(h/100), ln h] has midpoint (ln h - ln(h/100))/2
+	// = ln(10), so median of rho = 10 uW).
+	src := rng.New(3)
+	spec := HeterogeneitySpec{N: 1, H: 200}
+	var budgets []float64
+	for i := 0; i < 20001; i++ {
+		budgets = append(budgets, spec.Sample(src).Nodes[0].Budget/MicroWatt)
+	}
+	// Compute median.
+	count := 0
+	for _, b := range budgets {
+		if b <= 10 {
+			count++
+		}
+	}
+	frac := float64(count) / float64(len(budgets))
+	if math.Abs(frac-0.5) > 0.02 {
+		t.Fatalf("P(rho <= 10uW) = %v, want ~0.5", frac)
+	}
+}
+
+// Property: any state built from (transmitter in {-1..n-1} listener mask
+// excluding transmitter) is Valid, and groupput T_w >= anyput T_w.
+func TestNetStateProperty(t *testing.T) {
+	src := rng.New(4)
+	f := func() bool {
+		n := 1 + src.Intn(20)
+		tx := src.Intn(n+1) - 1
+		mask := src.Uint64() & ((1 << uint(n)) - 1)
+		if tx >= 0 {
+			mask &^= 1 << uint(tx)
+		}
+		s := NetState{Transmitter: tx, Listeners: mask}
+		if !s.Valid(n) {
+			return false
+		}
+		return s.Throughput(Groupput) >= s.Throughput(Anyput)
+	}
+	if err := quick.Check(func() bool { return f() }, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,118 @@
+package oracle
+
+import (
+	"fmt"
+
+	"econcast/internal/lp"
+	"econcast/internal/model"
+	"econcast/internal/topology"
+)
+
+// MaxNodesExactNonClique bounds the configuration-LP solver below: it
+// enumerates all 2^N transmitter sets.
+const MaxNodesExactNonClique = 16
+
+// GroupputNonCliqueExact computes the *exact* oracle groupput for an
+// arbitrary topology, going beyond the paper's §IV-C bounds. The paper
+// leaves the exact non-clique oracle open because a listener may hear
+// overlapping transmissions from mutually-hidden transmitters; here we
+// solve it exactly for moderate N by time-sharing over transmitter
+// configurations:
+//
+//	max  sum_j u_j
+//	s.t. sum_S pi_S = 1                                   (time shares)
+//	     u_j L_j + X_j sum_{S: j in S} pi_S <= rho_j      (power)
+//	     u_j <= sum_{S in useful(j)} pi_S                 (reception cap)
+//
+// where S ranges over all transmitter subsets and useful(j) is the set of
+// configurations in which j is silent and hears exactly one neighbor
+// transmit. u_j aggregates j's useful listening time; any feasible u_j can
+// be decomposed into per-configuration listening bounded by the pi_S, so
+// the aggregation is lossless. The LP has 2^N + N variables but only
+// 2N + 1 rows, so the dense simplex handles N up to 16 comfortably.
+//
+// The result always lies between the §IV-C bounds; the three coincide on
+// the paper's grid topologies.
+func GroupputNonCliqueExact(nw *model.Network, topo *topology.Topology) (*Solution, error) {
+	if err := nw.Validate(); err != nil {
+		return nil, err
+	}
+	n := nw.N()
+	if topo == nil {
+		return nil, fmt.Errorf("oracle: exact non-clique solver needs a topology")
+	}
+	if topo.N() != n {
+		return nil, fmt.Errorf("oracle: topology has %d nodes, network has %d", topo.N(), n)
+	}
+	if n > MaxNodesExactNonClique {
+		return nil, fmt.Errorf("oracle: exact non-clique solver limited to %d nodes, got %d",
+			MaxNodesExactNonClique, n)
+	}
+
+	numS := 1 << uint(n)
+	nv := numS + n // pi_S for each S, then u_j
+	uVar := func(j int) int { return numS + j }
+
+	p := lp.NewProblem(lp.Maximize, nv)
+	for j := 0; j < n; j++ {
+		p.C[uVar(j)] = 1
+	}
+
+	// Time shares sum to one.
+	row := make([]float64, nv)
+	for s := 0; s < numS; s++ {
+		row[s] = 1
+	}
+	p.AddEQ(row, 1)
+
+	// Precompute, for each S, each node's transmitting-neighbor count.
+	// usefulRow[j][S] = 1 iff j not in S and exactly one neighbor of j in S.
+	for j := 0; j < n; j++ {
+		node := nw.Nodes[j]
+		power := make([]float64, nv)
+		cap := make([]float64, nv)
+		jb := 1 << uint(j)
+		for s := 0; s < numS; s++ {
+			if s&jb != 0 {
+				power[s] = node.TransmitPower / node.Budget
+				continue
+			}
+			heard := 0
+			for _, nb := range topo.Neighbors(j) {
+				if s&(1<<uint(nb)) != 0 {
+					heard++
+					if heard > 1 {
+						break
+					}
+				}
+			}
+			if heard == 1 {
+				cap[s] = -1
+			}
+		}
+		power[uVar(j)] = node.ListenPower / node.Budget
+		p.AddLE(power, 1)
+		cap[uVar(j)] = 1
+		p.AddLE(cap, 0)
+	}
+
+	res, err := lp.Solve(p)
+	if err != nil {
+		return nil, err
+	}
+	if res.Status != lp.Optimal {
+		return nil, fmt.Errorf("oracle: exact non-clique LP %v", res.Status)
+	}
+	alpha := make([]float64, n)
+	beta := make([]float64, n)
+	for j := 0; j < n; j++ {
+		alpha[j] = res.X[uVar(j)]
+		jb := 1 << uint(j)
+		for s := 0; s < numS; s++ {
+			if s&jb != 0 {
+				beta[j] += res.X[s]
+			}
+		}
+	}
+	return &Solution{Throughput: res.Objective, Alpha: alpha, Beta: beta}, nil
+}

@@ -1,0 +1,236 @@
+// Package oracle computes the paper's oracle (offline-optimal) throughput:
+// problem (P2) for groupput and (P3) for anyput in cliques (§IV-A/B), the
+// homogeneous closed forms, and the upper/lower bounds for non-clique
+// topologies (§IV-C). It also constructs the explicit periodic schedule of
+// Lemma 1 in exact rational arithmetic, proving achievability.
+package oracle
+
+import (
+	"fmt"
+
+	"econcast/internal/lp"
+	"econcast/internal/model"
+	"econcast/internal/topology"
+)
+
+// Solution is an optimal operating point: per-node listen and transmit
+// time fractions and the resulting throughput.
+type Solution struct {
+	Throughput float64
+	Alpha      []float64 // fraction of time listening
+	Beta       []float64 // fraction of time transmitting
+}
+
+// Groupput solves (P2): the oracle groupput of a clique network.
+//
+//	max sum_i alpha_i
+//	s.t. alpha_i L_i + beta_i X_i <= rho_i        (9)
+//	     alpha_i + beta_i <= 1                    (10)
+//	     sum_i beta_i <= 1                        (11)
+//	     alpha_i <= sum_{j != i} beta_j           (12)
+func Groupput(nw *model.Network) (*Solution, error) {
+	return groupputWithNeighbors(nw, nil, true)
+}
+
+// groupputWithNeighbors solves (P2) with constraint (12) restricted to each
+// node's neighbor set (nil topo means clique) and with constraint (11)
+// optionally dropped, covering the non-clique bounds of §IV-C.
+func groupputWithNeighbors(nw *model.Network, topo *topology.Topology, singleTransmitter bool) (*Solution, error) {
+	if err := nw.Validate(); err != nil {
+		return nil, err
+	}
+	n := nw.N()
+	if topo != nil && topo.N() != n {
+		return nil, fmt.Errorf("oracle: topology has %d nodes, network has %d", topo.N(), n)
+	}
+	// Variables: alpha_0..alpha_{n-1}, beta_0..beta_{n-1}.
+	p := lp.NewProblem(lp.Maximize, 2*n)
+	for i := 0; i < n; i++ {
+		p.C[i] = 1
+	}
+	for i := 0; i < n; i++ {
+		node := nw.Nodes[i]
+		// (9), normalized by the budget for conditioning.
+		row := make([]float64, 2*n)
+		row[i] = node.ListenPower / node.Budget
+		row[n+i] = node.TransmitPower / node.Budget
+		p.AddLE(row, 1)
+		// (10).
+		row = make([]float64, 2*n)
+		row[i] = 1
+		row[n+i] = 1
+		p.AddLE(row, 1)
+		// (12): alpha_i - sum_{j in N(i)} beta_j <= 0.
+		row = make([]float64, 2*n)
+		row[i] = 1
+		if topo == nil {
+			for j := 0; j < n; j++ {
+				if j != i {
+					row[n+j] = -1
+				}
+			}
+		} else {
+			for _, j := range topo.Neighbors(i) {
+				row[n+j] = -1
+			}
+		}
+		p.AddLE(row, 0)
+	}
+	if singleTransmitter {
+		// (11).
+		row := make([]float64, 2*n)
+		for j := 0; j < n; j++ {
+			row[n+j] = 1
+		}
+		p.AddLE(row, 1)
+	}
+	res, err := lp.Solve(p)
+	if err != nil {
+		return nil, err
+	}
+	if res.Status != lp.Optimal {
+		return nil, fmt.Errorf("oracle: groupput LP %v", res.Status)
+	}
+	return &Solution{
+		Throughput: res.Objective,
+		Alpha:      res.X[:n],
+		Beta:       res.X[n : 2*n],
+	}, nil
+}
+
+// Anyput solves (P3): the oracle anyput of a clique network.
+//
+//	max sum_i beta_i
+//	s.t. (9), (10), (11)
+//	     beta_i <= sum_{j != i} chi_{i,j}      (14)
+//	     alpha_j = sum_{i != j} chi_{i,j}      (15)
+//
+// where chi_{i,j} is the fraction of time node j receives from node i.
+func Anyput(nw *model.Network) (*Solution, error) {
+	if err := nw.Validate(); err != nil {
+		return nil, err
+	}
+	n := nw.N()
+	if n < 2 {
+		return &Solution{Throughput: 0, Alpha: make([]float64, n), Beta: make([]float64, n)}, nil
+	}
+	// Variables: alpha (n), beta (n), chi (n*(n-1)) indexed by chiIdx.
+	nChi := n * (n - 1)
+	nv := 2*n + nChi
+	chiIdx := func(i, j int) int {
+		// Position of chi_{i,j} (i transmits, j receives), j != i.
+		col := j
+		if j > i {
+			col--
+		}
+		return 2*n + i*(n-1) + col
+	}
+	p := lp.NewProblem(lp.Maximize, nv)
+	for i := 0; i < n; i++ {
+		p.C[n+i] = 1
+	}
+	for i := 0; i < n; i++ {
+		node := nw.Nodes[i]
+		// (9).
+		row := make([]float64, nv)
+		row[i] = node.ListenPower / node.Budget
+		row[n+i] = node.TransmitPower / node.Budget
+		p.AddLE(row, 1)
+		// (10).
+		row = make([]float64, nv)
+		row[i] = 1
+		row[n+i] = 1
+		p.AddLE(row, 1)
+		// (14): beta_i - sum_{j != i} chi_{i,j} <= 0.
+		row = make([]float64, nv)
+		row[n+i] = 1
+		for j := 0; j < n; j++ {
+			if j != i {
+				row[chiIdx(i, j)] = -1
+			}
+		}
+		p.AddLE(row, 0)
+		// (15): alpha_i = sum_{j != i} chi_{j,i}.
+		row = make([]float64, nv)
+		row[i] = 1
+		for j := 0; j < n; j++ {
+			if j != i {
+				row[chiIdx(j, i)] = -1
+			}
+		}
+		p.AddEQ(row, 0)
+	}
+	// (11).
+	row := make([]float64, nv)
+	for j := 0; j < n; j++ {
+		row[n+j] = 1
+	}
+	p.AddLE(row, 1)
+
+	res, err := lp.Solve(p)
+	if err != nil {
+		return nil, err
+	}
+	if res.Status != lp.Optimal {
+		return nil, fmt.Errorf("oracle: anyput LP %v", res.Status)
+	}
+	return &Solution{
+		Throughput: res.Objective,
+		Alpha:      res.X[:n],
+		Beta:       res.X[n : 2*n],
+	}, nil
+}
+
+// GroupputNonCliqueBounds returns the lower and upper bounds of §IV-C on
+// the oracle groupput for an arbitrary topology: the lower bound restricts
+// listening to neighbors' transmissions while keeping the global
+// single-transmitter constraint (11); the upper bound additionally drops
+// (11), allowing spatially overlapping transmissions. When the two agree
+// the exact oracle T*_nc is known.
+func GroupputNonCliqueBounds(nw *model.Network, topo *topology.Topology) (lower, upper *Solution, err error) {
+	lower, err = groupputWithNeighbors(nw, topo, true)
+	if err != nil {
+		return nil, nil, err
+	}
+	upper, err = groupputWithNeighbors(nw, topo, false)
+	if err != nil {
+		return nil, nil, err
+	}
+	return lower, upper, nil
+}
+
+// GroupputClosedForm returns the homogeneous closed form of §IV-A:
+// beta* = rho/(X+(N-1)L), alpha* = (N-1) beta*, T*_g = N alpha*. The
+// formula assumes the power constraint dominates; ok reports whether the
+// resulting point also satisfies (10) and (11) and hence is the true
+// optimum.
+func GroupputClosedForm(n int, node model.Node) (sol *Solution, ok bool) {
+	beta := node.Budget / (node.TransmitPower + float64(n-1)*node.ListenPower)
+	alpha := float64(n-1) * beta
+	ok = alpha+beta <= 1 && float64(n)*beta <= 1
+	return &Solution{
+		Throughput: float64(n) * alpha,
+		Alpha:      repeat(alpha, n),
+		Beta:       repeat(beta, n),
+	}, ok
+}
+
+// AnyputClosedForm returns the homogeneous closed form of §IV-B:
+// beta* = alpha* = rho/(X+L), T*_a = N beta*.
+func AnyputClosedForm(n int, node model.Node) (sol *Solution, ok bool) {
+	beta := node.Budget / (node.TransmitPower + node.ListenPower)
+	ok = 2*beta <= 1 && float64(n)*beta <= 1
+	return &Solution{
+		Throughput: float64(n) * beta,
+		Alpha:      repeat(beta, n),
+		Beta:       repeat(beta, n),
+	}, ok
+}
+
+func repeat(v float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = v
+	}
+	return out
+}

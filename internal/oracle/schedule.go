@@ -1,0 +1,235 @@
+package oracle
+
+import (
+	"fmt"
+	"math/big"
+
+	"econcast/internal/model"
+)
+
+// Schedule is the explicit periodic oracle schedule of Lemma 1: a
+// fixed-size slotted schedule that feasibly realizes a rational solution
+// (alpha*, beta*) of (P2). After an initial energy-accumulation period,
+// repeating the schedule forever achieves groupput sum_i alpha_i while
+// every node's per-period energy spend stays within its budget.
+type Schedule struct {
+	Period      int     // number of slots per period
+	Transmitter []int   // per slot: transmitting node, or -1
+	Listeners   [][]int // per slot: listening nodes (sorted)
+}
+
+// ratsFeasible verifies constraints (9)-(12) of (P2) in exact arithmetic.
+func ratsFeasible(nw *model.Network, alpha, beta []*big.Rat) error {
+	n := nw.N()
+	if len(alpha) != n || len(beta) != n {
+		return fmt.Errorf("oracle: alpha/beta length mismatch (n=%d)", n)
+	}
+	one := big.NewRat(1, 1)
+	sumBeta := new(big.Rat)
+	for i := 0; i < n; i++ {
+		if alpha[i].Sign() < 0 || beta[i].Sign() < 0 {
+			return fmt.Errorf("oracle: node %d: negative fraction", i)
+		}
+		sumBeta.Add(sumBeta, beta[i])
+		// (10).
+		ab := new(big.Rat).Add(alpha[i], beta[i])
+		if ab.Cmp(one) > 0 {
+			return fmt.Errorf("oracle: node %d: alpha+beta = %v > 1", i, ab)
+		}
+		// (9) in rationals: alpha L + beta X <= rho, using rational
+		// approximations of the float parameters (exact for the binary64
+		// values themselves).
+		l := new(big.Rat).SetFloat64(nw.Nodes[i].ListenPower)
+		x := new(big.Rat).SetFloat64(nw.Nodes[i].TransmitPower)
+		rho := new(big.Rat).SetFloat64(nw.Nodes[i].Budget)
+		spend := new(big.Rat).Add(
+			new(big.Rat).Mul(alpha[i], l),
+			new(big.Rat).Mul(beta[i], x))
+		if spend.Cmp(rho) > 0 {
+			return fmt.Errorf("oracle: node %d: power %v exceeds budget %v", i, spend, rho)
+		}
+	}
+	// (11).
+	if sumBeta.Cmp(one) > 0 {
+		return fmt.Errorf("oracle: sum beta = %v > 1", sumBeta)
+	}
+	// (12).
+	for i := 0; i < n; i++ {
+		others := new(big.Rat).Sub(sumBeta, beta[i])
+		if alpha[i].Cmp(others) > 0 {
+			return fmt.Errorf("oracle: node %d: alpha %v exceeds others' transmit %v",
+				i, alpha[i], others)
+		}
+	}
+	return nil
+}
+
+// lcm64 returns lcm(a, b) for positive a, b.
+func lcm64(a, b *big.Int) *big.Int {
+	g := new(big.Int).GCD(nil, nil, a, b)
+	out := new(big.Int).Div(a, g)
+	return out.Mul(out, b)
+}
+
+// BuildSchedule constructs the Lemma 1 periodic schedule realizing the
+// rational point (alpha, beta), which must satisfy (9)-(12); otherwise an
+// error is returned. The period is the least common multiple of all
+// denominators, so keep denominators small (see RatApprox).
+func BuildSchedule(nw *model.Network, alpha, beta []*big.Rat) (*Schedule, error) {
+	if err := nw.Validate(); err != nil {
+		return nil, err
+	}
+	if err := ratsFeasible(nw, alpha, beta); err != nil {
+		return nil, err
+	}
+	n := nw.N()
+	// Period = lcm of all denominators.
+	period := big.NewInt(1)
+	for i := 0; i < n; i++ {
+		period = lcm64(period, alpha[i].Denom())
+		period = lcm64(period, beta[i].Denom())
+	}
+	if !period.IsInt64() || period.Int64() > 1<<22 {
+		return nil, fmt.Errorf("oracle: period %v too large; approximate the solution first", period)
+	}
+	p := int(period.Int64())
+
+	// Integer slot counts per node.
+	txSlots := make([]int, n)
+	listenSlots := make([]int, n)
+	for i := 0; i < n; i++ {
+		txSlots[i] = ratTimesInt(beta[i], p)
+		listenSlots[i] = ratTimesInt(alpha[i], p)
+	}
+
+	s := &Schedule{
+		Period:      p,
+		Transmitter: make([]int, p),
+		Listeners:   make([][]int, p),
+	}
+	// Assign transmit slots in node order; (11) guarantees they fit.
+	slot := 0
+	for i := 0; i < n; i++ {
+		for k := 0; k < txSlots[i]; k++ {
+			s.Transmitter[slot] = i
+			slot++
+		}
+	}
+	for ; slot < p; slot++ {
+		s.Transmitter[slot] = -1
+	}
+	// Each listener picks its listen slots from other nodes' transmit
+	// slots; (12) guarantees enough are available. Multiple listeners may
+	// share a slot.
+	for i := 0; i < n; i++ {
+		need := listenSlots[i]
+		for t := 0; t < p && need > 0; t++ {
+			if s.Transmitter[t] >= 0 && s.Transmitter[t] != i {
+				s.Listeners[t] = append(s.Listeners[t], i)
+				need--
+			}
+		}
+		if need > 0 {
+			return nil, fmt.Errorf("oracle: internal: node %d short %d listen slots", i, need)
+		}
+	}
+	return s, nil
+}
+
+// ratTimesInt returns r * p, which must be an integer by construction of p.
+func ratTimesInt(r *big.Rat, p int) int {
+	v := new(big.Rat).Mul(r, big.NewRat(int64(p), 1))
+	if !v.IsInt() {
+		panic("oracle: non-integer slot count")
+	}
+	return int(v.Num().Int64())
+}
+
+// Groupput returns the schedule's groupput: total receptions per slot.
+func (s *Schedule) Groupput() *big.Rat {
+	total := 0
+	for t := 0; t < s.Period; t++ {
+		if s.Transmitter[t] >= 0 {
+			total += len(s.Listeners[t])
+		}
+	}
+	return big.NewRat(int64(total), int64(s.Period))
+}
+
+// Validate checks the structural and energetic feasibility of the schedule
+// against the network: at most one transmitter per slot (trivially true by
+// construction), listeners only during others' transmissions, and per-node
+// energy spend within rho_i * Period per period (slot length 1).
+func (s *Schedule) Validate(nw *model.Network) error {
+	n := nw.N()
+	listens := make([]int, n)
+	transmits := make([]int, n)
+	for t := 0; t < s.Period; t++ {
+		tx := s.Transmitter[t]
+		if tx >= n {
+			return fmt.Errorf("oracle: slot %d: bad transmitter %d", t, tx)
+		}
+		if tx >= 0 {
+			transmits[tx]++
+		}
+		for _, l := range s.Listeners[t] {
+			if l < 0 || l >= n {
+				return fmt.Errorf("oracle: slot %d: bad listener %d", t, l)
+			}
+			if tx < 0 {
+				return fmt.Errorf("oracle: slot %d: node %d listens with no transmitter", t, l)
+			}
+			if l == tx {
+				return fmt.Errorf("oracle: slot %d: node %d listens to itself", t, l)
+			}
+			listens[l]++
+		}
+	}
+	for i := 0; i < n; i++ {
+		node := nw.Nodes[i]
+		spend := float64(listens[i])*node.ListenPower + float64(transmits[i])*node.TransmitPower
+		budget := float64(s.Period) * node.Budget
+		if spend > budget*(1+1e-12) {
+			return fmt.Errorf("oracle: node %d spends %v per period, budget %v", i, spend, budget)
+		}
+		if listens[i]+transmits[i] > s.Period {
+			return fmt.Errorf("oracle: node %d active %d slots in period %d",
+				i, listens[i]+transmits[i], s.Period)
+		}
+	}
+	return nil
+}
+
+// RatApprox returns a rational r <= f with denominator exactly den,
+// i.e. floor(f*den)/den. Rounding down preserves feasibility of all the
+// upper-bound constraints of (P2) at a small throughput cost, making LP
+// (float) solutions schedulable.
+func RatApprox(f float64, den int64) *big.Rat {
+	if f < 0 {
+		f = 0
+	}
+	num := int64(f * float64(den))
+	return big.NewRat(num, den)
+}
+
+// RatApproxSolution converts an LP solution to rationals on a common
+// denominator grid, rounding down for feasibility. Because rounding the
+// betas down can tighten constraint (12), each alpha is additionally capped
+// at the rounded sum of the other nodes' betas.
+func RatApproxSolution(sol *Solution, den int64) (alpha, beta []*big.Rat) {
+	alpha = make([]*big.Rat, len(sol.Alpha))
+	beta = make([]*big.Rat, len(sol.Beta))
+	sumBeta := new(big.Rat)
+	for i := range sol.Beta {
+		beta[i] = RatApprox(sol.Beta[i], den)
+		sumBeta.Add(sumBeta, beta[i])
+	}
+	for i := range sol.Alpha {
+		alpha[i] = RatApprox(sol.Alpha[i], den)
+		others := new(big.Rat).Sub(sumBeta, beta[i])
+		if alpha[i].Cmp(others) > 0 {
+			alpha[i] = others
+		}
+	}
+	return alpha, beta
+}

@@ -1,0 +1,213 @@
+package oracle
+
+import (
+	"math/big"
+	"testing"
+	"testing/quick"
+
+	"econcast/internal/model"
+	"econcast/internal/rng"
+)
+
+// exactNet3 uses binary-exact float parameters so rational feasibility
+// checks are exact: L = X = 1 W, rho = 0.125 W.
+func exactNet3() *model.Network {
+	return model.Homogeneous(3, 0.125, 1, 1)
+}
+
+func TestBuildScheduleClosedForm(t *testing.T) {
+	nw := exactNet3()
+	// beta = rho/(X+2L) = 1/24, alpha = 2/24; spend = 3/24 = 0.125 exactly.
+	alpha := []*big.Rat{big.NewRat(2, 24), big.NewRat(2, 24), big.NewRat(2, 24)}
+	beta := []*big.Rat{big.NewRat(1, 24), big.NewRat(1, 24), big.NewRat(1, 24)}
+	s, err := BuildSchedule(nw, alpha, beta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Period != 24 {
+		t.Fatalf("period %d, want 24", s.Period)
+	}
+	if err := s.Validate(nw); err != nil {
+		t.Fatal(err)
+	}
+	// Groupput of the schedule = sum alpha = 6/24 = 1/4.
+	if s.Groupput().Cmp(big.NewRat(1, 4)) != 0 {
+		t.Fatalf("schedule groupput %v, want 1/4", s.Groupput())
+	}
+}
+
+func TestBuildScheduleRejectsInfeasible(t *testing.T) {
+	nw := exactNet3()
+	cases := []struct {
+		name        string
+		alpha, beta []*big.Rat
+	}{
+		{
+			"power violated",
+			[]*big.Rat{big.NewRat(1, 4), big.NewRat(2, 24), big.NewRat(2, 24)},
+			[]*big.Rat{big.NewRat(1, 24), big.NewRat(1, 24), big.NewRat(1, 24)},
+		},
+		{
+			"(12) violated: listening with nobody transmitting",
+			[]*big.Rat{big.NewRat(1, 8), big.NewRat(0, 1), big.NewRat(0, 1)},
+			[]*big.Rat{big.NewRat(0, 1), big.NewRat(0, 1), big.NewRat(0, 1)},
+		},
+		{
+			"negative fraction",
+			[]*big.Rat{big.NewRat(-1, 24), big.NewRat(0, 1), big.NewRat(0, 1)},
+			[]*big.Rat{big.NewRat(0, 1), big.NewRat(0, 1), big.NewRat(0, 1)},
+		},
+		{
+			"sum beta > 1",
+			[]*big.Rat{big.NewRat(0, 1), big.NewRat(0, 1), big.NewRat(0, 1)},
+			[]*big.Rat{big.NewRat(1, 2), big.NewRat(1, 2), big.NewRat(1, 8)},
+		},
+	}
+	for _, c := range cases {
+		if _, err := BuildSchedule(nw, c.alpha, c.beta); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestBuildScheduleFromLPSolution(t *testing.T) {
+	// Full pipeline of Lemma 1: solve (P2), round to a rational grid, build
+	// the schedule, validate, and confirm the realized groupput is within
+	// the rounding loss of the LP optimum.
+	nw := &model.Network{Nodes: []model.Node{
+		{Budget: 5 * model.MicroWatt, ListenPower: model.MilliWatt, TransmitPower: model.MilliWatt},
+		{Budget: 10 * model.MicroWatt, ListenPower: model.MilliWatt, TransmitPower: model.MilliWatt},
+		{Budget: 50 * model.MicroWatt, ListenPower: model.MilliWatt, TransmitPower: model.MilliWatt},
+		{Budget: 100 * model.MicroWatt, ListenPower: model.MilliWatt, TransmitPower: model.MilliWatt},
+	}}
+	sol, err := Groupput(nw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const den = 100000
+	alpha, beta := RatApproxSolution(sol, den)
+	s, err := BuildSchedule(nw, alpha, beta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(nw); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := s.Groupput().Float64()
+	// Rounding down loses at most 2N/den in total alpha.
+	if got < sol.Throughput-8.0/den-1e-9 || got > sol.Throughput+1e-12 {
+		t.Fatalf("schedule groupput %v vs LP %v", got, sol.Throughput)
+	}
+}
+
+func TestScheduleValidateCatchesCorruption(t *testing.T) {
+	nw := exactNet3()
+	alpha := []*big.Rat{big.NewRat(2, 24), big.NewRat(2, 24), big.NewRat(2, 24)}
+	beta := []*big.Rat{big.NewRat(1, 24), big.NewRat(1, 24), big.NewRat(1, 24)}
+	s, err := BuildSchedule(nw, alpha, beta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt: listener in an idle slot.
+	s.Listeners[s.Period-1] = []int{0}
+	if err := s.Validate(nw); err == nil {
+		t.Fatal("corrupted schedule validated")
+	}
+	// Corrupt: self-listening.
+	s2, _ := BuildSchedule(nw, alpha, beta)
+	for tt := 0; tt < s2.Period; tt++ {
+		if s2.Transmitter[tt] == 0 {
+			s2.Listeners[tt] = append(s2.Listeners[tt], 0)
+			break
+		}
+	}
+	if err := s2.Validate(nw); err == nil {
+		t.Fatal("self-listening schedule validated")
+	}
+}
+
+func TestRatApprox(t *testing.T) {
+	r := RatApprox(0.123456, 1000)
+	if r.Cmp(big.NewRat(123, 1000)) != 0 {
+		t.Fatalf("RatApprox = %v", r)
+	}
+	if RatApprox(-0.5, 10).Sign() != 0 {
+		t.Fatal("negative input should clamp to 0")
+	}
+	f, _ := RatApprox(0.999, 10).Float64()
+	if f != 0.9 {
+		t.Fatalf("floor rounding wrong: %v", f)
+	}
+}
+
+func TestBuildSchedulePeriodTooLarge(t *testing.T) {
+	nw := exactNet3()
+	// A denominator with a huge prime forces an astronomically large lcm.
+	alpha := []*big.Rat{big.NewRat(1, 104729), big.NewRat(1, 104723), big.NewRat(1, 999983)}
+	beta := []*big.Rat{big.NewRat(1, 24), big.NewRat(1, 24), big.NewRat(1, 24)}
+	if _, err := BuildSchedule(nw, alpha, beta); err == nil {
+		t.Fatal("expected period-too-large error")
+	}
+}
+
+// Property (testing/quick): any feasible rational point built by
+// construction yields a schedule that validates and realizes groupput
+// equal to sum(alpha).
+func TestBuildScheduleProperty(t *testing.T) {
+	src := rng.New(77)
+	f := func() bool {
+		n := 2 + src.Intn(3)
+		den := int64(12 + src.Intn(24)) // small denominators keep periods tiny
+		// Budgets of 1 W with L = X = 1 W: power feasibility reduces to
+		// alpha + beta <= 1, automatically satisfied below.
+		nw := model.Homogeneous(n, 1, 1, 1)
+		// Draw betas with sum <= 1.
+		beta := make([]*big.Rat, n)
+		sumBeta := new(big.Rat)
+		budget := big.NewRat(den, den) // 1
+		for i := range beta {
+			remaining := new(big.Rat).Sub(budget, sumBeta)
+			num := remaining.Num().Int64() * den / remaining.Denom().Int64()
+			if num < 0 {
+				num = 0
+			}
+			k := int64(0)
+			if num > 0 {
+				k = int64(src.Intn(int(num/int64(n)) + 1))
+			}
+			beta[i] = big.NewRat(k, den)
+			sumBeta.Add(sumBeta, beta[i])
+		}
+		// Alphas bounded by both (12) and the power residual 1 - beta_i.
+		alpha := make([]*big.Rat, n)
+		for i := range alpha {
+			others := new(big.Rat).Sub(sumBeta, beta[i])
+			powerCap := new(big.Rat).Sub(budget, beta[i])
+			cap := others
+			if powerCap.Cmp(cap) < 0 {
+				cap = powerCap
+			}
+			maxNum := cap.Num().Int64() * den / cap.Denom().Int64()
+			k := int64(0)
+			if maxNum > 0 {
+				k = int64(src.Intn(int(maxNum) + 1))
+			}
+			alpha[i] = big.NewRat(k, den)
+		}
+		s, err := BuildSchedule(nw, alpha, beta)
+		if err != nil {
+			return false
+		}
+		if err := s.Validate(nw); err != nil {
+			return false
+		}
+		want := new(big.Rat)
+		for _, a := range alpha {
+			want.Add(want, a)
+		}
+		return s.Groupput().Cmp(want) == 0
+	}
+	if err := quick.Check(func() bool { return f() }, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,745 @@
+// Package sim is a deterministic discrete-event simulator for EconCast
+// networks (§VII of the paper). Nodes follow the continuous-time dynamics
+// of eq. (18) with carrier sensing, packetized transmissions, per-packet
+// listener estimation, energy accounting against per-node budgets, and the
+// multiplier adaptation of eq. (17). Clique and non-clique topologies are
+// supported; in non-cliques, spatially overlapping transmissions collide at
+// shared receivers and are not counted as throughput, exactly as in the
+// paper's Fig. 6 evaluation.
+//
+// All randomness comes from a seeded rng.Source, so runs are exactly
+// reproducible.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"econcast/internal/econcast"
+	"econcast/internal/model"
+	"econcast/internal/rng"
+	"econcast/internal/stats"
+	"econcast/internal/topology"
+)
+
+// Protocol carries the EconCast parameters shared by all nodes in a run
+// (per-node hardware parameters come from the Network).
+type Protocol struct {
+	Mode       model.Mode
+	Variant    econcast.Variant
+	Sigma      float64
+	Delta      float64 // multiplier step (default 0.05)
+	Tau        float64 // multiplier interval, seconds (default 200 packets)
+	PacketTime float64 // seconds (default 1 ms)
+}
+
+// Config describes one simulation run.
+type Config struct {
+	Network  *model.Network
+	Topology *topology.Topology // nil means clique
+	Protocol Protocol
+
+	Duration float64 // total simulated seconds
+	Warmup   float64 // metrics discarded before this time
+	Seed     uint64
+
+	// WarmEta optionally initializes each node's multiplier from an
+	// analytical solution (units of 1/Watt, as returned by
+	// statespace.P4Result.Eta), skipping the adaptation transient.
+	WarmEta []float64
+
+	// FreezeEta disables the multiplier adaptation (eq. 17), keeping eta at
+	// its warm-start value; used to validate the stationary analysis.
+	FreezeEta bool
+
+	// EstimateListeners, when non-nil, replaces the perfect listener count
+	// the transmitter would observe with a noisy estimate; used for the
+	// ping-noise ablation.
+	EstimateListeners func(actual int, src *rng.Source) int
+
+	// HardBatteryFloor forces nodes with an empty battery to stay asleep
+	// until the battery recovers (checked at multiplier ticks); the battery
+	// is also clamped at zero.
+	HardBatteryFloor bool
+
+	// InitialBattery per node, Joules (default 0; the default virtual
+	// battery may go negative).
+	InitialBattery float64
+
+	// Harvest, when non-nil, gives each node a time-varying harvesting
+	// profile instead of its constant budget (arguments: node index,
+	// seconds since start). Node budgets should be set to the profile
+	// means so analytical comparisons stay meaningful.
+	Harvest func(node int, t float64) float64
+
+	// OnDeliver, when non-nil, is invoked for every successful packet
+	// reception — including during warmup — with the transmitter, the
+	// receiver, and the completion time. Applications (neighbor
+	// discovery, gossip) build on this hook.
+	OnDeliver func(tx, rx int, now float64)
+
+	// EventLog, when non-nil, receives a compact human-readable trace of
+	// every state transition and packet event, one line each — intended
+	// for debugging small scenarios, not long runs.
+	EventLog io.Writer
+
+	// TrackOccupancy records the time-weighted distribution over network
+	// states (post-warmup) in Metrics.Occupancy, for state-level
+	// validation against the Gibbs distribution (19). Requires N <= 24.
+	TrackOccupancy bool
+
+	// OnTick, when non-nil, is invoked at every multiplier tick with the
+	// node's current eta (units of 1/Watt), exposing the eq. (17)
+	// adaptation trajectory for convergence studies.
+	OnTick func(node int, now, eta float64)
+
+	// Churn, when non-nil, gives each node an activity schedule: the node
+	// participates only while Churn(node, t) is true (outside it neither
+	// harvests, transmits, listens, nor carrier-senses — it is absent, as
+	// a mobile tag out of range). Activity is sampled at multiplier ticks,
+	// so transitions take effect within one tau.
+	Churn func(node int, t float64) bool
+}
+
+func (c *Config) validate() error {
+	if c.Network == nil {
+		return errors.New("sim: nil network")
+	}
+	if c.TrackOccupancy && c.Network.N() > 24 {
+		return errors.New("sim: occupancy tracking limited to 24 nodes")
+	}
+	if err := c.Network.Validate(); err != nil {
+		return err
+	}
+	if c.Topology != nil && c.Topology.N() != c.Network.N() {
+		return fmt.Errorf("sim: topology nodes %d != network nodes %d",
+			c.Topology.N(), c.Network.N())
+	}
+	if !(c.Duration > 0) {
+		return errors.New("sim: duration must be positive")
+	}
+	if c.Warmup < 0 || c.Warmup >= c.Duration {
+		return errors.New("sim: warmup must be in [0, duration)")
+	}
+	if c.WarmEta != nil && len(c.WarmEta) != c.Network.N() {
+		return errors.New("sim: WarmEta length mismatch")
+	}
+	if !(c.Protocol.Sigma > 0) {
+		return errors.New("sim: sigma must be positive")
+	}
+	return nil
+}
+
+// Metrics are the outputs of a run, measured over (Warmup, Duration].
+type Metrics struct {
+	Window   float64 // measured seconds
+	Groupput float64 // fraction of time spent on per-receiver delivery
+	Anyput   float64 // fraction of time spent on >=1-receiver delivery
+
+	PacketsSent        int // packets transmitted
+	PacketsDelivered   int // successful per-receiver packet deliveries
+	PacketsAnyDeliver  int // packets delivered to at least one receiver
+	CollidedReceptions int // receptions lost to overlapping transmissions
+
+	BurstLengths stats.Accumulator // packets per receive burst
+	Latency      stats.CDF         // seconds between bursts (with sleep between)
+
+	Power    []float64 // per-node mean consumption over the window (W)
+	EtaFinal []float64 // final multipliers (units of 1/Watt)
+	Battery  []float64 // final battery levels (J)
+
+	// Occupancy is the time-weighted fraction spent in each network state
+	// over the window; populated only with Config.TrackOccupancy.
+	Occupancy map[model.NetState]float64
+}
+
+// event kinds.
+const (
+	evTransition = iota // node's sampled state transition
+	evPacketEnd         // end of the current unit packet
+	evTick              // multiplier / battery bookkeeping tick
+)
+
+type event struct {
+	at      float64
+	seq     uint64 // FIFO tie-break
+	kind    int
+	node    int
+	version uint64 // transition version; stale events are dropped
+}
+
+type eventQueue []event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(event)) }
+func (q *eventQueue) Pop() any     { old := *q; n := len(old); e := old[n-1]; *q = old[:n-1]; return e }
+func (q *eventQueue) push(e event) { heap.Push(q, e) }
+func (q *eventQueue) pop() event   { return heap.Pop(q).(event) }
+
+// nodeState is the simulator-side view of one node.
+type nodeState struct {
+	proto      *econcast.Node
+	state      model.State
+	version    uint64  // bumped to invalidate pending transition events
+	busy       int     // number of transmitting neighbors
+	lastUpdate float64 // time of last energy accrual
+
+	// receiver-side metrics state
+	burstCount    int     // packets received in the current burst
+	lastBurstEnd  float64 // when the last burst's final packet ended
+	hasBurst      bool
+	sleptSince    bool // slept since the last burst ended
+	collidedInPkt bool // current packet reception is lost to a collision
+}
+
+// packet tracks one in-flight unit packet.
+type packet struct {
+	tx        int
+	listeners []int // initial listener set (indices)
+	burstLen  int   // packets already sent in this channel hold
+	delivered bool  // some packet of this hold was received by someone
+}
+
+type engine struct {
+	cfg   Config
+	n     int
+	nodes []nodeState
+	topo  *topology.Topology // nil = clique
+	src   *rng.Source
+	now   float64
+	queue eventQueue
+	seq   uint64
+
+	packets map[int]*packet // active packet per transmitter
+
+	met           Metrics
+	measuring     bool
+	warmupBattery []float64 // battery levels at the start of the window
+	packetTime    float64
+
+	occLast float64 // time of the last occupancy accrual
+}
+
+// Run simulates the configuration and returns its metrics.
+func Run(cfg Config) (*Metrics, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	e := newEngine(cfg)
+	e.run()
+	return e.finish(), nil
+}
+
+func newEngine(cfg Config) *engine {
+	n := cfg.Network.N()
+	e := &engine{
+		cfg:        cfg,
+		n:          n,
+		nodes:      make([]nodeState, n),
+		topo:       cfg.Topology,
+		src:        rng.New(cfg.Seed),
+		packets:    make(map[int]*packet),
+		packetTime: cfg.Protocol.PacketTime,
+	}
+	if e.packetTime == 0 {
+		e.packetTime = 1e-3
+	}
+	for i := 0; i < n; i++ {
+		nd := cfg.Network.Nodes[i]
+		pc := econcast.Config{
+			Mode:               cfg.Protocol.Mode,
+			Variant:            cfg.Protocol.Variant,
+			Sigma:              cfg.Protocol.Sigma,
+			Delta:              cfg.Protocol.Delta,
+			Tau:                cfg.Protocol.Tau,
+			Budget:             nd.Budget,
+			ListenPower:        nd.ListenPower,
+			TransmitPower:      nd.TransmitPower,
+			PacketTime:         cfg.Protocol.PacketTime,
+			InitialBattery:     cfg.InitialBattery,
+			ClampBatteryAtZero: cfg.HardBatteryFloor,
+		}
+		if cfg.FreezeEta {
+			// A vanishing step makes the eq. (17) updates no-ops, keeping
+			// eta pinned to its warm-start value.
+			pc.Delta = 1e-300
+		}
+		if cfg.Harvest != nil {
+			node := i
+			pc.Harvest = func(t float64) float64 { return cfg.Harvest(node, t) }
+		}
+		e.nodes[i] = nodeState{
+			proto:        econcast.NewNode(pc),
+			state:        model.Sleep,
+			lastBurstEnd: -1,
+		}
+		if cfg.WarmEta != nil {
+			p0 := math.Max(nd.ListenPower, nd.TransmitPower)
+			e.nodes[i].proto.SetEta(cfg.WarmEta[i] * p0)
+		}
+	}
+	return e
+}
+
+// neighbors returns the neighbor indices of i (all others in a clique).
+func (e *engine) neighbors(i int) []int {
+	if e.topo != nil {
+		return e.topo.Neighbors(i)
+	}
+	out := make([]int, 0, e.n-1)
+	for j := 0; j < e.n; j++ {
+		if j != i {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+func (e *engine) adjacent(i, j int) bool {
+	if e.topo != nil {
+		return e.topo.Adjacent(i, j)
+	}
+	return i != j
+}
+
+func (e *engine) run() {
+	tau := e.nodes[0].proto.Config().Tau
+	for i := 0; i < e.n; i++ {
+		e.scheduleTransition(i)
+		e.push(event{at: tau, kind: evTick, node: i})
+	}
+	for len(e.queue) > 0 {
+		ev := e.queue.pop()
+		if ev.at > e.cfg.Duration {
+			break
+		}
+		if e.cfg.TrackOccupancy && e.measuring {
+			e.accrueOccupancy(ev.at)
+		}
+		e.now = ev.at
+		if !e.measuring && e.now >= e.cfg.Warmup {
+			e.measuring = true
+			e.occLast = e.now
+			e.warmupBattery = make([]float64, e.n)
+			for i := range e.nodes {
+				e.accrue(i)
+				e.warmupBattery[i] = e.nodes[i].proto.Battery()
+			}
+		}
+		switch ev.kind {
+		case evTransition:
+			if ev.version != e.nodes[ev.node].version {
+				continue // stale
+			}
+			e.handleTransition(ev.node)
+		case evPacketEnd:
+			e.handlePacketEnd(ev.node)
+		case evTick:
+			e.handleTick(ev.node, tau)
+		}
+	}
+	// Final energy accrual to the horizon.
+	if e.cfg.TrackOccupancy && e.measuring {
+		e.accrueOccupancy(e.cfg.Duration)
+	}
+	e.now = e.cfg.Duration
+	for i := range e.nodes {
+		e.accrue(i)
+	}
+}
+
+// currentNetState snapshots the network state as a model.NetState.
+func (e *engine) currentNetState() model.NetState {
+	s := model.NetState{Transmitter: model.NoTransmitter}
+	for i := range e.nodes {
+		switch e.nodes[i].state {
+		case model.Transmit:
+			s.Transmitter = i
+		case model.Listen:
+			s.Listeners |= 1 << uint(i)
+		}
+	}
+	return s
+}
+
+// accrueOccupancy charges the interval since the last accrual to the
+// current network state. Called before any event mutates node states, so
+// the charged state is the one that actually held over the interval.
+func (e *engine) accrueOccupancy(until float64) {
+	if until > e.cfg.Duration {
+		until = e.cfg.Duration
+	}
+	dt := until - e.occLast
+	if dt <= 0 {
+		return
+	}
+	if e.met.Occupancy == nil {
+		e.met.Occupancy = make(map[model.NetState]float64)
+	}
+	e.met.Occupancy[e.currentNetState()] += dt
+	e.occLast = until
+}
+
+func (e *engine) push(ev event) {
+	ev.seq = e.seq
+	e.seq++
+	e.queue.push(ev)
+}
+
+// accrue advances node i's battery and multiplier bookkeeping to now.
+// Multiplier boundaries are also forced by evTick events, so eta changes
+// land exactly on tau multiples regardless of event spacing.
+func (e *engine) accrue(i int) {
+	ns := &e.nodes[i]
+	if dt := e.now - ns.lastUpdate; dt > 0 {
+		ns.proto.Advance(dt, ns.state)
+		ns.lastUpdate = e.now
+	}
+}
+
+// bump invalidates node i's pending transition event.
+func (e *engine) bump(i int) { e.nodes[i].version++ }
+
+// estimateFor returns the transmitter-side listener estimate for count
+// successful receivers, applying the configured noise hook.
+func (e *engine) estimateFor(i, count int) float64 {
+	if e.cfg.EstimateListeners != nil {
+		count = e.cfg.EstimateListeners(count, e.src)
+		if count < 0 {
+			count = 0
+		}
+	}
+	return e.nodes[i].proto.Estimate(count)
+}
+
+// listenEstimate is the continuous listener estimate used by the
+// non-capture variant's listen->transmit rate: the number of other
+// listening neighbors (whose pings the node hears).
+func (e *engine) listenEstimate(i int) float64 {
+	count := 0
+	for _, j := range e.neighbors(i) {
+		if e.nodes[j].state == model.Listen {
+			count++
+		}
+	}
+	return e.estimateFor(i, count)
+}
+
+// scheduleTransition samples node i's next state transition from its
+// current rates and pushes it. Transmitting nodes are packet-driven and
+// get no timer.
+func (e *engine) scheduleTransition(i int) {
+	e.bump(i)
+	ns := &e.nodes[i]
+	if ns.state == model.Transmit {
+		return
+	}
+	if e.cfg.HardBatteryFloor && ns.state == model.Sleep && ns.proto.Depleted() {
+		return // stays asleep until a tick finds the battery recovered
+	}
+	if e.cfg.Churn != nil && !e.cfg.Churn(i, e.now) {
+		return // absent: re-checked at the next tick
+	}
+	carrierFree := ns.busy == 0
+	est := 0.0
+	if e.cfg.Protocol.Variant == econcast.NonCapture && ns.state == model.Listen {
+		est = e.listenEstimate(i)
+	}
+	r := ns.proto.Rates(carrierFree, est)
+	var total float64
+	switch ns.state {
+	case model.Sleep:
+		total = r.SleepToListen
+	case model.Listen:
+		total = r.ListenToSleep + r.ListenToTransmit
+	}
+	if total <= 0 {
+		return
+	}
+	e.push(event{
+		at:      e.now + e.src.Exp(total),
+		kind:    evTransition,
+		node:    i,
+		version: ns.version,
+	})
+}
+
+// handleTransition fires node i's sampled transition.
+func (e *engine) handleTransition(i int) {
+	ns := &e.nodes[i]
+	e.accrue(i)
+	switch ns.state {
+	case model.Sleep:
+		e.setState(i, model.Listen)
+		e.onListenSetChanged(i)
+		e.scheduleTransition(i)
+	case model.Listen:
+		carrierFree := ns.busy == 0
+		est := 0.0
+		if e.cfg.Protocol.Variant == econcast.NonCapture {
+			est = e.listenEstimate(i)
+		}
+		r := ns.proto.Rates(carrierFree, est)
+		total := r.ListenToSleep + r.ListenToTransmit
+		if total <= 0 {
+			return
+		}
+		if e.src.Float64()*total < r.ListenToTransmit {
+			e.startTransmission(i)
+		} else {
+			e.flushBurst(i)
+			e.setState(i, model.Sleep)
+			ns.sleptSince = true
+			e.onListenSetChanged(i)
+			e.scheduleTransition(i)
+		}
+	}
+}
+
+// setState switches node i's recorded state after accruing energy.
+func (e *engine) setState(i int, st model.State) {
+	e.accrue(i)
+	e.logf("%.6f node %d: %v -> %v", e.now, i, e.nodes[i].state, st)
+	e.nodes[i].state = st
+}
+
+// logf writes one trace line when an event log is configured.
+func (e *engine) logf(format string, args ...any) {
+	if e.cfg.EventLog != nil {
+		fmt.Fprintf(e.cfg.EventLog, format+"\n", args...)
+	}
+}
+
+// onListenSetChanged resamples the non-capture listen->transmit rates of
+// node i's listening neighbors, whose estimates just changed.
+func (e *engine) onListenSetChanged(i int) {
+	if e.cfg.Protocol.Variant != econcast.NonCapture {
+		return
+	}
+	for _, j := range e.neighbors(i) {
+		if e.nodes[j].state == model.Listen {
+			e.scheduleTransition(j)
+		}
+	}
+}
+
+// startTransmission moves node i from listen to transmit, occupies the
+// channel for its neighbors, and begins the first packet of the hold.
+func (e *engine) startTransmission(i int) {
+	if e.nodes[i].busy != 0 {
+		// Carrier sensing (the A(t) gate) must make this unreachable.
+		panic(fmt.Sprintf("sim: node %d transmitting into a busy channel", i))
+	}
+	e.flushBurst(i)
+	e.setState(i, model.Transmit)
+	e.bump(i) // no timer while transmitting
+	e.onListenSetChanged(i)
+	// Occupy the channel: each neighbor gains one transmitting neighbor.
+	for _, j := range e.neighbors(i) {
+		ns := &e.nodes[j]
+		ns.busy++
+		if ns.busy == 1 && ns.state != model.Transmit {
+			// Channel became busy for j: freeze by resampling (rates -> 0).
+			e.scheduleTransition(j)
+		}
+	}
+	// A new transmission collides with receptions of other in-flight
+	// packets at shared receivers (hidden terminals, non-clique only).
+	for _, other := range e.packets {
+		for _, j := range other.listeners {
+			if e.adjacent(i, j) && !e.nodes[j].collidedInPkt {
+				e.nodes[j].collidedInPkt = true
+				if e.measuring {
+					e.met.CollidedReceptions++
+				}
+			}
+		}
+	}
+	e.startPacket(i, 0, false)
+}
+
+// startPacket begins one unit packet from transmitter i. burstLen counts
+// packets already sent in this hold and delivered whether any earlier
+// packet of the hold was received. The listener set is every neighbor
+// currently listening; a listener with more than one transmitting neighbor
+// is collided from the start.
+func (e *engine) startPacket(i, burstLen int, delivered bool) {
+	p := &packet{tx: i, burstLen: burstLen, delivered: delivered}
+	for _, j := range e.neighbors(i) {
+		ns := &e.nodes[j]
+		if ns.state == model.Listen {
+			p.listeners = append(p.listeners, j)
+			ns.collidedInPkt = ns.busy > 1
+			if ns.collidedInPkt && e.measuring {
+				e.met.CollidedReceptions++
+			}
+		}
+	}
+	e.packets[i] = p
+	e.logf("%.6f node %d: packet %d of hold, %d listeners",
+		e.now, i, burstLen+1, len(p.listeners))
+	e.push(event{at: e.now + e.packetTime, kind: evPacketEnd, node: i})
+}
+
+// handlePacketEnd completes transmitter i's current packet: deliver
+// receptions, re-estimate listeners, and continue or release the channel.
+func (e *engine) handlePacketEnd(i int) {
+	p := e.packets[i]
+	if p == nil || e.nodes[i].state != model.Transmit {
+		return
+	}
+	success := 0
+	for _, j := range p.listeners {
+		ns := &e.nodes[j]
+		if ns.state != model.Listen {
+			// Left mid-packet (churn departure): no reception.
+			ns.collidedInPkt = false
+			continue
+		}
+		if ns.collidedInPkt {
+			ns.collidedInPkt = false
+			continue
+		}
+		success++
+		ns.burstCount++
+		if e.cfg.OnDeliver != nil {
+			e.cfg.OnDeliver(i, j, e.now)
+		}
+		if e.measuring {
+			e.met.PacketsDelivered++
+			// Burst/latency bookkeeping: first packet of a receive burst.
+			if ns.burstCount == 1 && ns.hasBurst && ns.sleptSince {
+				e.met.Latency.Add(e.now - e.packetTime - ns.lastBurstEnd)
+			}
+			ns.sleptSince = false
+		}
+		ns.lastBurstEnd = e.now
+		ns.hasBurst = true
+	}
+	if e.measuring {
+		e.met.PacketsSent++
+		e.met.Groupput += float64(success) * e.packetTime
+		if success > 0 {
+			e.met.PacketsAnyDeliver++
+			e.met.Anyput += e.packetTime
+		}
+	}
+	if success > 0 {
+		p.delivered = true
+	}
+	delete(e.packets, i)
+
+	// A physically depleted listener is forced to sleep to recharge; it
+	// cannot stay in receive on an empty store.
+	if e.cfg.HardBatteryFloor {
+		for _, j := range p.listeners {
+			e.accrue(j)
+			if e.nodes[j].state == model.Listen && e.nodes[j].proto.Depleted() {
+				e.flushBurst(j)
+				e.setState(j, model.Sleep)
+				e.nodes[j].sleptSince = true
+				e.bump(j)
+				e.onListenSetChanged(j)
+			}
+		}
+	}
+
+	// Decide whether to hold the channel (EconCast-C) or release; a
+	// depleted transmitter must release regardless.
+	e.accrue(i)
+	est := e.estimateFor(i, success)
+	cont := e.nodes[i].proto.ContinueTransmitProb(est)
+	forced := e.cfg.HardBatteryFloor && e.nodes[i].proto.Depleted()
+	if e.cfg.Churn != nil && !e.cfg.Churn(i, e.now) {
+		forced = true // departed: release the channel now
+	}
+	if !forced && e.src.Bernoulli(cont) {
+		e.startPacket(i, p.burstLen+1, p.delivered)
+		return
+	}
+	// Hold complete: record its length if it reached any receiver (the
+	// Appendix E burst definition behind eqs. 34-35).
+	if p.delivered && e.measuring {
+		e.met.BurstLengths.Add(float64(p.burstLen + 1))
+	}
+	// Release: transmitter returns to listen (Fig. 1), neighbors unfreeze.
+	e.setState(i, model.Listen)
+	e.scheduleTransition(i)
+	for _, j := range e.neighbors(i) {
+		ns := &e.nodes[j]
+		ns.busy--
+		if ns.busy == 0 && ns.state != model.Transmit {
+			e.scheduleTransition(j)
+		}
+	}
+	e.onListenSetChanged(i)
+}
+
+// flushBurst closes node i's receive burst (used by the latency metric;
+// burst-length samples themselves are recorded per channel hold).
+func (e *engine) flushBurst(i int) {
+	e.nodes[i].burstCount = 0
+}
+
+// handleTick advances energy bookkeeping (forcing the eq. 17 update to
+// land exactly on the tau boundary) and resamples the node's transition,
+// since its rates depend on the refreshed multiplier.
+func (e *engine) handleTick(i int, tau float64) {
+	e.accrue(i)
+	// Departure: an absent node abandons listening (transmitters finish
+	// their current hold first; the packet machinery owns that state).
+	if e.cfg.Churn != nil && !e.cfg.Churn(i, e.now) && e.nodes[i].state == model.Listen {
+		e.flushBurst(i)
+		e.setState(i, model.Sleep)
+		e.nodes[i].sleptSince = true
+		e.bump(i)
+		e.onListenSetChanged(i)
+	}
+	if e.cfg.OnTick != nil {
+		nd := e.cfg.Network.Nodes[i]
+		p0 := math.Max(nd.ListenPower, nd.TransmitPower)
+		e.cfg.OnTick(i, e.now, e.nodes[i].proto.Eta()/p0)
+	}
+	if e.nodes[i].state != model.Transmit {
+		e.scheduleTransition(i)
+	}
+	e.push(event{at: e.now + tau, kind: evTick, node: i})
+}
+
+// finish assembles the metrics.
+func (e *engine) finish() *Metrics {
+	window := e.cfg.Duration - e.cfg.Warmup
+	e.met.Window = window
+	e.met.Groupput /= window
+	e.met.Anyput /= window
+	for s := range e.met.Occupancy {
+		e.met.Occupancy[s] /= window
+	}
+	e.met.Power = make([]float64, e.n)
+	e.met.EtaFinal = make([]float64, e.n)
+	e.met.Battery = make([]float64, e.n)
+	for i := range e.nodes {
+		nd := e.cfg.Network.Nodes[i]
+		// Mean consumption over the window: harvest - net battery gain.
+		start := e.cfg.InitialBattery
+		if e.warmupBattery != nil {
+			start = e.warmupBattery[i]
+		}
+		gained := e.nodes[i].proto.Battery() - start
+		e.met.Power[i] = nd.Budget - gained/window
+		p0 := math.Max(nd.ListenPower, nd.TransmitPower)
+		e.met.EtaFinal[i] = e.nodes[i].proto.Eta() / p0
+		e.met.Battery[i] = e.nodes[i].proto.Battery()
+	}
+	return &e.met
+}

@@ -1,0 +1,295 @@
+package statespace
+
+import (
+	"fmt"
+	"math"
+
+	"econcast/internal/model"
+)
+
+// Mixing quantifies how fast the EconCast network chain converges, the
+// machinery behind the Appendix D convergence proof: the uniformized
+// chain's second largest eigenvalue modulus (SLEM) theta_2, the spectral
+// gap, the stationary minimum and its analytical lower bound (eq. 30), and
+// — for small spaces — the exact conductance phi with the Cheeger bound
+// 1 - theta_2 >= phi^2/2 used in eq. (33).
+type Mixing struct {
+	SLEM        float64 // theta_2
+	SpectralGap float64 // 1 - theta_2
+	Uniform     float64 // uniformization constant q >= max outflow rate
+	PiMin       float64 // smallest stationary probability
+	PiMinBound  float64 // analytical lower bound in the style of eq. (30)
+
+	// Conductance is the exact chain conductance phi, computed only when
+	// the state space is small enough to enumerate cuts; NaN otherwise.
+	Conductance float64
+}
+
+// maxConductanceStates bounds the exact-cut enumeration (2^|W| subsets).
+const maxConductanceStates = 22
+
+// MixingAnalysis computes the Mixing quantities for the chain at frozen
+// multipliers eta.
+func (sp *Space) MixingAnalysis(eta []float64, sigma float64, mode model.Mode) (*Mixing, error) {
+	if len(eta) != sp.nw.N() {
+		return nil, fmt.Errorf("statespace: eta length %d != N %d", len(eta), sp.nw.N())
+	}
+	if sigma <= 0 {
+		return nil, fmt.Errorf("statespace: sigma must be positive")
+	}
+	m := sp.Len()
+	dist := sp.Gibbs(eta, sigma, mode)
+	pi := make([]float64, m)
+	piMin := math.Inf(1)
+	for i := range pi {
+		pi[i] = dist.Pi(i)
+		if pi[i] < piMin {
+			piMin = pi[i]
+		}
+	}
+
+	// Uniformized transition matrix P = I + Q/q.
+	adj := make([][]mixEdge, m)
+	q := 0.0
+	for i := 0; i < m; i++ {
+		total := 0.0
+		for _, tr := range sp.Transitions(i, eta, sigma, mode) {
+			adj[i] = append(adj[i], mixEdge{tr.To, tr.Rate})
+			total += tr.Rate
+		}
+		if total > q {
+			q = total
+		}
+	}
+	q *= 1.05
+
+	// Reversibility makes A = D^{1/2} P D^{-1/2} symmetric with leading
+	// eigenvector sqrt(pi) at eigenvalue 1; the SLEM is A's second largest
+	// eigenvalue modulus.
+	a := make([][]float64, m)
+	for i := range a {
+		a[i] = make([]float64, m)
+	}
+	for i := 0; i < m; i++ {
+		stay := 1.0
+		for _, e := range adj[i] {
+			p := e.rate / q
+			stay -= p
+			a[i][e.to] += p * math.Sqrt(pi[i]/pi[e.to])
+		}
+		a[i][i] += stay
+	}
+	slem := slemOf(a, pi)
+
+	out := &Mixing{
+		SLEM:        slem,
+		SpectralGap: 1 - slem,
+		Uniform:     q,
+		PiMin:       piMin,
+		PiMinBound:  sp.piMinBound(eta, sigma),
+		Conductance: math.NaN(),
+	}
+	if m <= maxConductanceStates {
+		out.Conductance = conductance(pi, adj, q, m)
+	}
+	return out, nil
+}
+
+// piMinBound is the static form of the Appendix D eq. (30) bound:
+// pi_w * Z >= exp(-N*Cbar*max(eta)/sigma) and Z <= |W| * exp(N/sigma),
+// where Cbar is the largest power level.
+func (sp *Space) piMinBound(eta []float64, sigma float64) float64 {
+	cbar := 0.0
+	maxEta := 0.0
+	for i, n := range sp.nw.Nodes {
+		cbar = math.Max(cbar, math.Max(n.ListenPower, n.TransmitPower))
+		maxEta = math.Max(maxEta, eta[i])
+	}
+	n := float64(sp.nw.N())
+	return math.Exp(-n*cbar*maxEta/sigma) / (float64(sp.Len()) * math.Exp(n/sigma))
+}
+
+// slemOf returns the second largest eigenvalue modulus of the symmetric
+// matrix a whose leading eigenvector is sqrt(pi) (eigenvalue 1). Small
+// matrices use a full Jacobi decomposition; larger ones use deflated
+// power iteration.
+func slemOf(a [][]float64, pi []float64) float64 {
+	m := len(a)
+	if m <= 64 {
+		ev := jacobiEigenvalues(a)
+		// Drop the eigenvalue closest to 1 (the principal one), return the
+		// largest remaining modulus.
+		principal := 0
+		for i, v := range ev {
+			if math.Abs(v-1) < math.Abs(ev[principal]-1) {
+				principal = i
+			}
+		}
+		slem := 0.0
+		for i, v := range ev {
+			if i != principal && math.Abs(v) > slem {
+				slem = math.Abs(v)
+			}
+		}
+		return slem
+	}
+	// Deflated power iteration.
+	v1 := make([]float64, m)
+	for i := range v1 {
+		v1[i] = math.Sqrt(pi[i])
+	}
+	normalize(v1)
+	x := make([]float64, m)
+	for i := range x {
+		x[i] = math.Sin(float64(3*i + 1)) // deterministic pseudo-random start
+	}
+	deflate(x, v1)
+	normalize(x)
+	y := make([]float64, m)
+	lambda := 0.0
+	for iter := 0; iter < 5000; iter++ {
+		matVec(a, x, y)
+		deflate(y, v1)
+		l := math.Sqrt(dot(y, y))
+		if l == 0 {
+			return 0
+		}
+		for i := range y {
+			y[i] /= l
+		}
+		x, y = y, x
+		if math.Abs(l-lambda) < 1e-12 {
+			lambda = l
+			break
+		}
+		lambda = l
+	}
+	return lambda
+}
+
+func matVec(a [][]float64, x, out []float64) {
+	for i := range a {
+		s := 0.0
+		row := a[i]
+		for j, v := range row {
+			if v != 0 {
+				s += v * x[j]
+			}
+		}
+		out[i] = s
+	}
+}
+
+func dot(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+func normalize(x []float64) {
+	n := math.Sqrt(dot(x, x))
+	if n == 0 {
+		return
+	}
+	for i := range x {
+		x[i] /= n
+	}
+}
+
+func deflate(x, v []float64) {
+	c := dot(x, v)
+	for i := range x {
+		x[i] -= c * v[i]
+	}
+}
+
+// jacobiEigenvalues computes all eigenvalues of a (copied) symmetric
+// matrix by cyclic Jacobi rotations.
+func jacobiEigenvalues(src [][]float64) []float64 {
+	m := len(src)
+	a := make([][]float64, m)
+	for i := range a {
+		a[i] = append([]float64(nil), src[i]...)
+	}
+	for sweep := 0; sweep < 100; sweep++ {
+		off := 0.0
+		for i := 0; i < m; i++ {
+			for j := i + 1; j < m; j++ {
+				off += a[i][j] * a[i][j]
+			}
+		}
+		if off < 1e-24 {
+			break
+		}
+		for p := 0; p < m; p++ {
+			for q := p + 1; q < m; q++ {
+				if math.Abs(a[p][q]) < 1e-15 {
+					continue
+				}
+				theta := (a[q][q] - a[p][p]) / (2 * a[p][q])
+				t := 1 / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				if theta < 0 {
+					t = -t
+				}
+				c := 1 / math.Sqrt(t*t+1)
+				s := t * c
+				for k := 0; k < m; k++ {
+					akp, akq := a[k][p], a[k][q]
+					a[k][p] = c*akp - s*akq
+					a[k][q] = s*akp + c*akq
+				}
+				for k := 0; k < m; k++ {
+					apk, aqk := a[p][k], a[q][k]
+					a[p][k] = c*apk - s*aqk
+					a[q][k] = s*apk + c*aqk
+				}
+			}
+		}
+	}
+	ev := make([]float64, m)
+	for i := range ev {
+		ev[i] = a[i][i]
+	}
+	return ev
+}
+
+// mixEdge is one outgoing transition used by the mixing analysis.
+type mixEdge struct {
+	to   int
+	rate float64
+}
+
+// conductance computes the exact chain conductance
+// phi = min over cuts A (pi(A) <= 1/2) of Q(A, A^c) / pi(A),
+// with Q(A, A^c) = sum_{i in A, j not in A} pi_i P(i, j).
+func conductance(pi []float64, adj [][]mixEdge, q float64, m int) float64 {
+	best := math.Inf(1)
+	for mask := 1; mask < (1<<uint(m))-1; mask++ {
+		piA := 0.0
+		for i := 0; i < m; i++ {
+			if mask&(1<<uint(i)) != 0 {
+				piA += pi[i]
+			}
+		}
+		if piA > 0.5 || piA == 0 {
+			continue
+		}
+		flow := 0.0
+		for i := 0; i < m; i++ {
+			if mask&(1<<uint(i)) == 0 {
+				continue
+			}
+			for _, e := range adj[i] {
+				if mask&(1<<uint(e.to)) == 0 {
+					flow += pi[i] * e.rate / q
+				}
+			}
+		}
+		if v := flow / piA; v < best {
+			best = v
+		}
+	}
+	return best
+}

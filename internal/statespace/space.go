@@ -1,0 +1,270 @@
+// Package statespace provides the exact Markov-chain analysis of EconCast
+// from Sections IV–VI of the paper: enumeration of the collision-free
+// network state space W, the Gibbs stationary distribution of eq. (19), the
+// transition-rate structure of eq. (31), the dual (Lagrangian) solver for
+// the entropy-regularized problem (P4) following Algorithm 1, and the
+// closed-form burstiness analysis of Appendix E (eqs. 34–35).
+//
+// For heterogeneous networks the space is enumerated exactly (practical up
+// to ~16 nodes); for homogeneous networks an aggregated representation over
+// (transmitter-present, listener-count) classes supports arbitrary N.
+package statespace
+
+import (
+	"fmt"
+	"math"
+
+	"econcast/internal/model"
+)
+
+// Space is the enumerated collision-free state space W of a network: all
+// states with at most one transmitter (§III-C), of size (N+2)*2^(N-1).
+type Space struct {
+	nw     *model.Network
+	states []model.NetState
+	index  []int // key -> state index, or -1
+}
+
+// Enumerate builds the exact state space. It returns an error if the
+// network is invalid or too large to enumerate.
+func Enumerate(nw *model.Network) (*Space, error) {
+	if err := nw.Validate(); err != nil {
+		return nil, err
+	}
+	n := nw.N()
+	if n > model.MaxNodesExact {
+		return nil, fmt.Errorf("statespace: N=%d exceeds exact-enumeration limit %d",
+			n, model.MaxNodesExact)
+	}
+	sp := &Space{
+		nw:     nw,
+		states: make([]model.NetState, 0, model.NumStates(n)),
+		index:  make([]int, (n+1)<<uint(n)),
+	}
+	for i := range sp.index {
+		sp.index[i] = -1
+	}
+	add := func(s model.NetState) {
+		sp.index[sp.key(s)] = len(sp.states)
+		sp.states = append(sp.states, s)
+	}
+	full := uint64(1)<<uint(n) - 1
+	// States without a transmitter: every listener subset.
+	for mask := uint64(0); mask <= full; mask++ {
+		add(model.NetState{Transmitter: model.NoTransmitter, Listeners: mask})
+	}
+	// States with one transmitter: every subset of the rest listening.
+	for tx := 0; tx < n; tx++ {
+		rest := full &^ (1 << uint(tx))
+		// Iterate over all submasks of rest, including the empty one.
+		for sub := rest; ; sub = (sub - 1) & rest {
+			add(model.NetState{Transmitter: tx, Listeners: sub})
+			if sub == 0 {
+				break
+			}
+		}
+	}
+	return sp, nil
+}
+
+// key maps a valid state to a dense integer.
+func (sp *Space) key(s model.NetState) int {
+	n := sp.nw.N()
+	return (s.Transmitter+1)<<uint(n) | int(s.Listeners)
+}
+
+// Len returns |W|.
+func (sp *Space) Len() int { return len(sp.states) }
+
+// Network returns the network the space was built over.
+func (sp *Space) Network() *model.Network { return sp.nw }
+
+// State returns the i-th state.
+func (sp *Space) State(i int) model.NetState { return sp.states[i] }
+
+// Index returns the index of state s, or -1 if s is not in W.
+func (sp *Space) Index(s model.NetState) int {
+	if !s.Valid(sp.nw.N()) {
+		return -1
+	}
+	return sp.index[sp.key(s)]
+}
+
+// logSumExp returns log(sum(exp(xs))) computed stably.
+func logSumExp(xs []float64) float64 {
+	max := math.Inf(-1)
+	for _, x := range xs {
+		if x > max {
+			max = x
+		}
+	}
+	if math.IsInf(max, -1) {
+		return max
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += math.Exp(x - max)
+	}
+	return max + math.Log(sum)
+}
+
+// Dist is the Gibbs stationary distribution pi^eta of eq. (19) over an
+// enumerated space, for a fixed multiplier vector eta, temperature sigma,
+// and throughput mode.
+type Dist struct {
+	space *Space
+	mode  model.Mode
+	sigma float64
+	logPi []float64 // log pi_w (normalized)
+	pi    []float64 // pi_w, materialized once (exp is the hot path)
+	logZ  float64
+}
+
+// Gibbs computes the stationary distribution (19) for multipliers eta.
+func (sp *Space) Gibbs(eta []float64, sigma float64, mode model.Mode) *Dist {
+	if len(eta) != sp.nw.N() {
+		panic("statespace: eta length mismatch")
+	}
+	if sigma <= 0 {
+		panic("statespace: sigma must be positive")
+	}
+	d := &Dist{
+		space: sp,
+		mode:  mode,
+		sigma: sigma,
+		logPi: make([]float64, sp.Len()),
+	}
+	for i, w := range sp.states {
+		cost := 0.0
+		for j := 0; j < sp.nw.N(); j++ {
+			switch w.StateOf(j) {
+			case model.Listen:
+				cost += eta[j] * sp.nw.Nodes[j].ListenPower
+			case model.Transmit:
+				cost += eta[j] * sp.nw.Nodes[j].TransmitPower
+			}
+		}
+		d.logPi[i] = (w.Throughput(mode) - cost) / sigma
+	}
+	d.logZ = logSumExp(d.logPi)
+	d.pi = make([]float64, len(d.logPi))
+	for i := range d.logPi {
+		d.logPi[i] -= d.logZ
+		d.pi[i] = math.Exp(d.logPi[i])
+	}
+	return d
+}
+
+// Pi returns pi_w for state index i.
+func (d *Dist) Pi(i int) float64 { return d.pi[i] }
+
+// LogZ returns log of the normalizing constant Z_eta (with the
+// un-normalized weights of eq. 19).
+func (d *Dist) LogZ() float64 { return d.logZ }
+
+// Throughput returns the expected state throughput sum_w pi_w T_w under the
+// distribution's own mode.
+func (d *Dist) Throughput() float64 {
+	sum := 0.0
+	for i, w := range d.space.states {
+		if t := w.Throughput(d.mode); t > 0 {
+			sum += t * d.Pi(i)
+		}
+	}
+	return sum
+}
+
+// Fractions returns alpha (listen) and beta (transmit) time fractions per
+// node, eq. (24).
+func (d *Dist) Fractions() (alpha, beta []float64) {
+	n := d.space.nw.N()
+	alpha = make([]float64, n)
+	beta = make([]float64, n)
+	for i, w := range d.space.states {
+		p := d.Pi(i)
+		if p == 0 {
+			continue
+		}
+		if w.HasTransmitter() {
+			beta[w.Transmitter] += p
+		}
+		mask := w.Listeners
+		for mask != 0 {
+			j := trailingZeros(mask)
+			alpha[j] += p
+			mask &= mask - 1
+		}
+	}
+	return alpha, beta
+}
+
+func trailingZeros(x uint64) int {
+	n := 0
+	for x&1 == 0 {
+		x >>= 1
+		n++
+	}
+	return n
+}
+
+// PowerConsumption returns each node's mean power draw alpha_i L_i +
+// beta_i X_i under the distribution.
+func (d *Dist) PowerConsumption() []float64 {
+	alpha, beta := d.Fractions()
+	out := make([]float64, len(alpha))
+	for i := range out {
+		node := d.space.nw.Nodes[i]
+		out[i] = alpha[i]*node.ListenPower + beta[i]*node.TransmitPower
+	}
+	return out
+}
+
+// AvgBurstLength returns the analytical average burst length of EconCast-C
+// under this distribution, eq. (34) for groupput mode and eq. (35)
+// (= e^{1/sigma}) for anyput mode, where bursts are consecutive packets
+// received before the transmitter releases the channel.
+func (d *Dist) AvgBurstLength() float64 {
+	if d.mode == model.Anyput {
+		return AnyputBurstLength(d.sigma)
+	}
+	num := 0.0
+	den := 0.0
+	for i, w := range d.space.states {
+		if !w.HasTransmitter() {
+			continue
+		}
+		c := w.NumListeners()
+		if c < 1 {
+			continue
+		}
+		p := d.Pi(i)
+		num += p
+		den += p * math.Exp(-float64(c)/d.sigma)
+	}
+	if den == 0 {
+		return math.Inf(1)
+	}
+	return num / den
+}
+
+// AnyputBurstLength returns eq. (35): the anyput average burst length
+// e^{1/sigma}, independent of N.
+func AnyputBurstLength(sigma float64) float64 { return math.Exp(1 / sigma) }
+
+// Entropy returns -sum_w pi_w log pi_w.
+func (d *Dist) Entropy() float64 {
+	h := 0.0
+	for _, lp := range d.logPi {
+		p := math.Exp(lp)
+		if p > 0 {
+			h -= p * lp
+		}
+	}
+	return h
+}
+
+// P4Objective returns the (P4) objective sum pi T - sigma sum pi log pi at
+// this distribution.
+func (d *Dist) P4Objective() float64 {
+	return d.Throughput() + d.sigma*d.Entropy()
+}

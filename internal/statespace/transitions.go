@@ -1,0 +1,144 @@
+package statespace
+
+import (
+	"math"
+
+	"econcast/internal/model"
+)
+
+// Transition is one outgoing edge of the network Markov chain: the index of
+// the destination state and the transition rate.
+type Transition struct {
+	To   int
+	Rate float64
+}
+
+// Transitions enumerates the outgoing transitions of state idx under the
+// EconCast-C dynamics with frozen multipliers eta (the chain analyzed in
+// Lemma 2 / eq. 31). Carrier sensing restricts moves: while a transmitter
+// is present, only the transmitter can move (x -> l); otherwise sleepers
+// may start listening, listeners may sleep, and listeners may start
+// transmitting.
+func (sp *Space) Transitions(idx int, eta []float64, sigma float64, mode model.Mode) []Transition {
+	w := sp.states[idx]
+	n := sp.nw.N()
+	var out []Transition
+
+	if w.HasTransmitter() {
+		// Only x -> l with rate exp(-T_w / sigma).
+		i := w.Transmitter
+		next := model.NetState{
+			Transmitter: model.NoTransmitter,
+			Listeners:   w.Listeners | 1<<uint(i),
+		}
+		rate := math.Exp(-w.Throughput(mode) / sigma)
+		out = append(out, Transition{To: sp.Index(next), Rate: rate})
+		return out
+	}
+
+	for i := 0; i < n; i++ {
+		bit := uint64(1) << uint(i)
+		node := sp.nw.Nodes[i]
+		if w.Listeners&bit == 0 {
+			// Sleeping: s -> l with rate exp(-eta_i L_i / sigma).
+			next := model.NetState{Transmitter: model.NoTransmitter, Listeners: w.Listeners | bit}
+			out = append(out, Transition{
+				To:   sp.Index(next),
+				Rate: math.Exp(-eta[i] * node.ListenPower / sigma),
+			})
+			continue
+		}
+		// Listening: l -> s with rate 1.
+		next := model.NetState{Transmitter: model.NoTransmitter, Listeners: w.Listeners &^ bit}
+		out = append(out, Transition{To: sp.Index(next), Rate: 1})
+		// Listening: l -> x with rate exp(eta_i (L_i - X_i) / sigma).
+		nextX := model.NetState{Transmitter: i, Listeners: w.Listeners &^ bit}
+		out = append(out, Transition{
+			To:   sp.Index(nextX),
+			Rate: math.Exp(eta[i] * (node.ListenPower - node.TransmitPower) / sigma),
+		})
+	}
+	return out
+}
+
+// DetailedBalanceError returns the maximum relative violation of the
+// detailed-balance equations pi_w r(w,w') = pi_w' r(w',w) over all
+// transitions, under the Gibbs distribution for the same eta/sigma/mode.
+// Lemma 2 asserts this is zero.
+func (sp *Space) DetailedBalanceError(eta []float64, sigma float64, mode model.Mode) float64 {
+	d := sp.Gibbs(eta, sigma, mode)
+	worst := 0.0
+	for i := range sp.states {
+		for _, tr := range sp.Transitions(i, eta, sigma, mode) {
+			fwd := d.Pi(i) * tr.Rate
+			// Find the reverse rate.
+			var rev float64
+			for _, back := range sp.Transitions(tr.To, eta, sigma, mode) {
+				if back.To == i {
+					rev = back.Rate
+					break
+				}
+			}
+			bwd := d.Pi(tr.To) * rev
+			scale := math.Max(fwd, bwd)
+			if scale == 0 {
+				continue
+			}
+			if v := math.Abs(fwd-bwd) / scale; v > worst {
+				worst = v
+			}
+		}
+	}
+	return worst
+}
+
+// StationaryByPowerIteration computes the stationary distribution of the
+// chain directly from the transition rates via uniformized power iteration,
+// as an independent check on the closed form (19). It returns the
+// distribution as a plain slice indexed like the space.
+func (sp *Space) StationaryByPowerIteration(eta []float64, sigma float64, mode model.Mode, iters int) []float64 {
+	m := sp.Len()
+	// Uniformization constant: max total outflow rate.
+	type edge struct {
+		to   int
+		rate float64
+	}
+	adj := make([][]edge, m)
+	maxOut := 0.0
+	for i := 0; i < m; i++ {
+		total := 0.0
+		for _, tr := range sp.Transitions(i, eta, sigma, mode) {
+			adj[i] = append(adj[i], edge{tr.To, tr.Rate})
+			total += tr.Rate
+		}
+		if total > maxOut {
+			maxOut = total
+		}
+	}
+	q := maxOut * 1.05
+	pi := make([]float64, m)
+	next := make([]float64, m)
+	for i := range pi {
+		pi[i] = 1 / float64(m)
+	}
+	for k := 0; k < iters; k++ {
+		for i := range next {
+			next[i] = 0
+		}
+		for i := 0; i < m; i++ {
+			p := pi[i]
+			if p == 0 {
+				continue
+			}
+			stay := p
+			for _, e := range adj[i] {
+				f := p * e.rate / q
+				next[e.to] += f
+				stay -= f
+			}
+			next[i] += stay
+		}
+		pi, next = next, pi
+	}
+	return pi
+}

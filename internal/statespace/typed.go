@@ -1,0 +1,241 @@
+package statespace
+
+import (
+	"fmt"
+	"math"
+
+	"econcast/internal/model"
+)
+
+// SolveP4Typed solves (P4) for a network made of a few node *types*:
+// counts[t] identical nodes with parameters types[t]. The state space is
+// aggregated into classes (transmitter type, listener count per type), so
+// the complexity is (T+1) * prod(counts[t]+1) instead of (N+2)*2^(N-1) —
+// hundreds of nodes are tractable when T is small. With T = 1 this
+// coincides with SolveP4Homogeneous; with all counts equal to 1 it
+// coincides with the exact enumeration.
+func SolveP4Typed(counts []int, types []model.Node, sigma float64, mode model.Mode, opts *P4Options) (*P4Result, error) {
+	if len(counts) != len(types) || len(types) == 0 {
+		return nil, fmt.Errorf("statespace: %d counts for %d types", len(counts), len(types))
+	}
+	total := 0
+	for t, c := range counts {
+		if c < 1 {
+			return nil, fmt.Errorf("statespace: type %d count %d must be positive", t, c)
+		}
+		total += c
+		one := &model.Network{Nodes: []model.Node{types[t]}}
+		if err := one.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	if sigma <= 0 {
+		return nil, fmt.Errorf("statespace: sigma %v must be positive", sigma)
+	}
+	classes := len(types) + 1
+	for _, c := range counts {
+		classes *= c + 1
+	}
+	if classes > 1<<22 {
+		return nil, fmt.Errorf("statespace: %d aggregated classes exceed the limit", classes)
+	}
+
+	// Scale powers to O(1).
+	p0 := 0.0
+	for _, ty := range types {
+		p0 = math.Max(p0, math.Max(ty.ListenPower, ty.TransmitPower))
+	}
+	scaled := make([]model.Node, len(types))
+	rho := make([]float64, len(types))
+	for t, ty := range types {
+		scaled[t] = model.Node{
+			Budget:        ty.Budget / p0,
+			ListenPower:   ty.ListenPower / p0,
+			TransmitPower: ty.TransmitPower / p0,
+		}
+		rho[t] = scaled[t].Budget
+	}
+
+	ev := newTypedEval(counts, scaled, sigma, mode)
+	eta, res, iters, converged := solveDual(ev, opts.withDefaults())
+	out := finishResult(eta, res, iters, converged, p0)
+
+	// Expand per-type values to per-node slices (type-major order).
+	expand := func(v []float64) []float64 {
+		full := make([]float64, 0, total)
+		for t, c := range counts {
+			for k := 0; k < c; k++ {
+				full = append(full, v[t])
+			}
+		}
+		return full
+	}
+	out.Alpha = expand(out.Alpha)
+	out.Beta = expand(out.Beta)
+	out.Eta = expand(out.Eta)
+	out.Consumption = expand(out.Consumption)
+	return out, nil
+}
+
+// typedEval aggregates the Gibbs computation over (transmitter type,
+// per-type listener counts) classes.
+type typedEval struct {
+	counts []int
+	types  []model.Node // scaled
+	mode   model.Mode
+	sig    float64
+	rho    []float64
+
+	// lgBinom[t][k][c] = log C(counts[t]-k, c) for k in {0,1}.
+	lgBinom [][2][]float64
+}
+
+func newTypedEval(counts []int, types []model.Node, sigma float64, mode model.Mode) *typedEval {
+	e := &typedEval{
+		counts: counts,
+		types:  types,
+		mode:   mode,
+		sig:    sigma,
+		rho:    make([]float64, len(types)),
+	}
+	for t, ty := range types {
+		e.rho[t] = ty.Budget
+	}
+	e.lgBinom = make([][2][]float64, len(counts))
+	for t, n := range counts {
+		e.lgBinom[t][0] = logBinomials(n)
+		if n >= 1 {
+			e.lgBinom[t][1] = logBinomials(n - 1)
+		}
+	}
+	return e
+}
+
+func (e *typedEval) dims() int          { return len(e.types) }
+func (e *typedEval) budgets() []float64 { return e.rho }
+func (e *typedEval) sigma() float64     { return e.sig }
+
+func (e *typedEval) eval(eta []float64) evalResult {
+	T := len(e.types)
+	// Enumerate classes: txType in {-1, 0..T-1}, listener counts per type.
+	// Accumulate with a running max-log trick in two passes: first collect
+	// log-weights and statistics functionals, then combine stably.
+	type stat struct {
+		logW      float64
+		listeners []int
+		txType    int
+		tw        float64
+	}
+	var stats []stat
+
+	counts := make([]int, T)
+	var rec func(t int, logMult, listenCost float64, sumListeners int)
+	emit := func(txType int, logMult, listenCost float64, sumListeners int) {
+		tw := 0.0
+		if txType >= 0 {
+			if e.mode == model.Anyput {
+				if sumListeners >= 1 {
+					tw = 1
+				}
+			} else {
+				tw = float64(sumListeners)
+			}
+		}
+		cost := listenCost
+		if txType >= 0 {
+			cost += eta[txType] * e.types[txType].TransmitPower
+			logMult += math.Log(float64(e.counts[txType]))
+		}
+		stats = append(stats, stat{
+			logW:      logMult + (tw-cost)/e.sig,
+			listeners: append([]int(nil), counts...),
+			txType:    txType,
+			tw:        tw,
+		})
+	}
+	var txType int
+	rec = func(t int, logMult, listenCost float64, sumListeners int) {
+		if t == T {
+			emit(txType, logMult, listenCost, sumListeners)
+			return
+		}
+		avail := e.counts[t]
+		k := 0
+		if txType == t {
+			k = 1
+			avail--
+		}
+		for c := 0; c <= avail; c++ {
+			counts[t] = c
+			rec(t+1,
+				logMult+e.lgBinom[t][k][c],
+				listenCost+float64(c)*eta[t]*e.types[t].ListenPower,
+				sumListeners+c)
+		}
+		counts[t] = 0
+	}
+	txType = -1
+	rec(0, 0, 0, 0)
+	for txType = 0; txType < T; txType++ {
+		rec(0, 0, 0, 0)
+	}
+
+	// Stable normalization.
+	maxLog := math.Inf(-1)
+	for _, s := range stats {
+		if s.logW > maxLog {
+			maxLog = s.logW
+		}
+	}
+	var z float64
+	for _, s := range stats {
+		z += math.Exp(s.logW - maxLog)
+	}
+	logZ := maxLog + math.Log(z)
+
+	eListen := make([]float64, T)
+	pTx := make([]float64, T)
+	var thr, burstNum, burstDen float64
+	for _, s := range stats {
+		p := math.Exp(s.logW - logZ)
+		sum := 0
+		for t, c := range s.listeners {
+			eListen[t] += float64(c) * p
+			sum += c
+		}
+		if s.txType >= 0 {
+			pTx[s.txType] += p
+			thr += s.tw * p
+			if sum >= 1 {
+				burstNum += p
+				burstDen += p * math.Exp(-float64(sum)/e.sig)
+			}
+		}
+	}
+
+	alpha := make([]float64, T)
+	beta := make([]float64, T)
+	cons := make([]float64, T)
+	dual := e.sig * logZ
+	for t := 0; t < T; t++ {
+		n := float64(e.counts[t])
+		alpha[t] = eListen[t] / n
+		beta[t] = pTx[t] / n
+		cons[t] = alpha[t]*e.types[t].ListenPower + beta[t]*e.types[t].TransmitPower
+		dual += n * eta[t] * e.rho[t]
+	}
+	burst := math.Inf(1)
+	if e.mode == model.Anyput {
+		burst = AnyputBurstLength(e.sig)
+	} else if burstDen > 0 {
+		burst = burstNum / burstDen
+	}
+	return evalResult{
+		dual:  dual,
+		cons:  cons,
+		alpha: alpha,
+		beta:  beta,
+		thr:   thr,
+		burst: burst,
+	}
+}

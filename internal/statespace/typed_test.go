@@ -1,0 +1,121 @@
+package statespace
+
+import (
+	"math"
+	"testing"
+
+	"econcast/internal/model"
+)
+
+func TestTypedMatchesHomogeneous(t *testing.T) {
+	node := model.Node{Budget: 10 * model.MicroWatt, ListenPower: 500 * model.MicroWatt, TransmitPower: 400 * model.MicroWatt}
+	for _, mode := range []model.Mode{model.Groupput, model.Anyput} {
+		hom, err := SolveP4Homogeneous(7, node, 0.4, mode, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		typed, err := SolveP4Typed([]int{7}, []model.Node{node}, 0.4, mode, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(hom.Throughput-typed.Throughput) > 1e-9 {
+			t.Fatalf("mode %v: homogeneous %v vs typed %v", mode, hom.Throughput, typed.Throughput)
+		}
+		if math.Abs(hom.Alpha[0]-typed.Alpha[0]) > 1e-9 {
+			t.Fatalf("alpha mismatch: %v vs %v", hom.Alpha[0], typed.Alpha[0])
+		}
+	}
+}
+
+func TestTypedMatchesExactOnSmallMixedNetwork(t *testing.T) {
+	a := model.Node{Budget: 5 * model.MicroWatt, ListenPower: 500 * model.MicroWatt, TransmitPower: 500 * model.MicroWatt}
+	b := model.Node{Budget: 40 * model.MicroWatt, ListenPower: 450 * model.MicroWatt, TransmitPower: 550 * model.MicroWatt}
+	nw := &model.Network{Nodes: []model.Node{a, a, a, b, b}}
+	for _, sigma := range []float64{0.3, 0.6} {
+		exact, err := SolveP4(nw, sigma, model.Groupput, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		typed, err := SolveP4Typed([]int{3, 2}, []model.Node{a, b}, sigma, model.Groupput, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rel := math.Abs(exact.Throughput-typed.Throughput) / exact.Throughput; rel > 1e-6 {
+			t.Fatalf("sigma=%v: exact %v vs typed %v", sigma, exact.Throughput, typed.Throughput)
+		}
+		// Per-node alphas: first three are type a, last two type b.
+		if math.Abs(exact.Alpha[0]-typed.Alpha[0]) > 1e-6 ||
+			math.Abs(exact.Alpha[4]-typed.Alpha[4]) > 1e-6 {
+			t.Fatalf("alpha mismatch: %v vs %v", exact.Alpha, typed.Alpha)
+		}
+		if math.Abs(exact.BurstLength-typed.BurstLength)/exact.BurstLength > 1e-4 {
+			t.Fatalf("burst mismatch: %v vs %v", exact.BurstLength, typed.BurstLength)
+		}
+	}
+}
+
+func TestTypedLargeNetworkConverges(t *testing.T) {
+	a := model.Node{Budget: 5 * model.MicroWatt, ListenPower: 500 * model.MicroWatt, TransmitPower: 500 * model.MicroWatt}
+	b := model.Node{Budget: 50 * model.MicroWatt, ListenPower: 600 * model.MicroWatt, TransmitPower: 400 * model.MicroWatt}
+	res, err := SolveP4Typed([]int{25, 25}, []model.Node{a, b}, 0.4, model.Groupput, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("not converged")
+	}
+	if len(res.Alpha) != 50 {
+		t.Fatalf("alpha length %d", len(res.Alpha))
+	}
+	// Consumption respects per-type budgets.
+	if res.Consumption[0] > a.Budget*1.001 || res.Consumption[49] > b.Budget*1.001 {
+		t.Fatalf("consumption violated: %v / %v", res.Consumption[0], res.Consumption[49])
+	}
+	if res.Throughput <= 0 {
+		t.Fatal("no throughput")
+	}
+}
+
+// SolveP4 must auto-dispatch large type-structured heterogeneous networks
+// to the typed solver (previously an error).
+func TestSolveP4AutoDispatchTyped(t *testing.T) {
+	a := model.Node{Budget: 5 * model.MicroWatt, ListenPower: 500 * model.MicroWatt, TransmitPower: 500 * model.MicroWatt}
+	b := model.Node{Budget: 50 * model.MicroWatt, ListenPower: 500 * model.MicroWatt, TransmitPower: 500 * model.MicroWatt}
+	nodes := make([]model.Node, 0, 30)
+	// Interleave so the permutation logic is exercised.
+	for i := 0; i < 15; i++ {
+		nodes = append(nodes, a, b)
+	}
+	nw := &model.Network{Nodes: nodes}
+	res, err := SolveP4(nw, 0.4, model.Groupput, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Node 0 is type a (5 uW), node 1 type b (50 uW): consumption must
+	// track each node's own budget in the original order.
+	if math.Abs(res.Consumption[0]-a.Budget)/a.Budget > 1e-3 {
+		t.Fatalf("node 0 consumption %v, budget %v", res.Consumption[0], a.Budget)
+	}
+	if math.Abs(res.Consumption[1]-b.Budget)/b.Budget > 1e-3 {
+		t.Fatalf("node 1 consumption %v, budget %v", res.Consumption[1], b.Budget)
+	}
+	if res.Alpha[1] <= res.Alpha[0] {
+		t.Fatal("richer node should listen more")
+	}
+}
+
+func TestTypedErrors(t *testing.T) {
+	node := model.Node{Budget: 1, ListenPower: 1, TransmitPower: 1}
+	if _, err := SolveP4Typed([]int{1, 2}, []model.Node{node}, 0.5, model.Groupput, nil); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := SolveP4Typed([]int{0}, []model.Node{node}, 0.5, model.Groupput, nil); err == nil {
+		t.Fatal("zero count accepted")
+	}
+	if _, err := SolveP4Typed([]int{2}, []model.Node{node}, 0, model.Groupput, nil); err == nil {
+		t.Fatal("sigma=0 accepted")
+	}
+	if _, err := SolveP4Typed([]int{2}, []model.Node{{}}, 0.5, model.Groupput, nil); err == nil {
+		t.Fatal("invalid node accepted")
+	}
+}

@@ -1,0 +1,287 @@
+// Package stats provides the small statistical toolkit used by the
+// simulators and the experiment harness: online accumulators, quantiles,
+// empirical CDFs, histograms, and normal-approximation confidence
+// intervals. Everything is dependency-free and allocation-conscious.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Accumulator computes mean and variance online using Welford's algorithm.
+// The zero value is ready to use.
+type Accumulator struct {
+	n    int
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add records one observation.
+func (a *Accumulator) Add(x float64) {
+	if a.n == 0 {
+		a.min, a.max = x, x
+	} else {
+		if x < a.min {
+			a.min = x
+		}
+		if x > a.max {
+			a.max = x
+		}
+	}
+	a.n++
+	d := x - a.mean
+	a.mean += d / float64(a.n)
+	a.m2 += d * (x - a.mean)
+}
+
+// N returns the number of observations recorded.
+func (a *Accumulator) N() int { return a.n }
+
+// Mean returns the sample mean, or 0 if no observations were recorded.
+func (a *Accumulator) Mean() float64 { return a.mean }
+
+// Min returns the smallest observation, or 0 if none were recorded.
+func (a *Accumulator) Min() float64 { return a.min }
+
+// Max returns the largest observation, or 0 if none were recorded.
+func (a *Accumulator) Max() float64 { return a.max }
+
+// Variance returns the unbiased sample variance (n-1 denominator), or 0 for
+// fewer than two observations.
+func (a *Accumulator) Variance() float64 {
+	if a.n < 2 {
+		return 0
+	}
+	return a.m2 / float64(a.n-1)
+}
+
+// Stddev returns the sample standard deviation.
+func (a *Accumulator) Stddev() float64 { return math.Sqrt(a.Variance()) }
+
+// StdErr returns the standard error of the mean.
+func (a *Accumulator) StdErr() float64 {
+	if a.n == 0 {
+		return 0
+	}
+	return a.Stddev() / math.Sqrt(float64(a.n))
+}
+
+// CI95 returns the half-width of a 95% normal-approximation confidence
+// interval for the mean.
+func (a *Accumulator) CI95() float64 { return 1.96 * a.StdErr() }
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Quantile returns the q-th quantile (0 <= q <= 1) of xs using linear
+// interpolation between order statistics. It panics on an empty slice or a
+// q outside [0, 1]. xs need not be sorted; it is not modified.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Quantile of empty slice")
+	}
+	if q < 0 || q > 1 {
+		panic(fmt.Sprintf("stats: Quantile q=%v outside [0,1]", q))
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return quantileSorted(sorted, q)
+}
+
+func quantileSorted(sorted []float64, q float64) float64 {
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(len(sorted)-1)
+	i := int(math.Floor(pos))
+	if i >= len(sorted)-1 {
+		return sorted[len(sorted)-1]
+	}
+	frac := pos - float64(i)
+	return sorted[i]*(1-frac) + sorted[i+1]*frac
+}
+
+// CDF is an empirical cumulative distribution function over recorded
+// samples. The zero value is ready to use.
+type CDF struct {
+	xs     []float64
+	sorted bool
+}
+
+// Add records one sample.
+func (c *CDF) Add(x float64) {
+	c.xs = append(c.xs, x)
+	c.sorted = false
+}
+
+// N returns the number of recorded samples.
+func (c *CDF) N() int { return len(c.xs) }
+
+func (c *CDF) ensureSorted() {
+	if !c.sorted {
+		sort.Float64s(c.xs)
+		c.sorted = true
+	}
+}
+
+// At returns P(X <= x) under the empirical distribution. It returns 0 when
+// no samples have been recorded.
+func (c *CDF) At(x float64) float64 {
+	if len(c.xs) == 0 {
+		return 0
+	}
+	c.ensureSorted()
+	i := sort.SearchFloat64s(c.xs, math.Nextafter(x, math.Inf(1)))
+	return float64(i) / float64(len(c.xs))
+}
+
+// Quantile returns the q-th quantile of the recorded samples. It panics if
+// no samples have been recorded.
+func (c *CDF) Quantile(q float64) float64 {
+	if len(c.xs) == 0 {
+		panic("stats: Quantile of empty CDF")
+	}
+	c.ensureSorted()
+	if q < 0 || q > 1 {
+		panic(fmt.Sprintf("stats: Quantile q=%v outside [0,1]", q))
+	}
+	return quantileSorted(c.xs, q)
+}
+
+// Mean returns the mean of the recorded samples, or 0 when empty.
+func (c *CDF) Mean() float64 { return Mean(c.xs) }
+
+// Points returns (x, P(X<=x)) pairs suitable for plotting: one point per
+// distinct sample value, in increasing order.
+func (c *CDF) Points() (xs, ps []float64) {
+	if len(c.xs) == 0 {
+		return nil, nil
+	}
+	c.ensureSorted()
+	n := float64(len(c.xs))
+	for i := 0; i < len(c.xs); i++ {
+		// Emit only the last occurrence of each distinct value.
+		if i+1 < len(c.xs) && c.xs[i+1] == c.xs[i] {
+			continue
+		}
+		xs = append(xs, c.xs[i])
+		ps = append(ps, float64(i+1)/n)
+	}
+	return xs, ps
+}
+
+// Histogram counts observations into equal-width bins over [lo, hi).
+// Observations outside the range are counted in Under/Over.
+type Histogram struct {
+	Lo, Hi float64
+	Bins   []int
+	Under  int
+	Over   int
+	total  int
+}
+
+// NewHistogram returns a histogram with n equal-width bins spanning
+// [lo, hi). It panics if n <= 0 or lo >= hi.
+func NewHistogram(lo, hi float64, n int) *Histogram {
+	if n <= 0 {
+		panic("stats: NewHistogram with n <= 0")
+	}
+	if lo >= hi {
+		panic("stats: NewHistogram with lo >= hi")
+	}
+	return &Histogram{Lo: lo, Hi: hi, Bins: make([]int, n)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	h.total++
+	switch {
+	case x < h.Lo:
+		h.Under++
+	case x >= h.Hi:
+		h.Over++
+	default:
+		i := int(float64(len(h.Bins)) * (x - h.Lo) / (h.Hi - h.Lo))
+		if i >= len(h.Bins) { // guard against floating-point edge
+			i = len(h.Bins) - 1
+		}
+		h.Bins[i]++
+	}
+}
+
+// N returns the total number of observations, including out-of-range ones.
+func (h *Histogram) N() int { return h.total }
+
+// Fraction returns the fraction of observations that fell in bin i.
+func (h *Histogram) Fraction(i int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.Bins[i]) / float64(h.total)
+}
+
+// Counter tallies non-negative integer outcomes (e.g. "number of pings
+// received"), used for the paper's Table IV. The zero value is ready to use.
+type Counter struct {
+	counts []int
+	total  int
+}
+
+// Add records one outcome v >= 0.
+func (c *Counter) Add(v int) {
+	if v < 0 {
+		panic("stats: Counter.Add with negative value")
+	}
+	for len(c.counts) <= v {
+		c.counts = append(c.counts, 0)
+	}
+	c.counts[v]++
+	c.total++
+}
+
+// N returns the total number of outcomes recorded.
+func (c *Counter) N() int { return c.total }
+
+// Max returns the largest outcome recorded, or -1 when empty.
+func (c *Counter) Max() int { return len(c.counts) - 1 }
+
+// Count returns the number of times outcome v was recorded.
+func (c *Counter) Count(v int) int {
+	if v < 0 || v >= len(c.counts) {
+		return 0
+	}
+	return c.counts[v]
+}
+
+// Fraction returns the fraction of outcomes equal to v.
+func (c *Counter) Fraction(v int) float64 {
+	if c.total == 0 {
+		return 0
+	}
+	return float64(c.Count(v)) / float64(c.total)
+}
+
+// Mean returns the mean outcome.
+func (c *Counter) Mean() float64 {
+	if c.total == 0 {
+		return 0
+	}
+	sum := 0
+	for v, n := range c.counts {
+		sum += v * n
+	}
+	return float64(sum) / float64(c.total)
+}

@@ -1,0 +1,247 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"econcast/internal/rng"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestAccumulatorBasics(t *testing.T) {
+	var a Accumulator
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		a.Add(x)
+	}
+	if a.N() != 8 {
+		t.Fatalf("N = %d", a.N())
+	}
+	if !almost(a.Mean(), 5, 1e-12) {
+		t.Fatalf("Mean = %v", a.Mean())
+	}
+	// Population variance is 4; sample variance is 4*8/7.
+	if !almost(a.Variance(), 32.0/7, 1e-12) {
+		t.Fatalf("Variance = %v", a.Variance())
+	}
+	if a.Min() != 2 || a.Max() != 9 {
+		t.Fatalf("Min/Max = %v/%v", a.Min(), a.Max())
+	}
+}
+
+func TestAccumulatorEmptyAndSingle(t *testing.T) {
+	var a Accumulator
+	if a.Mean() != 0 || a.Variance() != 0 || a.StdErr() != 0 {
+		t.Fatal("empty accumulator not all-zero")
+	}
+	a.Add(3.5)
+	if a.Mean() != 3.5 || a.Variance() != 0 {
+		t.Fatalf("single-sample Mean/Variance = %v/%v", a.Mean(), a.Variance())
+	}
+}
+
+// Property: accumulator mean matches batch mean, variance matches two-pass
+// variance, for arbitrary finite inputs.
+func TestAccumulatorMatchesTwoPass(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := raw[:0]
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e6 {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) < 2 {
+			return true
+		}
+		var a Accumulator
+		for _, x := range xs {
+			a.Add(x)
+		}
+		mean := Mean(xs)
+		ss := 0.0
+		for _, x := range xs {
+			ss += (x - mean) * (x - mean)
+		}
+		v := ss / float64(len(xs)-1)
+		scale := math.Max(1, math.Abs(mean))
+		return almost(a.Mean(), mean, 1e-8*scale) &&
+			almost(a.Variance(), v, 1e-6*math.Max(1, v))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCI95ShrinksWithN(t *testing.T) {
+	src := rng.New(1)
+	var small, large Accumulator
+	for i := 0; i < 100; i++ {
+		small.Add(src.Normal())
+	}
+	for i := 0; i < 10000; i++ {
+		large.Add(src.Normal())
+	}
+	if large.CI95() >= small.CI95() {
+		t.Fatalf("CI95 did not shrink: %v -> %v", small.CI95(), large.CI95())
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{5, 1, 4, 2, 3}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {0.25, 2}, {0.5, 3}, {0.75, 4}, {1, 5}, {0.125, 1.5},
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.q); !almost(got, c.want, 1e-12) {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	// The input must not be reordered.
+	if xs[0] != 5 {
+		t.Fatal("Quantile mutated its input")
+	}
+}
+
+func TestQuantilePanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { Quantile(nil, 0.5) },
+		func() { Quantile([]float64{1}, -0.1) },
+		func() { Quantile([]float64{1}, 1.1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestCDF(t *testing.T) {
+	var c CDF
+	for _, x := range []float64{1, 2, 2, 3} {
+		c.Add(x)
+	}
+	cases := []struct{ x, want float64 }{
+		{0.5, 0}, {1, 0.25}, {1.5, 0.25}, {2, 0.75}, {3, 1}, {10, 1},
+	}
+	for _, tc := range cases {
+		if got := c.At(tc.x); !almost(got, tc.want, 1e-12) {
+			t.Errorf("At(%v) = %v, want %v", tc.x, got, tc.want)
+		}
+	}
+	if got := c.Quantile(0.5); !almost(got, 2, 1e-12) {
+		t.Errorf("median = %v", got)
+	}
+	if !almost(c.Mean(), 2, 1e-12) {
+		t.Errorf("mean = %v", c.Mean())
+	}
+}
+
+func TestCDFPoints(t *testing.T) {
+	var c CDF
+	for _, x := range []float64{3, 1, 1, 2} {
+		c.Add(x)
+	}
+	xs, ps := c.Points()
+	wantX := []float64{1, 2, 3}
+	wantP := []float64{0.5, 0.75, 1}
+	if len(xs) != 3 {
+		t.Fatalf("points: %v %v", xs, ps)
+	}
+	for i := range xs {
+		if xs[i] != wantX[i] || !almost(ps[i], wantP[i], 1e-12) {
+			t.Fatalf("points: %v %v", xs, ps)
+		}
+	}
+}
+
+func TestCDFAddAfterQuery(t *testing.T) {
+	var c CDF
+	c.Add(1)
+	_ = c.At(1)
+	c.Add(0) // must re-sort
+	if got := c.At(0); !almost(got, 0.5, 1e-12) {
+		t.Fatalf("At(0) after re-add = %v", got)
+	}
+}
+
+// Property: CDF.At is monotonically non-decreasing.
+func TestCDFMonotoneProperty(t *testing.T) {
+	src := rng.New(2)
+	var c CDF
+	for i := 0; i < 500; i++ {
+		c.Add(src.Normal())
+	}
+	prev := -1.0
+	for x := -4.0; x <= 4.0; x += 0.05 {
+		p := c.At(x)
+		if p < prev {
+			t.Fatalf("CDF decreased at %v: %v < %v", x, p, prev)
+		}
+		prev = p
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, x := range []float64{-1, 0, 1.9, 2, 9.99, 10, 42} {
+		h.Add(x)
+	}
+	if h.Under != 1 || h.Over != 2 {
+		t.Fatalf("Under/Over = %d/%d", h.Under, h.Over)
+	}
+	if h.Bins[0] != 2 || h.Bins[1] != 1 || h.Bins[4] != 1 {
+		t.Fatalf("bins = %v", h.Bins)
+	}
+	if h.N() != 7 {
+		t.Fatalf("N = %d", h.N())
+	}
+	if !almost(h.Fraction(0), 2.0/7, 1e-12) {
+		t.Fatalf("Fraction(0) = %v", h.Fraction(0))
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewHistogram(1, 1, 5)
+}
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	for _, v := range []int{0, 0, 1, 3} {
+		c.Add(v)
+	}
+	if c.N() != 4 || c.Max() != 3 {
+		t.Fatalf("N/Max = %d/%d", c.N(), c.Max())
+	}
+	if c.Count(0) != 2 || c.Count(2) != 0 || c.Count(3) != 1 || c.Count(9) != 0 {
+		t.Fatal("counts wrong")
+	}
+	if !almost(c.Fraction(0), 0.5, 1e-12) {
+		t.Fatalf("Fraction(0) = %v", c.Fraction(0))
+	}
+	if !almost(c.Mean(), 1, 1e-12) {
+		t.Fatalf("Mean = %v", c.Mean())
+	}
+}
+
+func TestCounterEmpty(t *testing.T) {
+	var c Counter
+	if c.Max() != -1 || c.Mean() != 0 || c.Fraction(0) != 0 {
+		t.Fatal("empty counter defaults wrong")
+	}
+}
+
+func TestMeanEmpty(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("Mean(nil) != 0")
+	}
+}

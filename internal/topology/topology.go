@@ -1,0 +1,225 @@
+// Package topology describes which nodes can hear which: cliques for the
+// paper's main analysis (§III-C) and grids, rings, stars, and random
+// geometric graphs for the non-clique evaluation (§IV-C, §VII-E).
+//
+// A Topology is an undirected graph over node indices 0..N-1. Node j hears
+// node i's transmissions iff j is a neighbor of i.
+package topology
+
+import (
+	"fmt"
+	"math"
+
+	"econcast/internal/rng"
+)
+
+// Topology is an undirected communication graph over N nodes.
+type Topology struct {
+	n         int
+	neighbors [][]int  // sorted adjacency lists
+	adj       [][]bool // adjacency matrix for O(1) queries
+	name      string
+}
+
+// New returns an empty (edge-free) topology over n nodes. It panics if
+// n <= 0.
+func New(n int) *Topology {
+	if n <= 0 {
+		panic("topology: New with n <= 0")
+	}
+	t := &Topology{
+		n:         n,
+		neighbors: make([][]int, n),
+		adj:       make([][]bool, n),
+		name:      fmt.Sprintf("custom(%d)", n),
+	}
+	for i := range t.adj {
+		t.adj[i] = make([]bool, n)
+	}
+	return t
+}
+
+// N returns the number of nodes.
+func (t *Topology) N() int { return t.n }
+
+// Name returns a human-readable description of the topology.
+func (t *Topology) Name() string { return t.name }
+
+// AddEdge connects i and j bidirectionally. Self-loops and duplicate edges
+// are ignored.
+func (t *Topology) AddEdge(i, j int) {
+	if i == j || t.adj[i][j] {
+		return
+	}
+	t.adj[i][j] = true
+	t.adj[j][i] = true
+	t.insertNeighbor(i, j)
+	t.insertNeighbor(j, i)
+}
+
+func (t *Topology) insertNeighbor(i, j int) {
+	ns := t.neighbors[i]
+	pos := len(ns)
+	for k, v := range ns {
+		if v > j {
+			pos = k
+			break
+		}
+	}
+	ns = append(ns, 0)
+	copy(ns[pos+1:], ns[pos:])
+	ns[pos] = j
+	t.neighbors[i] = ns
+}
+
+// Neighbors returns the sorted neighbor list of node i. The returned slice
+// must not be modified.
+func (t *Topology) Neighbors(i int) []int { return t.neighbors[i] }
+
+// Adjacent reports whether i and j are within communication range.
+func (t *Topology) Adjacent(i, j int) bool { return t.adj[i][j] }
+
+// Degree returns the number of neighbors of node i.
+func (t *Topology) Degree(i int) int { return len(t.neighbors[i]) }
+
+// NumEdges returns the number of undirected edges.
+func (t *Topology) NumEdges() int {
+	sum := 0
+	for i := 0; i < t.n; i++ {
+		sum += len(t.neighbors[i])
+	}
+	return sum / 2
+}
+
+// IsClique reports whether every pair of nodes is connected.
+func (t *Topology) IsClique() bool {
+	for i := 0; i < t.n; i++ {
+		if len(t.neighbors[i]) != t.n-1 {
+			return false
+		}
+	}
+	return true
+}
+
+// Connected reports whether the graph is connected (a single node counts as
+// connected).
+func (t *Topology) Connected() bool {
+	if t.n == 1 {
+		return true
+	}
+	seen := make([]bool, t.n)
+	stack := []int{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, w := range t.neighbors[v] {
+			if !seen[w] {
+				seen[w] = true
+				count++
+				stack = append(stack, w)
+			}
+		}
+	}
+	return count == t.n
+}
+
+// Clique returns the complete graph over n nodes, the paper's primary
+// setting.
+func Clique(n int) *Topology {
+	t := New(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			t.AddEdge(i, j)
+		}
+	}
+	t.name = fmt.Sprintf("clique(%d)", n)
+	return t
+}
+
+// Grid returns a rows x cols 4-neighbor grid, the paper's Fig. 6 topology.
+// Node i sits at (i/cols, i%cols).
+func Grid(rows, cols int) *Topology {
+	if rows <= 0 || cols <= 0 {
+		panic("topology: Grid with non-positive dimensions")
+	}
+	t := New(rows * cols)
+	id := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				t.AddEdge(id(r, c), id(r, c+1))
+			}
+			if r+1 < rows {
+				t.AddEdge(id(r, c), id(r+1, c))
+			}
+		}
+	}
+	t.name = fmt.Sprintf("grid(%dx%d)", rows, cols)
+	return t
+}
+
+// SquareGrid returns the sqrt(n) x sqrt(n) grid used in Fig. 6. It panics
+// if n is not a perfect square.
+func SquareGrid(n int) *Topology {
+	side := int(math.Round(math.Sqrt(float64(n))))
+	if side*side != n {
+		panic(fmt.Sprintf("topology: SquareGrid(%d): not a perfect square", n))
+	}
+	return Grid(side, side)
+}
+
+// Ring returns a cycle over n nodes (n >= 3 gives a proper cycle; smaller n
+// degenerates to a path or a single node).
+func Ring(n int) *Topology {
+	t := New(n)
+	for i := 0; i < n; i++ {
+		t.AddEdge(i, (i+1)%n)
+	}
+	t.name = fmt.Sprintf("ring(%d)", n)
+	return t
+}
+
+// Star returns a star with node 0 at the center.
+func Star(n int) *Topology {
+	t := New(n)
+	for i := 1; i < n; i++ {
+		t.AddEdge(0, i)
+	}
+	t.name = fmt.Sprintf("star(%d)", n)
+	return t
+}
+
+// Line returns a path 0-1-...-n-1.
+func Line(n int) *Topology {
+	t := New(n)
+	for i := 0; i+1 < n; i++ {
+		t.AddEdge(i, i+1)
+	}
+	t.name = fmt.Sprintf("line(%d)", n)
+	return t
+}
+
+// RandomGeometric places n nodes uniformly in the unit square and connects
+// pairs within the given radius. Deterministic for a given source.
+func RandomGeometric(n int, radius float64, src *rng.Source) *Topology {
+	t := New(n)
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := 0; i < n; i++ {
+		xs[i] = src.Float64()
+		ys[i] = src.Float64()
+	}
+	r2 := radius * radius
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			dx, dy := xs[i]-xs[j], ys[i]-ys[j]
+			if dx*dx+dy*dy <= r2 {
+				t.AddEdge(i, j)
+			}
+		}
+	}
+	t.name = fmt.Sprintf("rgg(%d,r=%.2f)", n, radius)
+	return t
+}

@@ -1,0 +1,209 @@
+package topology
+
+import (
+	"testing"
+
+	"econcast/internal/rng"
+)
+
+func TestCliqueProperties(t *testing.T) {
+	for _, n := range []int{1, 2, 5, 10} {
+		c := Clique(n)
+		if c.N() != n {
+			t.Fatalf("N = %d", c.N())
+		}
+		if !c.IsClique() {
+			t.Fatalf("Clique(%d) not a clique", n)
+		}
+		if !c.Connected() {
+			t.Fatalf("Clique(%d) not connected", n)
+		}
+		if want := n * (n - 1) / 2; c.NumEdges() != want {
+			t.Fatalf("Clique(%d) has %d edges, want %d", n, c.NumEdges(), want)
+		}
+		for i := 0; i < n; i++ {
+			if c.Degree(i) != n-1 {
+				t.Fatalf("degree(%d) = %d", i, c.Degree(i))
+			}
+			if c.Adjacent(i, i) {
+				t.Fatal("self-loop")
+			}
+		}
+	}
+}
+
+func TestGrid(t *testing.T) {
+	g := Grid(5, 5)
+	if g.N() != 25 {
+		t.Fatalf("N = %d", g.N())
+	}
+	// Corner, edge, interior degrees.
+	if g.Degree(0) != 2 {
+		t.Fatalf("corner degree = %d", g.Degree(0))
+	}
+	if g.Degree(2) != 3 {
+		t.Fatalf("edge degree = %d", g.Degree(2))
+	}
+	if g.Degree(12) != 4 {
+		t.Fatalf("interior degree = %d", g.Degree(12))
+	}
+	if g.IsClique() {
+		t.Fatal("grid reported as clique")
+	}
+	if !g.Connected() {
+		t.Fatal("grid not connected")
+	}
+	// 4-neighbor edge count: rows*(cols-1) + (rows-1)*cols = 20 + 20.
+	if g.NumEdges() != 40 {
+		t.Fatalf("edges = %d", g.NumEdges())
+	}
+	// Every node has at most 4 neighbors (paper's Fig. 6 statement).
+	for i := 0; i < g.N(); i++ {
+		if g.Degree(i) > 4 {
+			t.Fatalf("degree(%d) = %d > 4", i, g.Degree(i))
+		}
+	}
+}
+
+func TestSquareGrid(t *testing.T) {
+	for _, n := range []int{4, 9, 16, 25, 100} {
+		g := SquareGrid(n)
+		if g.N() != n {
+			t.Fatalf("SquareGrid(%d).N = %d", n, g.N())
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SquareGrid(5) did not panic")
+		}
+	}()
+	SquareGrid(5)
+}
+
+func TestRingStarLine(t *testing.T) {
+	r := Ring(6)
+	for i := 0; i < 6; i++ {
+		if r.Degree(i) != 2 {
+			t.Fatalf("ring degree(%d) = %d", i, r.Degree(i))
+		}
+	}
+	if !r.Connected() {
+		t.Fatal("ring not connected")
+	}
+
+	s := Star(6)
+	if s.Degree(0) != 5 {
+		t.Fatalf("star center degree = %d", s.Degree(0))
+	}
+	for i := 1; i < 6; i++ {
+		if s.Degree(i) != 1 {
+			t.Fatalf("star leaf degree = %d", s.Degree(i))
+		}
+	}
+
+	l := Line(4)
+	if l.NumEdges() != 3 || !l.Connected() {
+		t.Fatal("line wrong")
+	}
+	if l.Degree(0) != 1 || l.Degree(1) != 2 {
+		t.Fatal("line degrees wrong")
+	}
+}
+
+func TestAddEdgeIdempotent(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 0)
+	g.AddEdge(2, 2) // self-loop ignored
+	if g.NumEdges() != 1 {
+		t.Fatalf("edges = %d, want 1", g.NumEdges())
+	}
+	if g.Degree(2) != 0 {
+		t.Fatal("self-loop added")
+	}
+}
+
+func TestNeighborsSorted(t *testing.T) {
+	g := New(5)
+	g.AddEdge(2, 4)
+	g.AddEdge(2, 0)
+	g.AddEdge(2, 3)
+	g.AddEdge(2, 1)
+	ns := g.Neighbors(2)
+	want := []int{0, 1, 3, 4}
+	for i, v := range want {
+		if ns[i] != v {
+			t.Fatalf("neighbors = %v", ns)
+		}
+	}
+}
+
+func TestDisconnected(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(2, 3)
+	if g.Connected() {
+		t.Fatal("disconnected graph reported connected")
+	}
+}
+
+func TestSingleNodeConnected(t *testing.T) {
+	if !New(1).Connected() {
+		t.Fatal("single node not connected")
+	}
+}
+
+func TestRandomGeometric(t *testing.T) {
+	src := rng.New(5)
+	// Radius sqrt(2) covers the whole unit square: must be a clique.
+	g := RandomGeometric(10, 1.5, src)
+	if !g.IsClique() {
+		t.Fatal("full-radius RGG not a clique")
+	}
+	// Radius 0: no edges.
+	g2 := RandomGeometric(10, 0, rng.New(5))
+	if g2.NumEdges() != 0 {
+		t.Fatal("zero-radius RGG has edges")
+	}
+	// Determinism: same seed, same graph.
+	a := RandomGeometric(20, 0.3, rng.New(7))
+	b := RandomGeometric(20, 0.3, rng.New(7))
+	for i := 0; i < 20; i++ {
+		for j := 0; j < 20; j++ {
+			if a.Adjacent(i, j) != b.Adjacent(i, j) {
+				t.Fatal("RGG not deterministic")
+			}
+		}
+	}
+}
+
+// Adjacency matrix and neighbor lists must agree.
+func TestAdjacencyConsistency(t *testing.T) {
+	src := rng.New(11)
+	g := RandomGeometric(30, 0.25, src)
+	for i := 0; i < g.N(); i++ {
+		count := 0
+		for j := 0; j < g.N(); j++ {
+			if g.Adjacent(i, j) {
+				count++
+				if !g.Adjacent(j, i) {
+					t.Fatalf("asymmetric adjacency %d-%d", i, j)
+				}
+			}
+		}
+		if count != g.Degree(i) {
+			t.Fatalf("node %d: matrix degree %d, list degree %d",
+				i, count, g.Degree(i))
+		}
+	}
+}
+
+func TestNewPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(0) did not panic")
+		}
+	}()
+	New(0)
+}

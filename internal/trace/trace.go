@@ -1,0 +1,155 @@
+// Package trace provides synthetic energy-harvesting profiles standing in
+// for the measured indoor-light and kinetic (motion) traces the paper's
+// power budgets are drawn from ([7], [8]): a constant source, a diurnal
+// indoor-light profile with office hours, and a bursty kinetic profile.
+// Profiles plug into the simulator as time-varying budgets, exercising the
+// paper's remark (§III-A) that the analysis extends to time-varying power
+// budgets with a constant mean.
+package trace
+
+import (
+	"math"
+	"sort"
+
+	"econcast/internal/rng"
+)
+
+// Trace is a time-varying harvested-power profile in Watts.
+type Trace interface {
+	// Rate returns the harvesting rate at time t (seconds).
+	Rate(t float64) float64
+	// Mean returns the long-run average rate.
+	Mean() float64
+}
+
+// Constant is a fixed-rate source.
+type Constant struct{ W float64 }
+
+// Rate implements Trace.
+func (c Constant) Rate(float64) float64 { return c.W }
+
+// Mean implements Trace.
+func (c Constant) Mean() float64 { return c.W }
+
+// IndoorLight models office lighting: a base trickle at night and a
+// raised, gently varying level during on-hours each day.
+type IndoorLight struct {
+	Night   float64 // harvesting rate while lights are off (W)
+	Day     float64 // mid-day harvesting rate (W)
+	OnHour  float64 // hour lights turn on (0-24)
+	OffHour float64 // hour lights turn off (0-24)
+}
+
+const daySeconds = 24 * 3600
+
+// Rate implements Trace: night level outside office hours, and a smooth
+// half-sine bump between OnHour and OffHour.
+func (l IndoorLight) Rate(t float64) float64 {
+	h := math.Mod(t, daySeconds) / 3600
+	if h < l.OnHour || h >= l.OffHour {
+		return l.Night
+	}
+	frac := (h - l.OnHour) / (l.OffHour - l.OnHour)
+	return l.Night + (l.Day-l.Night)*math.Sin(math.Pi*frac)
+}
+
+// Mean implements Trace analytically: the half-sine bump integrates to
+// 2/pi of its peak over the on-window.
+func (l IndoorLight) Mean() float64 {
+	onFrac := (l.OffHour - l.OnHour) / 24
+	return l.Night + (l.Day-l.Night)*onFrac*2/math.Pi
+}
+
+// Kinetic models motion harvesting: near-zero baseline with bursts of
+// power during movement episodes, generated once from a seed so the
+// profile is deterministic.
+type Kinetic struct {
+	Baseline float64
+	Burst    float64
+	starts   []float64
+	ends     []float64
+	horizon  float64
+}
+
+// NewKinetic builds a kinetic profile over [0, horizon) seconds: movement
+// episodes arrive as a Poisson process with the given rate (episodes per
+// second) and exponentially distributed durations with the given mean.
+func NewKinetic(seed uint64, horizon, episodeRate, meanEpisode, baseline, burst float64) *Kinetic {
+	src := rng.New(seed)
+	k := &Kinetic{Baseline: baseline, Burst: burst, horizon: horizon}
+	t := 0.0
+	for {
+		t += src.Exp(episodeRate)
+		if t >= horizon {
+			break
+		}
+		d := src.Exp(1 / meanEpisode)
+		k.starts = append(k.starts, t)
+		end := t + d
+		if end > horizon {
+			end = horizon
+		}
+		k.ends = append(k.ends, end)
+		t = end
+	}
+	return k
+}
+
+// Rate implements Trace. Outside [0, horizon) the profile wraps around.
+func (k *Kinetic) Rate(t float64) float64 {
+	if k.horizon > 0 {
+		t = math.Mod(t, k.horizon)
+	}
+	i := sort.SearchFloat64s(k.starts, t)
+	// starts[i-1] <= t < starts[i]; inside an episode if t < ends[i-1].
+	if i > 0 && t < k.ends[i-1] {
+		return k.Burst
+	}
+	return k.Baseline
+}
+
+// Mean implements Trace from the realized episode schedule.
+func (k *Kinetic) Mean() float64 {
+	if k.horizon == 0 {
+		return k.Baseline
+	}
+	busy := 0.0
+	for i := range k.starts {
+		busy += k.ends[i] - k.starts[i]
+	}
+	frac := busy / k.horizon
+	return k.Baseline*(1-frac) + k.Burst*frac
+}
+
+// Scaled wraps a trace with a multiplicative factor, e.g. to normalize a
+// profile to a target mean budget.
+type Scaled struct {
+	T Trace
+	K float64
+}
+
+// Rate implements Trace.
+func (s Scaled) Rate(t float64) float64 { return s.K * s.T.Rate(t) }
+
+// Mean implements Trace.
+func (s Scaled) Mean() float64 { return s.K * s.T.Mean() }
+
+// NormalizeTo returns the trace scaled so its mean equals target.
+func NormalizeTo(t Trace, target float64) Scaled {
+	return Scaled{T: t, K: target / t.Mean()}
+}
+
+// EmpiricalMean integrates a trace numerically over [0, horizon) with the
+// given step, as a cross-check of analytic Mean implementations.
+func EmpiricalMean(t Trace, horizon, step float64) float64 {
+	sum := 0.0
+	n := 0
+	for x := step / 2; x < horizon; x += step {
+		sum += t.Rate(x)
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}

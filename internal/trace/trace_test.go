@@ -1,0 +1,92 @@
+package trace
+
+import (
+	"math"
+	"testing"
+)
+
+func TestConstant(t *testing.T) {
+	c := Constant{W: 1e-5}
+	if c.Rate(0) != 1e-5 || c.Rate(1e6) != 1e-5 || c.Mean() != 1e-5 {
+		t.Fatal("constant trace wrong")
+	}
+}
+
+func TestIndoorLightShape(t *testing.T) {
+	l := IndoorLight{Night: 1e-6, Day: 1e-4, OnHour: 8, OffHour: 20}
+	// Midnight: night level.
+	if l.Rate(0) != 1e-6 {
+		t.Fatalf("midnight rate %v", l.Rate(0))
+	}
+	// 2 PM (middle of on-hours): near the day peak.
+	noonish := l.Rate(14 * 3600)
+	if noonish < 0.9e-4 {
+		t.Fatalf("midday rate %v", noonish)
+	}
+	// Just before on-hour.
+	if l.Rate(7.99*3600) != 1e-6 {
+		t.Fatal("pre-on rate wrong")
+	}
+	// Continuity across days.
+	if l.Rate(14*3600) != l.Rate(14*3600+daySeconds) {
+		t.Fatal("not periodic")
+	}
+	// Monotone rise in the morning.
+	if !(l.Rate(9*3600) < l.Rate(12*3600)) {
+		t.Fatal("morning not rising")
+	}
+}
+
+func TestIndoorLightMeanMatchesNumeric(t *testing.T) {
+	l := IndoorLight{Night: 2e-6, Day: 5e-5, OnHour: 9, OffHour: 18}
+	analytic := l.Mean()
+	numeric := EmpiricalMean(l, daySeconds, 10)
+	if math.Abs(analytic-numeric)/numeric > 0.01 {
+		t.Fatalf("mean analytic %v vs numeric %v", analytic, numeric)
+	}
+}
+
+func TestKinetic(t *testing.T) {
+	k := NewKinetic(7, 3600, 1.0/120, 30, 1e-7, 2e-4)
+	// Deterministic for the same seed.
+	k2 := NewKinetic(7, 3600, 1.0/120, 30, 1e-7, 2e-4)
+	for _, x := range []float64{0, 100, 500, 1799.5, 3599} {
+		if k.Rate(x) != k2.Rate(x) {
+			t.Fatal("kinetic trace not deterministic")
+		}
+		r := k.Rate(x)
+		if r != 1e-7 && r != 2e-4 {
+			t.Fatalf("rate %v neither baseline nor burst", r)
+		}
+	}
+	// Mean matches numeric integration.
+	analytic := k.Mean()
+	numeric := EmpiricalMean(k, 3600, 0.25)
+	if math.Abs(analytic-numeric)/analytic > 0.02 {
+		t.Fatalf("kinetic mean %v vs numeric %v", analytic, numeric)
+	}
+	// Wraps beyond the horizon.
+	if k.Rate(3600+5) != k.Rate(5) {
+		t.Fatal("kinetic trace does not wrap")
+	}
+}
+
+func TestNormalizeTo(t *testing.T) {
+	l := IndoorLight{Night: 1e-6, Day: 1e-4, OnHour: 8, OffHour: 20}
+	n := NormalizeTo(l, 1e-5)
+	if math.Abs(n.Mean()-1e-5)/1e-5 > 1e-9 {
+		t.Fatalf("normalized mean %v", n.Mean())
+	}
+	// Shape preserved: ratio between two times unchanged.
+	r1 := l.Rate(14*3600) / l.Rate(0)
+	r2 := n.Rate(14*3600) / n.Rate(0)
+	if math.Abs(r1-r2) > 1e-9 {
+		t.Fatal("normalization distorted the shape")
+	}
+}
+
+func TestEmpiricalMeanEmpty(t *testing.T) {
+	if EmpiricalMean(Constant{1}, 0, 1) != 0 {
+		t.Fatal("empty integration should be 0")
+	}
+}

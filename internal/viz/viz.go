@@ -1,0 +1,307 @@
+// Package viz renders the experiment series as standalone SVG line charts,
+// reproducing the paper's figures as figures. The visual system follows a
+// validated reference palette and fixed mark specs: 2px round-joined lines,
+// 8px markers with a 2px surface ring, hairline solid gridlines, text in
+// ink tokens (never the series color), a legend whenever there are two or
+// more series plus selective direct end-labels, and a single axis per
+// chart. The categorical palette below was machine-validated (worst
+// adjacent CVD deltaE 24.2); the two low-contrast hues are relieved by the
+// accompanying text tables that every chart ships with.
+package viz
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Palette and ink tokens (light surface), from the validated reference
+// palette. Order is fixed; series beyond the sixth are not assigned new
+// hues — split the chart instead.
+var (
+	seriesColors = []string{
+		"#2a78d6", // blue
+		"#1baf7a", // aqua
+		"#eda100", // yellow
+		"#008300", // green
+		"#4a3aa7", // violet
+		"#e34948", // red
+	}
+	surface       = "#fcfcfb"
+	inkPrimary    = "#0b0b0b"
+	inkSecondary  = "#52514e"
+	gridline      = "#e4e3e0"
+	maxSeriesHues = len(seriesColors)
+)
+
+// Series is one named line: points (X[i], Y[i]) in data coordinates.
+// MarkersOnly suppresses the connecting line (e.g. simulation markers laid
+// over an analytic curve).
+type Series struct {
+	Name        string
+	X, Y        []float64
+	MarkersOnly bool
+}
+
+// Chart describes one figure.
+type Chart struct {
+	Title    string
+	Subtitle string
+	XLabel   string
+	YLabel   string
+	XLog     bool // log10 x-axis (positive data only)
+	YLog     bool // log10 y-axis (positive data only)
+	Series   []Series
+
+	// Width and Height in px; zero means the 720x440 default.
+	Width, Height int
+}
+
+// SVG renders the chart. It returns an error for empty or inconsistent
+// input, more series than the palette carries, or non-positive data on a
+// log axis.
+func (c *Chart) SVG() (string, error) {
+	if len(c.Series) == 0 {
+		return "", fmt.Errorf("viz: chart %q has no series", c.Title)
+	}
+	if len(c.Series) > maxSeriesHues {
+		return "", fmt.Errorf("viz: %d series exceed the %d-hue palette; split the chart",
+			len(c.Series), maxSeriesHues)
+	}
+	w, h := c.Width, c.Height
+	if w == 0 {
+		w = 720
+	}
+	if h == 0 {
+		h = 440
+	}
+
+	// Data extent.
+	var xs, ys []float64
+	for _, s := range c.Series {
+		if len(s.X) != len(s.Y) {
+			return "", fmt.Errorf("viz: series %q has %d x vs %d y", s.Name, len(s.X), len(s.Y))
+		}
+		if len(s.X) == 0 {
+			return "", fmt.Errorf("viz: series %q is empty", s.Name)
+		}
+		for i := range s.X {
+			if c.XLog && s.X[i] <= 0 {
+				return "", fmt.Errorf("viz: series %q: x=%v on a log axis", s.Name, s.X[i])
+			}
+			if c.YLog && s.Y[i] <= 0 {
+				return "", fmt.Errorf("viz: series %q: y=%v on a log axis", s.Name, s.Y[i])
+			}
+			xs = append(xs, s.X[i])
+			ys = append(ys, s.Y[i])
+		}
+	}
+	xAxis := newAxis(xs, c.XLog)
+	yAxis := newAxis(ys, c.YLog)
+
+	const (
+		padLeft   = 64
+		padRight  = 120 // room for end labels
+		padTop    = 56
+		padBottom = 52
+	)
+	plotW := float64(w - padLeft - padRight)
+	plotH := float64(h - padTop - padBottom)
+	px := func(x float64) float64 { return padLeft + xAxis.frac(x)*plotW }
+	py := func(y float64) float64 { return float64(padTop) + (1-yAxis.frac(y))*plotH }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d" font-family="system-ui, -apple-system, sans-serif">`+"\n", w, h, w, h)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="%s"/>`+"\n", w, h, surface)
+
+	// Title block: primary ink title, secondary subtitle.
+	fmt.Fprintf(&b, `<text x="%d" y="24" font-size="15" font-weight="600" fill="%s">%s</text>`+"\n",
+		padLeft, inkPrimary, esc(c.Title))
+	if c.Subtitle != "" {
+		fmt.Fprintf(&b, `<text x="%d" y="42" font-size="12" fill="%s">%s</text>`+"\n",
+			padLeft, inkSecondary, esc(c.Subtitle))
+	}
+
+	// Gridlines + y ticks (hairline, solid, recessive; tick text secondary).
+	for _, t := range yAxis.ticks {
+		y := py(t)
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-width="1"/>`+"\n",
+			padLeft, y, padLeft+plotW, y, gridline)
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" font-size="11" fill="%s" text-anchor="end" dominant-baseline="middle">%s</text>`+"\n",
+			padLeft-8, y, inkSecondary, fmtTick(t))
+	}
+	// X ticks.
+	for _, t := range xAxis.ticks {
+		x := px(t)
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-width="1"/>`+"\n",
+			x, float64(padTop)+plotH, x, float64(padTop)+plotH+4, gridline)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-size="11" fill="%s" text-anchor="middle">%s</text>`+"\n",
+			x, float64(padTop)+plotH+18, inkSecondary, fmtTick(t))
+	}
+	// Axis labels.
+	if c.XLabel != "" {
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-size="12" fill="%s" text-anchor="middle">%s</text>`+"\n",
+			padLeft+plotW/2, h-10, inkSecondary, esc(c.XLabel))
+	}
+	if c.YLabel != "" {
+		fmt.Fprintf(&b, `<text x="14" y="%.1f" font-size="12" fill="%s" text-anchor="middle" transform="rotate(-90 14 %.1f)">%s</text>`+"\n",
+			float64(padTop)+plotH/2, inkSecondary, float64(padTop)+plotH/2, esc(c.YLabel))
+	}
+
+	// Series: 2px round-joined lines; >=8px markers with a 2px surface ring.
+	type endLabel struct {
+		y     float64
+		text  string
+		color string
+	}
+	var ends []endLabel
+	for si, s := range c.Series {
+		color := seriesColors[si]
+		if !s.MarkersOnly {
+			var path strings.Builder
+			for i := range s.X {
+				cmd := "L"
+				if i == 0 {
+					cmd = "M"
+				}
+				fmt.Fprintf(&path, "%s%.1f %.1f ", cmd, px(s.X[i]), py(s.Y[i]))
+			}
+			fmt.Fprintf(&b, `<path d="%s" fill="none" stroke="%s" stroke-width="2" stroke-linejoin="round" stroke-linecap="round"/>`+"\n",
+				strings.TrimSpace(path.String()), color)
+		}
+		for i := range s.X {
+			// 2px surface ring via a larger surface-colored disc underneath.
+			fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="6" fill="%s"/>`+"\n", px(s.X[i]), py(s.Y[i]), surface)
+			fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="4" fill="%s"><title>%s: (%s, %s)</title></circle>`+"\n",
+				px(s.X[i]), py(s.Y[i]), color, esc(s.Name), fmtTick(s.X[i]), fmtTick(s.Y[i]))
+		}
+		ends = append(ends, endLabel{
+			y: py(s.Y[len(s.Y)-1]), text: s.Name, color: color,
+		})
+	}
+
+	// Selective direct end-labels: only when they don't collide (>= 14px
+	// apart); colliders fall back to the legend alone. Text in ink, with a
+	// small series-colored key beside it.
+	sortedOK := make([]bool, len(ends))
+	for i := range ends {
+		sortedOK[i] = true
+		for j := range ends {
+			if i != j && math.Abs(ends[i].y-ends[j].y) < 14 {
+				sortedOK[i] = false
+			}
+		}
+	}
+	for i, e := range ends {
+		if !sortedOK[i] {
+			continue
+		}
+		x := padLeft + plotW + 10
+		fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="4" fill="%s"/>`+"\n", x, e.y, e.color)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-size="11" fill="%s" dominant-baseline="middle">%s</text>`+"\n",
+			x+8, e.y, inkPrimary, esc(e.text))
+	}
+
+	// Legend (always, for >= 2 series) in one row under the title.
+	if len(c.Series) >= 2 {
+		x := float64(padLeft)
+		y := float64(padTop) - 8
+		for si, s := range c.Series {
+			fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="4" fill="%s"/>`+"\n", x+4, y-4, seriesColors[si])
+			fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-size="11" fill="%s">%s</text>`+"\n",
+				x+12, y, inkPrimary, esc(s.Name))
+			x += 22 + 6.5*float64(len(s.Name))
+		}
+	}
+
+	b.WriteString("</svg>\n")
+	return b.String(), nil
+}
+
+// axis maps data values to [0, 1] with clean ticks.
+type axis struct {
+	min, max float64
+	log      bool
+	ticks    []float64
+}
+
+func newAxis(vals []float64, logScale bool) axis {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range vals {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	a := axis{log: logScale}
+	if logScale {
+		a.min = math.Pow(10, math.Floor(math.Log10(lo)))
+		a.max = math.Pow(10, math.Ceil(math.Log10(hi)))
+		if a.min == a.max {
+			a.max = a.min * 10
+		}
+		for d := a.min; d <= a.max*1.0001; d *= 10 {
+			a.ticks = append(a.ticks, d)
+		}
+		return a
+	}
+	if lo == hi {
+		lo, hi = lo-1, hi+1
+	}
+	// Nice step: 1/2/5 x 10^k covering the span with ~5 ticks.
+	span := hi - lo
+	raw := span / 5
+	mag := math.Pow(10, math.Floor(math.Log10(raw)))
+	step := mag
+	switch {
+	case raw/mag > 5:
+		step = 10 * mag
+	case raw/mag > 2:
+		step = 5 * mag
+	case raw/mag > 1:
+		step = 2 * mag
+	}
+	a.min = math.Floor(lo/step) * step
+	a.max = math.Ceil(hi/step) * step
+	for t := a.min; t <= a.max+step/2; t += step {
+		a.ticks = append(a.ticks, t)
+	}
+	return a
+}
+
+// frac maps a value to [0, 1] along the axis.
+func (a axis) frac(v float64) float64 {
+	if a.log {
+		return (math.Log10(v) - math.Log10(a.min)) / (math.Log10(a.max) - math.Log10(a.min))
+	}
+	return (v - a.min) / (a.max - a.min)
+}
+
+// fmtTick formats a tick value compactly with clean numbers.
+func fmtTick(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case v == 0:
+		return "0"
+	case av >= 1e6 || av < 1e-3:
+		return fmt.Sprintf("%.0e", v)
+	case av >= 100:
+		return fmt.Sprintf("%.0f", v)
+	case av >= 1:
+		return trimZeros(fmt.Sprintf("%.2f", v))
+	default:
+		return trimZeros(fmt.Sprintf("%.3f", v))
+	}
+}
+
+func trimZeros(s string) string {
+	s = strings.TrimRight(s, "0")
+	return strings.TrimRight(s, ".")
+}
+
+func esc(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

@@ -1,0 +1,180 @@
+package viz
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func demoChart() *Chart {
+	return &Chart{
+		Title:    "Throughput ratio vs sigma",
+		Subtitle: "N=5 clique",
+		XLabel:   "sigma",
+		YLabel:   "ratio",
+		Series: []Series{
+			{Name: "groupput", X: []float64{0.1, 0.25, 0.5}, Y: []float64{0.9, 0.43, 0.14}},
+			{Name: "anyput", X: []float64{0.1, 0.25, 0.5}, Y: []float64{0.97, 0.52, 0.2}},
+		},
+	}
+}
+
+func TestSVGBasics(t *testing.T) {
+	svg, err := demoChart().SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"<svg", "</svg>",
+		"Throughput ratio vs sigma", "N=5 clique",
+		"groupput", "anyput",
+		`stroke-width="2"`,        // 2px lines
+		`stroke-linejoin="round"`, // round joins
+		seriesColors[0],           // slot 1 hue present
+		seriesColors[1],           // slot 2 hue present
+		`r="4"`,                   // >=8px markers
+		`r="6" fill="` + surface,  // 2px surface ring
+		`fill="` + inkPrimary,     // text in ink
+		`stroke="` + gridline,     // hairline gridlines
+	} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	// Text must never wear the series color: no <text ... fill="#2a78d6">.
+	if strings.Contains(svg, `<text`) && strings.Contains(svg, `font-size="11" fill="`+seriesColors[0]) {
+		t.Error("text colored with a series hue")
+	}
+}
+
+func TestSingleSeriesNoLegend(t *testing.T) {
+	c := demoChart()
+	c.Series = c.Series[:1]
+	svg, err := c.SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A single series gets no legend row: the name appears once (the
+	// end-label), not twice.
+	if n := strings.Count(svg, ">groupput<"); n != 1 {
+		t.Errorf("single-series chart shows name %d times, want 1 (end label only)", n)
+	}
+}
+
+func TestLegendPresentForTwoSeries(t *testing.T) {
+	svg, err := demoChart().SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Names appear in both the legend and (non-colliding) end labels.
+	if n := strings.Count(svg, ">groupput<"); n < 2 {
+		t.Errorf("legend missing: name appears %d times", n)
+	}
+}
+
+func TestLogAxes(t *testing.T) {
+	c := &Chart{
+		Title: "burst vs sigma",
+		YLog:  true,
+		Series: []Series{{
+			Name: "N=10",
+			X:    []float64{0.1, 0.25, 0.5},
+			Y:    []float64{4e5, 99, 8.9},
+		}},
+	}
+	svg, err := c.SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Decade ticks must appear.
+	for _, tick := range []string{">10<", ">100<"} {
+		if !strings.Contains(svg, tick) {
+			t.Errorf("log axis missing decade tick %s", tick)
+		}
+	}
+	// Zero on a log axis must error.
+	c.Series[0].Y[0] = 0
+	if _, err := c.SVG(); err == nil {
+		t.Error("zero on log axis accepted")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if _, err := (&Chart{Title: "x"}).SVG(); err == nil {
+		t.Error("empty chart accepted")
+	}
+	c := &Chart{Series: []Series{{Name: "a", X: []float64{1}, Y: []float64{1, 2}}}}
+	if _, err := c.SVG(); err == nil {
+		t.Error("mismatched series accepted")
+	}
+	// Too many series for the fixed palette: never generate hues.
+	over := &Chart{}
+	for i := 0; i <= maxSeriesHues; i++ {
+		over.Series = append(over.Series, Series{
+			Name: string(rune('a' + i)), X: []float64{1, 2}, Y: []float64{1, 2},
+		})
+	}
+	if _, err := over.SVG(); err == nil {
+		t.Error("more series than palette hues accepted")
+	}
+}
+
+func TestEscaping(t *testing.T) {
+	c := demoChart()
+	c.Title = `ratio <T> & "stuff"`
+	svg, err := c.SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(svg, "<T>") {
+		t.Error("unescaped markup in title")
+	}
+	if !strings.Contains(svg, "&lt;T&gt; &amp; &quot;stuff&quot;") {
+		t.Error("escaping wrong")
+	}
+}
+
+func TestAxisTicksAreClean(t *testing.T) {
+	a := newAxis([]float64{0.03, 0.97}, false)
+	if a.min > 0.03 || a.max < 0.97 {
+		t.Fatalf("axis [%v, %v] does not cover data", a.min, a.max)
+	}
+	if len(a.ticks) < 3 || len(a.ticks) > 12 {
+		t.Fatalf("%d ticks", len(a.ticks))
+	}
+	// Ticks are evenly spaced.
+	step := a.ticks[1] - a.ticks[0]
+	for i := 1; i < len(a.ticks); i++ {
+		if math.Abs(a.ticks[i]-a.ticks[i-1]-step) > 1e-12 {
+			t.Fatalf("uneven ticks %v", a.ticks)
+		}
+	}
+}
+
+func TestFmtTick(t *testing.T) {
+	cases := map[float64]string{
+		0:      "0",
+		0.25:   "0.25",
+		1:      "1",
+		2.5:    "2.5",
+		100:    "100",
+		1e6:    "1e+06",
+		0.0001: "1e-04",
+	}
+	for in, want := range cases {
+		if got := fmtTick(in); got != want {
+			t.Errorf("fmtTick(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestDegenerateFlatSeries(t *testing.T) {
+	c := &Chart{Series: []Series{{Name: "flat", X: []float64{1, 2, 3}, Y: []float64{5, 5, 5}}}}
+	svg, err := c.SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(svg, "</svg>") {
+		t.Fatal("truncated SVG")
+	}
+}
