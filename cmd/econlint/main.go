@@ -1,0 +1,107 @@
+// Econlint runs the project's determinism & correctness analyzers
+// (internal/lint) over package patterns and reports findings as
+// "file:line: [analyzer] message". It exits 1 when any finding survives
+// suppression, 2 on usage or load errors.
+//
+// Usage:
+//
+//	econlint [-list] [-only name,name] [-as importpath] [packages]
+//
+// Patterns default to ./... and support the usual dir and dir/... forms.
+// The -as flag checks a single directory under an assumed import path,
+// which is how the fixture packages under internal/lint/testdata are
+// placed into deterministic packages without living there.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"econcast/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("econlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "list analyzers and exit")
+	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
+	asPath := fs.String("as", "", "check a single directory under this assumed import path")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Fprintf(stdout, "%-14s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	analyzers := lint.All()
+	if *only != "" {
+		analyzers = nil
+		for _, name := range strings.Split(*only, ",") {
+			a := lint.ByName(strings.TrimSpace(name))
+			if a == nil {
+				fmt.Fprintf(stderr, "econlint: unknown analyzer %q (try -list)\n", name)
+				return 2
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	loader, err := lint.NewLoader(".")
+	if err != nil {
+		fmt.Fprintf(stderr, "econlint: %v\n", err)
+		return 2
+	}
+
+	var pkgs []*lint.Package
+	if *asPath != "" {
+		if len(patterns) != 1 {
+			fmt.Fprintln(stderr, "econlint: -as takes exactly one directory")
+			return 2
+		}
+		pkg, err := loader.LoadDirAs(patterns[0], *asPath)
+		if err != nil {
+			fmt.Fprintf(stderr, "econlint: %v\n", err)
+			return 2
+		}
+		pkgs = []*lint.Package{pkg}
+	} else {
+		pkgs, err = loader.Load(patterns...)
+		if err != nil {
+			fmt.Fprintf(stderr, "econlint: %v\n", err)
+			return 2
+		}
+	}
+
+	findings := lint.Check(pkgs, analyzers)
+	cwd, _ := os.Getwd()
+	for _, f := range findings {
+		if cwd != "" {
+			if rel, err := filepath.Rel(cwd, f.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+				f.Pos.Filename = rel
+			}
+		}
+		fmt.Fprintln(stdout, f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(stderr, "econlint: %d finding(s) in %d package(s)\n", len(findings), len(pkgs))
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,48 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestListExitsZero(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errb); code != 0 {
+		t.Fatalf("-list exit = %d, stderr: %s", code, errb.String())
+	}
+	for _, name := range []string{"maprange", "wallclock", "floateq", "rawgoroutine", "errdrop"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output missing %q:\n%s", name, out.String())
+		}
+	}
+}
+
+// TestSeededViolationExitsNonzero runs the CLI over a fixture package
+// known to contain violations: the gate must fail loudly.
+func TestSeededViolationExitsNonzero(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run(
+		[]string{"-as", "econcast/internal/sim", "../../internal/lint/testdata/src/wallclock"},
+		&out, &errb)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; stdout:\n%s\nstderr:\n%s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "[wallclock]") {
+		t.Errorf("output missing [wallclock] finding:\n%s", out.String())
+	}
+}
+
+func TestCleanPackageExitsZero(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"../../internal/rng"}, &out, &errb); code != 0 {
+		t.Fatalf("exit = %d; stdout:\n%s\nstderr:\n%s", code, out.String(), errb.String())
+	}
+}
+
+func TestUnknownAnalyzerExitsTwo(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-only", "nope"}, &out, &errb); code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+}

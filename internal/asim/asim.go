@@ -259,9 +259,7 @@ func newBroker(cfg Config) *broker {
 		bids:        make([]reply, n),
 		packetTime:  cfg.PacketTime,
 	}
-	if b.packetTime == 0 {
-		b.packetTime = 1e-3
-	}
+	b.packetTime = model.DefaultIfZero(b.packetTime, 1e-3)
 	master := rng.New(cfg.Seed)
 	for i := 0; i < n; i++ {
 		nd := cfg.Network.Nodes[i]

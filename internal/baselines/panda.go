@@ -109,7 +109,7 @@ func PandaOptimize(n int, node model.Node, theta float64, mode model.Mode) (Pand
 			}
 		}
 	}
-	if bestScore == 0 {
+	if bestScore == 0 { //lint:allow floateq zero means "never assigned", not a computed score
 		return PandaResult{}, fmt.Errorf("baselines: no feasible Panda parameters")
 	}
 	// Refine around the grid optimum with coordinate-wise shrinkage.

@@ -15,12 +15,8 @@ type SearchlightConfig struct {
 }
 
 func (c SearchlightConfig) withDefaults() SearchlightConfig {
-	if c.SlotTime == 0 {
-		c.SlotTime = 50e-3
-	}
-	if c.BeaconTime == 0 {
-		c.BeaconTime = 1e-3
-	}
+	c.SlotTime = model.DefaultIfZero(c.SlotTime, 50e-3)
+	c.BeaconTime = model.DefaultIfZero(c.BeaconTime, 1e-3)
 	return c
 }
 

@@ -85,15 +85,9 @@ type Config struct {
 
 // withDefaults fills unset fields.
 func (c Config) withDefaults() Config {
-	if c.PacketTime == 0 {
-		c.PacketTime = 1e-3
-	}
-	if c.Delta == 0 {
-		c.Delta = 0.05
-	}
-	if c.Tau == 0 {
-		c.Tau = 200 * c.PacketTime
-	}
+	c.PacketTime = model.DefaultIfZero(c.PacketTime, 1e-3)
+	c.Delta = model.DefaultIfZero(c.Delta, 0.05)
+	c.Tau = model.DefaultIfZero(c.Tau, 200*c.PacketTime)
 	return c
 }
 

@@ -72,7 +72,7 @@ func runFig6(opts Options) ([]*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			if sigma == sigmas[0] {
+			if si == 0 {
 				first = m.Groupput
 			}
 			row = append(row, f4(m.Groupput))

@@ -1,0 +1,79 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ErrDrop flags calls whose error result is silently discarded: a call
+// statement (or defer/go call) returning an error that nobody reads.
+// Assigning the error to _ is accepted as an explicit, visible decision.
+//
+// Exempt by design: fmt.Print*/Fprint* (diagnostic output whose failure
+// is not actionable here) and the never-failing Write methods of
+// strings.Builder and bytes.Buffer.
+var ErrDrop = &Analyzer{
+	Name: "errdrop",
+	Doc:  "discarded error return value",
+	Run: func(p *Pass) {
+		check := func(call *ast.CallExpr, how string) {
+			sig, ok := p.Info.TypeOf(call.Fun).(*types.Signature)
+			if !ok {
+				return // builtin or conversion
+			}
+			if !returnsError(sig) || errDropExempt(p.Info, call) {
+				return
+			}
+			p.Reportf(call.Pos(), "%serror result discarded; handle it or assign to _ explicitly", how)
+		}
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.ExprStmt:
+					if call, ok := n.X.(*ast.CallExpr); ok {
+						check(call, "")
+					}
+				case *ast.DeferStmt:
+					check(n.Call, "deferred ")
+				case *ast.GoStmt:
+					check(n.Call, "spawned ")
+				}
+				return true
+			})
+		}
+	},
+}
+
+func returnsError(sig *types.Signature) bool {
+	res := sig.Results()
+	for i := 0; i < res.Len(); i++ {
+		if named, ok := res.At(i).Type().(*types.Named); ok &&
+			named.Obj().Pkg() == nil && named.Obj().Name() == "error" {
+			return true
+		}
+	}
+	return false
+}
+
+func errDropExempt(info *types.Info, call *ast.CallExpr) bool {
+	fn := calleeFunc(info, call)
+	if fn == nil {
+		return false
+	}
+	if pkg := fn.Pkg(); pkg != nil && pkg.Path() == "fmt" &&
+		(strings.HasPrefix(fn.Name(), "Print") || strings.HasPrefix(fn.Name(), "Fprint")) {
+		return true
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	if recv := sig.Recv(); recv != nil {
+		t := recv.Type().String()
+		if strings.HasSuffix(t, "strings.Builder") || strings.HasSuffix(t, "bytes.Buffer") {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,232 @@
+// Package lint implements econlint, a project-specific static-analysis
+// suite that guards the determinism and correctness invariants this
+// reproduction depends on. Every figure and oracle bound in the repo
+// assumes the simulators are bit-for-bit reproducible from a seed
+// (internal/asim promises "exactly reproducible despite the concurrency");
+// these analyzers make that invariant machine-checked instead of
+// conventional.
+//
+// The suite is built only on the standard library (go/parser, go/ast,
+// go/types); it deliberately does not depend on golang.org/x/tools.
+//
+// Analyzers:
+//
+//   - maprange: `for … range` over a map in a deterministic package,
+//     unless the loop body is provably order-insensitive.
+//   - wallclock: time.Now / time.Sleep / math/rand outside internal/rng.
+//   - floateq: == / != between floating-point operands outside approved
+//     epsilon-comparison helpers.
+//   - rawgoroutine: `go` statements outside internal/asim and
+//     internal/testbed, the only packages licensed to spawn concurrency.
+//   - errdrop: discarded error return values.
+//
+// # Suppressions
+//
+// A finding can be silenced at the site with a per-line comment, either
+// trailing the offending line or on its own line immediately above it:
+//
+//	//lint:allow <name>[,<name>...] [reason]
+//
+// maprange additionally honours the shorthand
+//
+//	//lint:ordered [reason]
+//
+// which asserts the loop body has been audited to be iteration-order
+// insensitive. Suppressions apply to exactly one line; there is no
+// file- or package-wide escape hatch.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Finding is one analyzer report.
+type Finding struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String renders the canonical "file:line: [name] message" form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Analyzer, f.Message)
+}
+
+// Analyzer is one named check run over a type-checked package.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// Pass carries one package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Path     string // import path the package was checked under
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	findings *[]Finding
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.findings = append(*p.findings, Finding{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// All returns the full analyzer suite in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{MapRange, WallClock, FloatEq, RawGoroutine, ErrDrop}
+}
+
+// ByName returns the named analyzer, or nil.
+func ByName(name string) *Analyzer {
+	for _, a := range All() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// Check runs the analyzers over the packages, applies per-line
+// suppressions, and returns the surviving findings sorted by position.
+func Check(pkgs []*Package, analyzers []*Analyzer) []Finding {
+	var all []Finding
+	for _, pkg := range pkgs {
+		sup := suppressions(pkg.Fset, pkg.Files)
+		var raw []Finding
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Path:     pkg.Path,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				findings: &raw,
+			}
+			a.Run(pass)
+		}
+		for _, f := range raw {
+			if sup.allows(f.Pos.Filename, f.Pos.Line, f.Analyzer) {
+				continue
+			}
+			all = append(all, f)
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return all
+}
+
+// suppTable maps file -> line -> analyzer names allowed on that line.
+type suppTable map[string]map[int]map[string]bool
+
+func (s suppTable) allows(file string, line int, analyzer string) bool {
+	return s[file][line][analyzer]
+}
+
+func (s suppTable) add(file string, line int, analyzer string) {
+	byLine, ok := s[file]
+	if !ok {
+		byLine = make(map[int]map[string]bool)
+		s[file] = byLine
+	}
+	names, ok := byLine[line]
+	if !ok {
+		names = make(map[string]bool)
+		byLine[line] = names
+	}
+	names[analyzer] = true
+}
+
+// suppressions scans comments for //lint: directives. Each directive
+// covers its own line (trailing form) and the next line (standalone form).
+func suppressions(fset *token.FileSet, files []*ast.File) suppTable {
+	tab := make(suppTable)
+	for _, f := range files {
+		for _, group := range f.Comments {
+			for _, c := range group.List {
+				text, ok := strings.CutPrefix(c.Text, "//lint:")
+				if !ok {
+					continue
+				}
+				var names []string
+				switch {
+				case text == "ordered" || strings.HasPrefix(text, "ordered "):
+					names = []string{MapRange.Name}
+				case strings.HasPrefix(text, "allow "):
+					list, _, _ := strings.Cut(strings.TrimPrefix(text, "allow "), " ")
+					names = strings.Split(list, ",")
+				default:
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, n := range names {
+					n = strings.TrimSpace(n)
+					if n == "" {
+						continue
+					}
+					tab.add(pos.Filename, pos.Line, n)
+					tab.add(pos.Filename, pos.Line+1, n)
+				}
+			}
+		}
+	}
+	return tab
+}
+
+// isFloat reports whether t's underlying type is a floating-point basic
+// type.
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// pkgNameOf resolves an identifier used as a package qualifier, returning
+// the imported package path, or "".
+func pkgNameOf(info *types.Info, e ast.Expr) string {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	pn, ok := info.Uses[id].(*types.PkgName)
+	if !ok {
+		return ""
+	}
+	return pn.Imported().Path()
+}
+
+// calleeFunc resolves the *types.Func a call invokes, or nil for
+// builtins, conversions, and calls of function-typed values.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		f, _ := info.Uses[fun].(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		f, _ := info.Uses[fun.Sel].(*types.Func)
+		return f
+	}
+	return nil
+}

@@ -1,0 +1,184 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// deterministicPkgs are the packages whose outputs must be bit-for-bit
+// reproducible from a seed: iterating a map there in an order-sensitive
+// way silently perturbs results between runs.
+var deterministicPkgs = map[string]bool{
+	"econcast/internal/sim":        true,
+	"econcast/internal/oracle":     true,
+	"econcast/internal/statespace": true,
+	"econcast/internal/lp":         true,
+	"econcast/internal/econcast":   true,
+}
+
+// MapRange flags `for … range` over map types in deterministic packages.
+// Go randomizes map iteration order, so any loop whose effect depends on
+// visit order makes results differ between identical runs. A loop is
+// accepted without a suppression only when its body is conservatively
+// provable to be order-insensitive (see orderInsensitive); otherwise the
+// site needs a //lint:ordered audit comment.
+var MapRange = &Analyzer{
+	Name: "maprange",
+	Doc:  "range over a map in a deterministic package without an order audit",
+	Run: func(p *Pass) {
+		if !deterministicPkgs[p.Path] {
+			return
+		}
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				rs, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				t := p.Info.TypeOf(rs.X)
+				if t == nil {
+					return true
+				}
+				if _, isMap := t.Underlying().(*types.Map); !isMap {
+					return true
+				}
+				if orderInsensitive(p, rs) {
+					return true
+				}
+				p.Reportf(rs.Pos(), "map iteration order is random; sort the keys, prove the body order-insensitive, or add //lint:ordered with a justification")
+				return true
+			})
+		}
+	},
+}
+
+// orderInsensitive conservatively decides whether the loop body produces
+// the same effect for every visit order. Accepted statement effects:
+//
+//   - reads and writes of the ranged map at the ranged key (each key is
+//     visited exactly once), including delete(m, k);
+//   - assignments to variables declared inside the loop body;
+//   - commutative integer accumulation into outer variables (x++, x--,
+//     x += e, and &^=-free bitwise compound assignments);
+//   - control flow (if/switch/nested loops) over the above, provided no
+//     function calls, sends, spawns, appends, early exits, or
+//     floating-point accumulation appear anywhere in the body.
+//
+// Anything else — in particular float += (addition order changes the
+// rounding), last-write-wins assignments, and arbitrary calls — makes the
+// loop suspect and is reported.
+func orderInsensitive(p *Pass, rs *ast.RangeStmt) bool {
+	mapStr := types.ExprString(rs.X)
+	keyName := ""
+	if id, ok := rs.Key.(*ast.Ident); ok && id.Name != "_" {
+		keyName = id.Name
+	}
+
+	// isRangedMapAtKey reports whether e is m[k] for the ranged m and k.
+	isRangedMapAtKey := func(e ast.Expr) bool {
+		ix, ok := ast.Unparen(e).(*ast.IndexExpr)
+		if !ok || keyName == "" {
+			return false
+		}
+		id, ok := ast.Unparen(ix.Index).(*ast.Ident)
+		return ok && id.Name == keyName && types.ExprString(ix.X) == mapStr
+	}
+
+	// First pass: reject any node that could make order observable no
+	// matter where it appears.
+	safe := true
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		if !safe {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if tv, ok := p.Info.Types[n.Fun]; ok && tv.IsType() {
+				return true // conversion
+			}
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok {
+				if b, ok := p.Info.Uses[id].(*types.Builtin); ok {
+					switch b.Name() {
+					case "len", "cap", "min", "max", "real", "imag":
+						return true
+					case "delete":
+						if len(n.Args) == 2 && isRangedMapAtKey(&ast.IndexExpr{X: n.Args[0], Index: n.Args[1]}) {
+							return true
+						}
+					}
+				}
+			}
+			safe = false
+		case *ast.SendStmt, *ast.GoStmt, *ast.DeferStmt, *ast.ReturnStmt, *ast.BranchStmt, *ast.FuncLit:
+			safe = false
+		}
+		return safe
+	})
+	if !safe {
+		return false
+	}
+
+	// declaredInBody reports whether the identifier's object is declared
+	// inside the loop (including the key/value variables themselves).
+	declaredInBody := func(id *ast.Ident) bool {
+		if id.Name == "_" {
+			return true
+		}
+		obj := p.Info.ObjectOf(id)
+		return obj != nil && rs.Pos() <= obj.Pos() && obj.Pos() < rs.End()
+	}
+
+	isCommutativeInt := func(e ast.Expr) bool {
+		t := p.Info.TypeOf(e)
+		if t == nil {
+			return false
+		}
+		b, ok := t.Underlying().(*types.Basic)
+		return ok && b.Info()&types.IsInteger != 0
+	}
+
+	okLHS := func(e ast.Expr, op token.Token) bool {
+		e = ast.Unparen(e)
+		if isRangedMapAtKey(e) {
+			return true // each key visited exactly once
+		}
+		if id, ok := e.(*ast.Ident); ok {
+			if declaredInBody(id) {
+				return true
+			}
+			// Outer variable: only commutative integer accumulation.
+			switch op {
+			case token.ADD_ASSIGN, token.SUB_ASSIGN, token.OR_ASSIGN,
+				token.AND_ASSIGN, token.XOR_ASSIGN, token.INC, token.DEC:
+				return isCommutativeInt(id)
+			}
+		}
+		return false
+	}
+
+	// Second pass: every assignment target must be order-safe.
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		if !safe {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				op := n.Tok
+				if op == token.DEFINE {
+					op = token.ASSIGN
+				}
+				if !okLHS(lhs, op) {
+					safe = false
+				}
+			}
+		case *ast.IncDecStmt:
+			if !okLHS(n.X, n.Tok) {
+				safe = false
+			}
+		}
+		return safe
+	})
+	return safe
+}

@@ -1,0 +1,35 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// concurrencyPkgs are the only packages licensed to spawn goroutines:
+// asim's broker/node protocol and the testbed built on top of it. They
+// confine concurrency behind a conservative virtual clock so runs stay
+// reproducible; a raw `go` statement anywhere else reintroduces
+// scheduling nondeterminism (and data-race surface) outside that fence.
+var concurrencyPkgs = map[string]bool{
+	"econcast/internal/asim":    true,
+	"econcast/internal/testbed": true,
+}
+
+// RawGoroutine flags `go` statements outside the licensed concurrency
+// packages.
+var RawGoroutine = &Analyzer{
+	Name: "rawgoroutine",
+	Doc:  "goroutine spawned outside internal/asim and internal/testbed",
+	Run: func(p *Pass) {
+		if concurrencyPkgs[p.Path] {
+			return
+		}
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				if g, ok := n.(*ast.GoStmt); ok {
+					p.Reportf(g.Pos(), "goroutines are confined to internal/asim and internal/testbed; route concurrency through their broker protocol")
+				}
+				return true
+			})
+		}
+	},
+}

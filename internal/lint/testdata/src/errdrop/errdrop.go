@@ -1,0 +1,43 @@
+// Package fixture exercises the errdrop analyzer.
+package fixture
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+)
+
+func mayFail() error { return errors.New("boom") }
+
+func dropped() {
+	mayFail() // want errdrop
+}
+
+func droppedDefer(f *os.File) {
+	defer f.Close() // want errdrop
+}
+
+func droppedMulti() {
+	os.Create("x") // want errdrop
+}
+
+// handled checks the error; explicitly discarding with _ is also an
+// accepted, visible decision.
+func handled() error {
+	if err := mayFail(); err != nil {
+		return err
+	}
+	_ = mayFail()
+	_, _ = os.Create("x")
+	return nil
+}
+
+// report uses the exempt diagnostics: fmt printing and the never-failing
+// Builder/Buffer writers.
+func report(b *strings.Builder) string {
+	fmt.Fprintf(b, "n=%d\n", 1)
+	b.WriteString("tail")
+	fmt.Println("done")
+	return b.String()
+}

@@ -1,0 +1,44 @@
+// Package fixture exercises the floateq analyzer.
+package fixture
+
+const tol = 1e-9
+
+// same is the canonical violation: computed floats rarely compare equal.
+func same(a, b float64) bool {
+	return a == b // want floateq
+}
+
+func drifted(xs []float64) bool {
+	return xs[0] != xs[1] // want floateq
+}
+
+func sentinel(v float64) bool {
+	return v == 0 // want floateq
+}
+
+// sameInt compares integers, which is always exact.
+func sameInt(a, b int) bool { return a == b }
+
+// approxEqual is an approved epsilon helper (name contains "approx"):
+// its internal exact comparison is the fast path and is not reported.
+func approxEqual(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= tol
+}
+
+// unsetBudget documents an intentionally exact sentinel with a
+// suppression instead of an epsilon.
+func unsetBudget(v float64) bool {
+	return v == 0 //lint:allow floateq zero is the unset sentinel
+}
+
+// constFold compares two untyped constants, which fold at compile time.
+func constFold() bool {
+	return 0.1+0.2 == 0.3
+}

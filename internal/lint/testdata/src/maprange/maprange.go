@@ -1,0 +1,85 @@
+// Package fixture exercises the maprange analyzer: the test harness
+// loads it under a deterministic import path (econcast/internal/sim) and
+// again under a non-deterministic one, where nothing may be reported.
+package fixture
+
+import "sort"
+
+// sumFloats is the canonical violation: float accumulation order follows
+// map iteration order, so the rounding differs between runs.
+func sumFloats(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m { // want maprange
+		total += v
+	}
+	return total
+}
+
+// lastWins is order-sensitive: whichever key is visited last sticks.
+func lastWins(m map[string]float64) float64 {
+	var x float64
+	for _, v := range m { // want maprange
+		x = v
+	}
+	return x
+}
+
+// keysUnsorted appends in iteration order; the call makes the body
+// opaque to the analyzer even though the sort below restores determinism,
+// so the idiom needs an audit comment (see keysAudited).
+func keysUnsorted(m map[string]int) []string {
+	var ks []string
+	for k := range m { // want maprange
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+// keysAudited is the same idiom with the audit recorded.
+func keysAudited(m map[string]int) []string {
+	var ks []string
+	//lint:ordered keys are sorted immediately below
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+// scaleEach mutates each entry independently at its own key: provably
+// order-insensitive, accepted without a suppression.
+func scaleEach(m map[string]float64, f float64) {
+	for k := range m {
+		m[k] *= f
+	}
+}
+
+// countTrue accumulates into an integer, which is commutative and
+// overflow-deterministic: accepted.
+func countTrue(m map[string]bool) int {
+	n := 0
+	for _, v := range m {
+		if v {
+			n++
+		}
+	}
+	return n
+}
+
+// clearAll deletes the visited key: accepted (each key seen once).
+func clearAll(m map[string]int) {
+	for k := range m {
+		delete(m, k)
+	}
+}
+
+// overSlice ranges a slice, which iterates in index order: not a map
+// range at all.
+func overSlice(xs []float64) float64 {
+	total := 0.0
+	for _, v := range xs {
+		total += v
+	}
+	return total
+}

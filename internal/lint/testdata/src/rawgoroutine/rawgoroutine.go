@@ -1,0 +1,22 @@
+// Package fixture exercises the rawgoroutine analyzer: loaded under an
+// unlicensed import path the spawns below must be reported; loaded as
+// econcast/internal/asim nothing may be.
+package fixture
+
+func spawn(ch chan int) {
+	go func() { ch <- 1 }() // want rawgoroutine
+}
+
+func spawnNamed(work func()) {
+	go work() // want rawgoroutine
+}
+
+// invoke calls the function synchronously: passing funcs around is fine,
+// only the go statement spawns.
+func invoke(f func()) { f() }
+
+// audited shows the escape hatch for a deliberate exception.
+func audited(work func()) {
+	//lint:allow rawgoroutine fire-and-forget logging, audited
+	go work()
+}

@@ -1,0 +1,31 @@
+// Package fixture exercises the wallclock analyzer: loaded under a
+// simulation import path everything marked below must be reported;
+// loaded as econcast/internal/rng nothing may be.
+package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+func stamp() int64 {
+	return time.Now().UnixNano() // want wallclock
+}
+
+func nap(d time.Duration) {
+	time.Sleep(d) // want wallclock
+}
+
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want wallclock
+}
+
+func roll() int {
+	return rand.Intn(6) // want wallclock
+}
+
+// horizon only does duration arithmetic: type references and pure value
+// math on time.Duration are fine, the clock is never read.
+func horizon(d time.Duration) time.Duration {
+	return 2 * d
+}

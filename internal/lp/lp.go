@@ -297,7 +297,7 @@ func Solve(p *Problem) (*Result, error) {
 	t.objRHS = 0
 	for i := 0; i < m; i++ {
 		b := t.basis[i]
-		if b < n && t.obj[b] != 0 {
+		if b < n && t.obj[b] != 0 { //lint:allow floateq structural-zero skip; epsilon would change which rows are eliminated
 			c := t.obj[b]
 			for j := 0; j < t.ncols; j++ {
 				t.obj[j] -= c * t.rows[i][j]
@@ -390,7 +390,7 @@ func (t *tableau) pivot(row, col int) {
 			continue
 		}
 		f := t.rows[i][col]
-		if f == 0 {
+		if f == 0 { //lint:allow floateq structural zero: skipping only exact zeros keeps elimination a no-op
 			continue
 		}
 		ri := t.rows[i]
@@ -403,7 +403,7 @@ func (t *tableau) pivot(row, col int) {
 			t.rhs[i] = 0
 		}
 	}
-	if f := t.obj[col]; f != 0 {
+	if f := t.obj[col]; f != 0 { //lint:allow floateq structural zero: objective row update is a no-op at exact zero
 		for j := range t.obj {
 			t.obj[j] -= f * pr[j]
 		}

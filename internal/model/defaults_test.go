@@ -1,0 +1,19 @@
+package model
+
+import "testing"
+
+func TestDefaultIfZero(t *testing.T) {
+	cases := []struct {
+		v, def, want float64
+	}{
+		{0, 5, 5},
+		{3, 5, 3},
+		{-2, 5, -2},
+		{1e-300, 5, 1e-300}, // tiny but set: not the sentinel
+	}
+	for _, c := range cases {
+		if got := DefaultIfZero(c.v, c.def); got != c.want {
+			t.Errorf("DefaultIfZero(%v, %v) = %v, want %v", c.v, c.def, got, c.want)
+		}
+	}
+}

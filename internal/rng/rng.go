@@ -116,7 +116,7 @@ func (s *Source) Geometric(p float64) int {
 	if p <= 0 || p > 1 {
 		panic("rng: Geometric with p outside (0, 1]")
 	}
-	if p == 1 {
+	if p == 1 { //lint:allow floateq exact edge case: log(1-p) would be -Inf
 		return 1
 	}
 	// Inversion: ceil(ln U / ln(1-p)).

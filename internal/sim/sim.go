@@ -175,7 +175,7 @@ type eventQueue []event
 
 func (q eventQueue) Len() int { return len(q) }
 func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
+	if q[i].at != q[j].at { //lint:allow floateq exact tie detection so equal-time events fall through to the seq tiebreak
 		return q[i].at < q[j].at
 	}
 	return q[i].seq < q[j].seq
@@ -251,9 +251,7 @@ func newEngine(cfg Config) *engine {
 		packets:    make(map[int]*packet),
 		packetTime: cfg.Protocol.PacketTime,
 	}
-	if e.packetTime == 0 {
-		e.packetTime = 1e-3
-	}
+	e.packetTime = model.DefaultIfZero(e.packetTime, 1e-3)
 	for i := 0; i < n; i++ {
 		nd := cfg.Network.Nodes[i]
 		pc := econcast.Config{
@@ -555,6 +553,10 @@ func (e *engine) startTransmission(i int) {
 	}
 	// A new transmission collides with receptions of other in-flight
 	// packets at shared receivers (hidden terminals, non-clique only).
+	// Order audit: the body only latches collidedInPkt to true and counts
+	// each newly-collided receiver once (the flag guards the counter), so
+	// every visit order yields the same flags and the same count.
+	//lint:ordered idempotent flag-latch; counter guarded by the flag
 	for _, other := range e.packets {
 		for _, j := range other.listeners {
 			if e.adjacent(i, j) && !e.nodes[j].collidedInPkt {
@@ -722,6 +724,9 @@ func (e *engine) finish() *Metrics {
 	e.met.Window = window
 	e.met.Groupput /= window
 	e.met.Anyput /= window
+	// Order audit: each occupancy entry is scaled independently at its own
+	// key — no cross-key accumulation — so iteration order cannot affect
+	// the result (econlint's maprange proves this shape order-insensitive).
 	for s := range e.met.Occupancy {
 		e.met.Occupancy[s] /= window
 	}

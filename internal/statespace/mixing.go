@@ -151,7 +151,7 @@ func slemOf(a [][]float64, pi []float64) float64 {
 		matVec(a, x, y)
 		deflate(y, v1)
 		l := math.Sqrt(dot(y, y))
-		if l == 0 {
+		if l == 0 { //lint:allow floateq exact zero vector; any nonzero norm is usable
 			return 0
 		}
 		for i := range y {
@@ -172,7 +172,7 @@ func matVec(a [][]float64, x, out []float64) {
 		s := 0.0
 		row := a[i]
 		for j, v := range row {
-			if v != 0 {
+			if v != 0 { //lint:allow floateq sparsity skip over exact structural zeros
 				s += v * x[j]
 			}
 		}
@@ -190,7 +190,7 @@ func dot(a, b []float64) float64 {
 
 func normalize(x []float64) {
 	n := math.Sqrt(dot(x, x))
-	if n == 0 {
+	if n == 0 { //lint:allow floateq exact zero vector cannot be normalized
 		return
 	}
 	for i := range x {
@@ -273,7 +273,7 @@ func conductance(pi []float64, adj [][]mixEdge, q float64, m int) float64 {
 				piA += pi[i]
 			}
 		}
-		if piA > 0.5 || piA == 0 {
+		if piA > 0.5 || piA == 0 { //lint:allow floateq zero-probability cut: only exactly-empty mass is skipped
 			continue
 		}
 		flow := 0.0

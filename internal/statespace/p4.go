@@ -99,7 +99,7 @@ func solveDual(ev evaluator, opts P4Options) (eta []float64, res evalResult, ite
 		}
 		for i := 0; i < n; i++ {
 			dir[i] = sigma * math.Log(res.cons[i]/rho[i])
-			if eta[i] == 0 && dir[i] < 0 {
+			if eta[i] == 0 && dir[i] < 0 { //lint:allow floateq projection boundary: eta is clamped to exactly 0
 				dir[i] = 0
 			}
 		}

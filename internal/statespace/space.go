@@ -182,7 +182,7 @@ func (d *Dist) Fractions() (alpha, beta []float64) {
 	beta = make([]float64, n)
 	for i, w := range d.space.states {
 		p := d.Pi(i)
-		if p == 0 {
+		if p == 0 { //lint:allow floateq zero-mass skip is an optimization; tiny mass still accumulates
 			continue
 		}
 		if w.HasTransmitter() {
@@ -241,7 +241,7 @@ func (d *Dist) AvgBurstLength() float64 {
 		num += p
 		den += p * math.Exp(-float64(c)/d.sigma)
 	}
-	if den == 0 {
+	if den == 0 { //lint:allow floateq exact-zero denominator guard before division
 		return math.Inf(1)
 	}
 	return num / den

@@ -81,7 +81,7 @@ func (sp *Space) DetailedBalanceError(eta []float64, sigma float64, mode model.M
 			}
 			bwd := d.Pi(tr.To) * rev
 			scale := math.Max(fwd, bwd)
-			if scale == 0 {
+			if scale == 0 { //lint:allow floateq both flows exactly zero: balance is trivially satisfied
 				continue
 			}
 			if v := math.Abs(fwd-bwd) / scale; v > worst {
@@ -127,7 +127,7 @@ func (sp *Space) StationaryByPowerIteration(eta []float64, sigma float64, mode m
 		}
 		for i := 0; i < m; i++ {
 			p := pi[i]
-			if p == 0 {
+			if p == 0 { //lint:allow floateq zero-mass skip is an optimization; tiny mass still propagates
 				continue
 			}
 			stay := p

@@ -1,0 +1,30 @@
+package stats
+
+import "math"
+
+// ApproxEqual reports whether a and b agree within tol, using a hybrid
+// absolute/relative criterion: |a-b| <= tol*max(1, |a|, |b|). This is
+// the approved way to compare computed float64s in this repo; econlint's
+// floateq analyzer flags raw == / != between floats (rounding makes
+// "equal" values differ in the last ulp), and only epsilon helpers like
+// this one may compare exactly.
+func ApproxEqual(a, b, tol float64) bool {
+	if a == b { //lint:allow floateq fast path; also handles equal infinities
+		return true
+	}
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return false
+	}
+	// Unequal infinities (equal ones took the fast path): never close,
+	// and Inf <= tol*Inf below would wrongly say yes.
+	if math.IsInf(a, 0) || math.IsInf(b, 0) {
+		return false
+	}
+	scale := math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+	return math.Abs(a-b) <= tol*scale
+}
+
+// ApproxZero reports whether x is within tol of zero (absolute).
+func ApproxZero(x, tol float64) bool {
+	return math.Abs(x) <= tol
+}

@@ -1,0 +1,39 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestApproxEqual(t *testing.T) {
+	// Force runtime float64 arithmetic: constant expressions like
+	// 0.1+0.2 fold exactly at compile time and would test nothing.
+	tenth, fifth := 0.1, 0.2
+	sum := tenth + fifth // 0.30000000000000004
+	cases := []struct {
+		a, b, tol float64
+		want      bool
+	}{
+		{1, 1, 0, true},                         // exact fast path
+		{sum, 0.3, 1e-12, true},                 // classic rounding gap
+		{sum, 0.3, 1e-17, false},                // tolerance below the gap
+		{1e12, 1e12 + 1, 1e-9, true},            // relative scaling kicks in
+		{1e12, 1e12 * 1.01, 1e-9, false},        //
+		{0, 1e-12, 1e-9, true},                  // absolute floor near zero
+		{math.Inf(1), math.Inf(1), 1e-9, true},  // equal infinities
+		{math.Inf(1), math.Inf(-1), 1e9, false}, //
+		{math.NaN(), math.NaN(), 1e9, false},    // NaN never equals
+		{1, math.NaN(), 1e9, false},             //
+	}
+	for _, c := range cases {
+		if got := ApproxEqual(c.a, c.b, c.tol); got != c.want {
+			t.Errorf("ApproxEqual(%v, %v, %v) = %v, want %v", c.a, c.b, c.tol, got, c.want)
+		}
+	}
+}
+
+func TestApproxZero(t *testing.T) {
+	if !ApproxZero(1e-12, 1e-9) || ApproxZero(1e-6, 1e-9) || !ApproxZero(0, 0) {
+		t.Fatal("ApproxZero thresholds wrong")
+	}
+}

@@ -174,7 +174,7 @@ func (c *CDF) Points() (xs, ps []float64) {
 	n := float64(len(c.xs))
 	for i := 0; i < len(c.xs); i++ {
 		// Emit only the last occurrence of each distinct value.
-		if i+1 < len(c.xs) && c.xs[i+1] == c.xs[i] {
+		if i+1 < len(c.xs) && c.xs[i+1] == c.xs[i] { //lint:allow floateq CDF steps merge only bit-identical sample values
 			continue
 		}
 		xs = append(xs, c.xs[i])

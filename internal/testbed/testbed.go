@@ -66,39 +66,17 @@ type Config struct {
 }
 
 func (c Config) withDefaults() Config {
-	if c.Budget == 0 {
-		c.Budget = 1 * model.MilliWatt
-	}
-	if c.ListenPower == 0 {
-		c.ListenPower = 67.08 * model.MilliWatt
-	}
-	if c.TransmitPower == 0 {
-		c.TransmitPower = 56.29 * model.MilliWatt
-	}
-	if c.PacketTime == 0 {
-		c.PacketTime = 40e-3
-	}
-	if c.PingTime == 0 {
-		c.PingTime = 0.4e-3
-	}
-	if c.PingInterval == 0 {
-		c.PingInterval = 8e-3
-	}
-	if c.ClockDrift == 0 {
-		c.ClockDrift = 0.01
-	}
-	if c.RegulatorOverhead == 0 {
-		c.RegulatorOverhead = 0.08
-	}
-	if c.PingLossProb == 0 {
-		c.PingLossProb = 0.02
-	}
-	if c.Tau == 0 {
-		c.Tau = 50 * c.PacketTime
-	}
-	if c.Delta == 0 {
-		c.Delta = 0.05
-	}
+	c.Budget = model.DefaultIfZero(c.Budget, 1*model.MilliWatt)
+	c.ListenPower = model.DefaultIfZero(c.ListenPower, 67.08*model.MilliWatt)
+	c.TransmitPower = model.DefaultIfZero(c.TransmitPower, 56.29*model.MilliWatt)
+	c.PacketTime = model.DefaultIfZero(c.PacketTime, 40e-3)
+	c.PingTime = model.DefaultIfZero(c.PingTime, 0.4e-3)
+	c.PingInterval = model.DefaultIfZero(c.PingInterval, 8e-3)
+	c.ClockDrift = model.DefaultIfZero(c.ClockDrift, 0.01)
+	c.RegulatorOverhead = model.DefaultIfZero(c.RegulatorOverhead, 0.08)
+	c.PingLossProb = model.DefaultIfZero(c.PingLossProb, 0.02)
+	c.Tau = model.DefaultIfZero(c.Tau, 50*c.PacketTime)
+	c.Delta = model.DefaultIfZero(c.Delta, 0.05)
 	return c
 }
 
@@ -162,7 +140,7 @@ type queue []event
 
 func (q queue) Len() int { return len(q) }
 func (q queue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
+	if q[i].at != q[j].at { //lint:allow floateq exact tie detection so equal-time events fall through to the seq tiebreak
 		return q[i].at < q[j].at
 	}
 	return q[i].seq < q[j].seq

@@ -110,7 +110,7 @@ func (k *Kinetic) Rate(t float64) float64 {
 
 // Mean implements Trace from the realized episode schedule.
 func (k *Kinetic) Mean() float64 {
-	if k.horizon == 0 {
+	if k.horizon == 0 { //lint:allow floateq zero means "no schedule realized", not a computed duration
 		return k.Baseline
 	}
 	busy := 0.0

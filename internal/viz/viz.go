@@ -239,7 +239,7 @@ func newAxis(vals []float64, logScale bool) axis {
 	if logScale {
 		a.min = math.Pow(10, math.Floor(math.Log10(lo)))
 		a.max = math.Pow(10, math.Ceil(math.Log10(hi)))
-		if a.min == a.max {
+		if a.min == a.max { //lint:allow floateq both sides are exact powers of ten from Pow(10, floor/ceil)
 			a.max = a.min * 10
 		}
 		for d := a.min; d <= a.max*1.0001; d *= 10 {
@@ -247,7 +247,7 @@ func newAxis(vals []float64, logScale bool) axis {
 		}
 		return a
 	}
-	if lo == hi {
+	if lo == hi { //lint:allow floateq degenerate-range guard; near-equal ranges still render fine
 		lo, hi = lo-1, hi+1
 	}
 	// Nice step: 1/2/5 x 10^k covering the span with ~5 ticks.
@@ -283,7 +283,7 @@ func (a axis) frac(v float64) float64 {
 func fmtTick(v float64) string {
 	av := math.Abs(v)
 	switch {
-	case v == 0:
+	case v == 0: //lint:allow floateq tick values are constructed, and only exact zero prints as "0"
 		return "0"
 	case av >= 1e6 || av < 1e-3:
 		return fmt.Sprintf("%.0e", v)
