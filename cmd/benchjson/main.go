@@ -1,0 +1,144 @@
+// Command benchjson converts `go test -bench` text output into a stable
+// JSON document, so CI can archive benchmark results (ns/op, B/op,
+// allocs/op) as a machine-readable artifact and diffs against earlier
+// runs stay scriptable.
+//
+// Usage:
+//
+//	go test -bench . -benchtime 1x -benchmem ./... | benchjson -o BENCH.json
+//
+// Lines that are not benchmark results (pkg headers, PASS/ok trailers)
+// are skipped; `pkg:` headers attribute each result to its package.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Name        string  `json:"name"`
+	Package     string  `json:"package,omitempty"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+	HasMemStats bool    `json:"has_mem_stats"`
+}
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	results, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	doc, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	doc = append(doc, '\n')
+	if *out == "" {
+		if _, err := os.Stdout.Write(doc); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := os.WriteFile(*out, doc, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// parse scans go-test benchmark output. A result line looks like
+//
+//	BenchmarkEventLoop-8  19221097  128.3 ns/op  0 B/op  0 allocs/op
+//
+// with the B/op and allocs/op columns present only under -benchmem or
+// b.ReportAllocs.
+func parse(r io.Reader) ([]Result, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1024*1024), 1024*1024)
+	var results []Result
+	pkg := ""
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if rest, ok := strings.CutPrefix(line, "pkg:"); ok {
+			pkg = strings.TrimSpace(rest)
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// Shortest valid form: name, iterations, value, "ns/op".
+		if len(fields) < 4 || fields[3] != "ns/op" {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil {
+			continue
+		}
+		name := fields[0]
+		if cpuSuffix(name) > 0 {
+			name = name[:strings.LastIndexByte(name, '-')]
+		}
+		res := Result{
+			Name:       name,
+			Package:    pkg,
+			Iterations: iters,
+			NsPerOp:    ns,
+		}
+		for i := 4; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseInt(fields[i], 10, 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "B/op":
+				res.BytesPerOp = v
+				res.HasMemStats = true
+			case "allocs/op":
+				res.AllocsPerOp = v
+				res.HasMemStats = true
+			}
+		}
+		results = append(results, res)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if results == nil {
+		results = []Result{}
+	}
+	return results, nil
+}
+
+// cpuSuffix extracts the trailing GOMAXPROCS decoration of a benchmark
+// name ("BenchmarkFoo-8" -> 8), or -1 when absent.
+func cpuSuffix(name string) int {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return -1
+	}
+	n, err := strconv.Atoi(name[i+1:])
+	if err != nil || n <= 0 {
+		return -1
+	}
+	return n
+}

@@ -3,8 +3,14 @@
 // Usage:
 //
 //	experiments -list
-//	experiments -run fig3 [-quick] [-seed 1]
-//	experiments -all [-quick]
+//	experiments -run fig3 [-quick] [-seed 1] [-parallel 4]
+//	experiments -all [-quick] [-parallel 4]
+//
+// -parallel bounds the sweep worker pool used inside the
+// simulation-heavy experiments (0 = GOMAXPROCS). Output is byte-identical
+// at any worker count. With -all, failures no longer abort the batch:
+// every experiment runs, all errors are reported at the end, and the exit
+// status is nonzero if any failed.
 package main
 
 import (
@@ -21,8 +27,9 @@ func main() {
 		list  = flag.Bool("list", false, "list available experiments")
 		run   = flag.String("run", "", "experiment id to run (see -list)")
 		all   = flag.Bool("all", false, "run every experiment")
-		quick = flag.Bool("quick", false, "reduced samples/durations for a fast pass")
-		seed  = flag.Uint64("seed", 1, "base random seed")
+		quick    = flag.Bool("quick", false, "reduced samples/durations for a fast pass")
+		seed     = flag.Uint64("seed", 1, "base random seed")
+		parallel = flag.Int("parallel", 0, "sweep workers per experiment (0 = GOMAXPROCS); any value gives identical output")
 		csv   = flag.String("csv", "", "directory to also write each table as a CSV file")
 		svg   = flag.String("svg", "", "directory to also render figure tables as SVG charts")
 	)
@@ -34,7 +41,7 @@ func main() {
 		}
 		return
 	}
-	opts := experiments.Options{Quick: *quick, Seed: *seed}
+	opts := experiments.Options{Quick: *quick, Seed: *seed, Workers: *parallel}
 	for _, dir := range []string{*csv, *svg} {
 		if dir != "" {
 			if err := os.MkdirAll(dir, 0o755); err != nil {
@@ -45,11 +52,25 @@ func main() {
 	}
 	switch {
 	case *all:
+		// Keep going after a failure: one broken experiment must not cost
+		// the batch. Collect every error, report them together, exit nonzero.
+		type failure struct {
+			id  string
+			err error
+		}
+		var failures []failure
 		for _, e := range experiments.All() {
 			if err := runOne(e, opts, *csv, *svg); err != nil {
-				fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", e.ID, err)
-				os.Exit(1)
+				fmt.Fprintf(os.Stderr, "experiments: %s: %v (continuing)\n", e.ID, err)
+				failures = append(failures, failure{id: e.ID, err: err})
 			}
+		}
+		if len(failures) > 0 {
+			fmt.Fprintf(os.Stderr, "experiments: %d of %d experiments failed:\n", len(failures), len(experiments.All()))
+			for _, f := range failures {
+				fmt.Fprintf(os.Stderr, "  %s: %v\n", f.id, f.err)
+			}
+			os.Exit(1)
 		}
 	case *run != "":
 		e, ok := experiments.Lookup(*run)

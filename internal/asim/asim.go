@@ -406,7 +406,7 @@ func (b *broker) beginPacket(tx int) {
 	b.listeners = b.listeners[:0]
 	for i := 0; i < b.n; i++ {
 		if i != tx && b.states[i] == model.Listen {
-			b.listeners = append(b.listeners, i)
+			b.listeners = append(b.listeners, i) //lint:allow hotalloc reuses the slice's capacity; grows at most n times per run
 		}
 	}
 	b.pktEnd = b.now + b.packetTime
@@ -444,7 +444,7 @@ func (b *broker) finishPacket() {
 }
 
 func (b *broker) snapshotBatteries() {
-	b.warmupBattery = make([]float64, b.n)
+	b.warmupBattery = make([]float64, b.n) //lint:allow hotalloc once per run, at the warmup boundary
 	for i := 0; i < b.n; i++ {
 		r := b.ask(i, command{kind: cmdStop, now: b.now, snapshot: true})
 		b.warmupBattery[i] = r.battery
@@ -458,8 +458,8 @@ func (b *broker) finish() *Metrics {
 	b.met.Window = window
 	b.met.Groupput /= window
 	b.met.Anyput /= window
-	b.met.Power = make([]float64, b.n)
-	b.met.EtaFinal = make([]float64, b.n)
+	b.met.Power = make([]float64, b.n)    //lint:allow hotalloc once per run, after the horizon
+	b.met.EtaFinal = make([]float64, b.n) //lint:allow hotalloc once per run, after the horizon
 	for i := 0; i < b.n; i++ {
 		r := b.ask(i, command{kind: cmdStop, now: b.cfg.Duration})
 		close(b.cmds[i])

@@ -6,8 +6,10 @@ import (
 
 	"econcast/internal/econcast"
 	"econcast/internal/model"
+	"econcast/internal/rng"
 	"econcast/internal/sim"
 	"econcast/internal/statespace"
+	"econcast/internal/sweep"
 )
 
 func init() {
@@ -46,44 +48,53 @@ func runConvergence(opts Options) ([]*Table, error) {
 			"and staying there; larger delta adapts faster but tracks worse", etaStar),
 		Head: []string{"delta", "tau (s)", "settle time (s)", "groupput", "vs analytic"},
 	}
+	type point struct{ delta, tau float64 }
+	var points []point
 	for _, delta := range []float64{0.02, 0.05, 0.2, 0.5} {
 		for _, tau := range []float64{0.5, 2.0} {
-			n := nw.N()
-			lastOutside := make([]float64, n) // last time eta was outside the band
-			m, err := sim.Run(sim.Config{
-				Network: nw,
-				Protocol: sim.Protocol{
-					Mode: model.Groupput, Variant: econcast.Capture,
-					Sigma: sigma, Delta: delta, Tau: tau,
-				},
-				Duration: duration,
-				Warmup:   duration / 3,
-				Seed:     opts.Seed + uint64(delta*1000) + uint64(tau*10),
-				OnTick: func(node int, now, eta float64) {
-					if math.Abs(eta-etaStar) > 0.1*etaStar {
-						lastOutside[node] = now
-					}
-				},
-			})
-			if err != nil {
-				return nil, err
-			}
-			settle := 0.0
-			for _, v := range lastOutside {
-				if v > settle {
-					settle = v
-				}
-			}
-			settleStr := f3(settle)
-			if settle >= duration-2*tau {
-				settleStr = "never"
-			}
-			t.Rows = append(t.Rows, []string{
-				fmt.Sprintf("%.2f", delta), fmt.Sprintf("%.1f", tau),
-				settleStr, f4(m.Groupput), f3(m.Groupput / ref.Throughput),
-			})
+			points = append(points, point{delta: delta, tau: tau})
 		}
 	}
+	rows, err := sweep.Map(opts.Workers, points, func(_ int, p point) ([]string, error) {
+		n := nw.N()
+		lastOutside := make([]float64, n) // last time eta was outside the band
+		m, err := sim.Run(sim.Config{
+			Network: nw,
+			Protocol: sim.Protocol{
+				Mode: model.Groupput, Variant: econcast.Capture,
+				Sigma: sigma, Delta: p.delta, Tau: p.tau,
+			},
+			Duration: duration,
+			Warmup:   duration / 3,
+			Seed:     rng.DeriveSeed(opts.Seed, math.Float64bits(p.delta), math.Float64bits(p.tau)),
+			OnTick: func(node int, now, eta float64) {
+				if math.Abs(eta-etaStar) > 0.1*etaStar {
+					lastOutside[node] = now
+				}
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+		settle := 0.0
+		for _, v := range lastOutside {
+			if v > settle {
+				settle = v
+			}
+		}
+		settleStr := f3(settle)
+		if settle >= duration-2*p.tau {
+			settleStr = "never"
+		}
+		return []string{
+			fmt.Sprintf("%.2f", p.delta), fmt.Sprintf("%.1f", p.tau),
+			settleStr, f4(m.Groupput), f3(m.Groupput / ref.Throughput),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	t.Rows = rows
 	return []*Table{t}, nil
 }
 
@@ -125,11 +136,12 @@ func runHarvesting(opts Options) ([]*Table, error) {
 		}
 		return (a.Throughput + b.Throughput) / 2, nil
 	}
-	profiles := []struct {
+	type profile struct {
 		name    string
 		hi, lo  float64
 		harvest func(node int, t float64) float64
-	}{
+	}
+	profiles := []profile{
 		{"constant 10uW", 10, 10, nil},
 		{"square 15/5uW, 100s period", 15, 5, square(100, 15, 5)},
 		{"square 15/5uW, 2000s period", 15, 5, square(2000, 15, 5)},
@@ -143,13 +155,13 @@ func runHarvesting(opts Options) ([]*Table, error) {
 			f4(ref.Throughput)),
 		Head: []string{"profile", "groupput", "vs constant analysis", "Jensen prediction", "mean power (uW)"},
 	}
-	for i, p := range profiles {
+	rows, err := sweep.Map(opts.Workers, profiles, func(i int, p profile) ([]string, error) {
 		m, err := sim.Run(sim.Config{
 			Network:  nw,
 			Protocol: sim.Protocol{Mode: model.Groupput, Variant: econcast.Capture, Sigma: sigma, Delta: 0.1},
 			Duration: duration,
 			Warmup:   warmup,
-			Seed:     opts.Seed + uint64(i),
+			Seed:     rng.DeriveSeed(opts.Seed, 4, uint64(i)),
 			Harvest:  p.harvest,
 		})
 		if err != nil {
@@ -164,10 +176,14 @@ func runHarvesting(opts Options) ([]*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		t.Rows = append(t.Rows, []string{
+		return []string{
 			p.name, f4(m.Groupput), f3(m.Groupput / ref.Throughput), f4(jv),
 			fmt.Sprintf("%.2f", meanP/model.MicroWatt),
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	t.Rows = rows
 	return []*Table{t}, nil
 }

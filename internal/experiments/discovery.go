@@ -2,14 +2,17 @@ package experiments
 
 import (
 	"fmt"
+	"math"
 
 	"econcast/internal/apps"
 	"econcast/internal/baselines"
 	"econcast/internal/econcast"
 	"econcast/internal/model"
+	"econcast/internal/rng"
 	"econcast/internal/sim"
 	"econcast/internal/statespace"
 	"econcast/internal/stats"
+	"econcast/internal/sweep"
 )
 
 func init() {
@@ -20,9 +23,24 @@ func init() {
 	})
 }
 
+// discoveryCell is one replicate's outcome: the discovery fields for a
+// neighbor-discovery rep, or the gossip fields for a gossip rep.
+type discoveryCell struct {
+	pair     float64
+	pairOK   bool
+	full     float64
+	fullOK   bool
+	half     float64
+	halfOK   bool
+	injected bool
+}
+
 // runDiscovery evaluates the paper's two motivating applications end to
 // end: pairwise neighbor discovery (comparable to Searchlight's
 // worst-case metric) and store-and-forward rumor dissemination.
+// Every replicate is an independent sweep cell; the accumulators are fed
+// in cell index order, so the reported means are byte-identical at any
+// worker count.
 func runDiscovery(opts Options) ([]*Table, error) {
 	node := model.Node{
 		Budget:        10 * model.MicroWatt,
@@ -51,39 +69,117 @@ func runDiscovery(opts Options) ([]*Table, error) {
 		Head: []string{"N", "sigma", "mode", "half coverage", "full coverage", "complete runs"},
 	}
 
-	for _, n := range []int{5, 10} {
-		for _, sigma := range []float64{0.5, 0.25} {
+	ns := []int{5, 10}
+	sigmas := []float64{0.5, 0.25}
+	gossipModes := []model.Mode{model.Anyput, model.Groupput}
+
+	// Per (n, sigma) combo: reps discovery cells followed by reps gossip
+	// cells per mode, all in one flat sweep.
+	var cells []sweep.Cell[discoveryCell]
+	for _, n := range ns {
+		n := n
+		for _, sigma := range sigmas {
+			sigma := sigma
 			nw := model.Homogeneous(n, node.Budget, node.ListenPower, node.TransmitPower)
 			ref, err := statespace.SolveP4(nw, sigma, model.Groupput, nil)
 			if err != nil {
 				return nil, err
 			}
+			for rep := 0; rep < reps; rep++ {
+				rep := rep
+				cells = append(cells, func() (discoveryCell, error) {
+					const start = 200.0
+					d := apps.NewDiscovery(n, start)
+					_, err := sim.Run(sim.Config{
+						Network:   nw,
+						Protocol:  sim.Protocol{Mode: model.Groupput, Variant: econcast.Capture, Sigma: sigma, Delta: 0.1},
+						Duration:  duration,
+						Warmup:    start,
+						Seed:      rng.DeriveSeed(opts.Seed, 10, uint64(n), math.Float64bits(sigma), uint64(rep)),
+						WarmEta:   ref.Eta,
+						OnDeliver: d.OnDeliver,
+					})
+					if err != nil {
+						return discoveryCell{}, err
+					}
+					var c discoveryCell
+					if m, err := d.MeanPairwise(); err == nil {
+						c.pair, c.pairOK = m, true
+					}
+					if full, ok := d.FullDiscoveryTime(); ok {
+						c.full, c.fullOK = full, true
+					}
+					return c, nil
+				})
+			}
+			for _, mode := range gossipModes {
+				mode := mode
+				refM, err := statespace.SolveP4(nw, sigma, mode, nil)
+				if err != nil {
+					return nil, err
+				}
+				for rep := 0; rep < reps; rep++ {
+					rep := rep
+					cells = append(cells, func() (discoveryCell, error) {
+						const start = 200.0
+						g := apps.NewGossip(n)
+						rumor, injected := 0, false
+						_, err := sim.Run(sim.Config{
+							Network:  nw,
+							Protocol: sim.Protocol{Mode: mode, Variant: econcast.Capture, Sigma: sigma, Delta: 0.1},
+							Duration: duration,
+							Warmup:   start,
+							Seed:     rng.DeriveSeed(opts.Seed, 11, uint64(n), math.Float64bits(sigma), uint64(mode), uint64(rep)),
+							WarmEta:  refM.Eta,
+							OnDeliver: func(tx, rx int, now float64) {
+								if !injected && now >= start {
+									rumor, _ = g.Inject(0, now)
+									injected = true
+								}
+								g.OnDeliver(tx, rx, now)
+							},
+						})
+						if err != nil {
+							return discoveryCell{}, err
+						}
+						c := discoveryCell{injected: injected}
+						if !injected {
+							return c, nil
+						}
+						if h, ok := g.HalfSpreadTime(rumor); ok {
+							c.half, c.halfOK = h, true
+						}
+						if f, ok := g.SpreadTime(rumor); ok {
+							c.full, c.fullOK = f, true
+						}
+						return c, nil
+					})
+				}
+			}
+		}
+	}
+	res, err := sweep.Run(opts.Workers, cells)
+	if err != nil {
+		return nil, err
+	}
+
+	off := 0
+	for _, n := range ns {
+		for _, sigma := range sigmas {
 			var pairMean, fullMean stats.Accumulator
 			fullMax := 0.0
 			complete := 0
 			for rep := 0; rep < reps; rep++ {
-				const start = 200.0
-				d := apps.NewDiscovery(n, start)
-				_, err := sim.Run(sim.Config{
-					Network:   nw,
-					Protocol:  sim.Protocol{Mode: model.Groupput, Variant: econcast.Capture, Sigma: sigma, Delta: 0.1},
-					Duration:  duration,
-					Warmup:    start,
-					Seed:      opts.Seed + uint64(rep) + uint64(n)*50 + uint64(sigma*1000),
-					WarmEta:   ref.Eta,
-					OnDeliver: d.OnDeliver,
-				})
-				if err != nil {
-					return nil, err
+				c := res[off]
+				off++
+				if c.pairOK {
+					pairMean.Add(c.pair)
 				}
-				if m, err := d.MeanPairwise(); err == nil {
-					pairMean.Add(m)
-				}
-				if full, ok := d.FullDiscoveryTime(); ok {
+				if c.fullOK {
 					complete++
-					fullMean.Add(full)
-					if full > fullMax {
-						fullMax = full
+					fullMean.Add(c.full)
+					if c.full > fullMax {
+						fullMax = c.full
 					}
 				}
 			}
@@ -93,45 +189,21 @@ func runDiscovery(opts Options) ([]*Table, error) {
 				fmt.Sprintf("%d/%d", complete, reps),
 			})
 
-			// Gossip spread in both modes.
-			for _, mode := range []model.Mode{model.Anyput, model.Groupput} {
-				refM, err := statespace.SolveP4(nw, sigma, mode, nil)
-				if err != nil {
-					return nil, err
-				}
+			for _, mode := range gossipModes {
 				var half, full stats.Accumulator
 				completeG := 0
 				for rep := 0; rep < reps; rep++ {
-					const start = 200.0
-					g := apps.NewGossip(n)
-					rumor, injected := 0, false
-					_, err := sim.Run(sim.Config{
-						Network:  nw,
-						Protocol: sim.Protocol{Mode: mode, Variant: econcast.Capture, Sigma: sigma, Delta: 0.1},
-						Duration: duration,
-						Warmup:   start,
-						Seed:     opts.Seed + 1000 + uint64(rep) + uint64(n)*50 + uint64(sigma*1000),
-						WarmEta:  refM.Eta,
-						OnDeliver: func(tx, rx int, now float64) {
-							if !injected && now >= start {
-								rumor, _ = g.Inject(0, now)
-								injected = true
-							}
-							g.OnDeliver(tx, rx, now)
-						},
-					})
-					if err != nil {
-						return nil, err
-					}
-					if !injected {
+					c := res[off]
+					off++
+					if !c.injected {
 						continue
 					}
-					if h, ok := g.HalfSpreadTime(rumor); ok {
-						half.Add(h)
+					if c.halfOK {
+						half.Add(c.half)
 					}
-					if f, ok := g.SpreadTime(rumor); ok {
+					if c.fullOK {
 						completeG++
-						full.Add(f)
+						full.Add(c.full)
 					}
 				}
 				goss.Rows = append(goss.Rows, []string{

@@ -19,6 +19,13 @@ import (
 type Options struct {
 	Quick bool
 	Seed  uint64
+
+	// Workers bounds the sweep worker pool used by the simulation-heavy
+	// experiments (<= 0 selects GOMAXPROCS). Output is byte-identical at
+	// any worker count: cells are independent, seeds are derived by
+	// splitmix mixing from Seed and the cell parameters, and results are
+	// collected in cell index order (see internal/sweep).
+	Workers int
 }
 
 // Table is a printable result: a header row plus data rows. Tables that

@@ -26,7 +26,7 @@ func runFig2(opts Options) ([]*Table, error) {
 	if opts.Quick {
 		samples = 30
 	}
-	src := rng.New(opts.Seed + 2)
+	src := rng.New(rng.DeriveSeed(opts.Seed, 2))
 
 	type cell struct{ acc stats.Accumulator }
 	group := make(map[[2]int]*cell) // (hIdx, sigmaIdx)

@@ -2,11 +2,14 @@ package experiments
 
 import (
 	"fmt"
+	"math"
 
 	"econcast/internal/econcast"
 	"econcast/internal/model"
+	"econcast/internal/rng"
 	"econcast/internal/sim"
 	"econcast/internal/statespace"
+	"econcast/internal/sweep"
 	"econcast/internal/viz"
 )
 
@@ -16,6 +19,16 @@ func init() {
 		Title: "Fig. 4: average burst length vs sigma (analytic curves + simulation markers)",
 		Run:   runFig4,
 	})
+}
+
+// fig4Cell holds everything one sigma contributes: analytic burst lengths
+// per network size, simulated means (NaN where no marker is simulated),
+// and the anyput curve values.
+type fig4Cell struct {
+	analytic []float64
+	simMean  []float64
+	anyCurve float64
+	anyput   []float64
 }
 
 func runFig4(opts Options) ([]*Table, error) {
@@ -56,56 +69,82 @@ func runFig4(opts Options) ([]*Table, error) {
 		viz.Series{Name: "N=10 sim", MarkersOnly: true},
 	)
 
+	cells := make([]sweep.Cell[fig4Cell], 0, len(curveSigmas))
 	for _, sigma := range curveSigmas {
-		rowG := []string{fmt.Sprintf("%.2f", sigma)}
-		analytic := map[int]float64{}
-		for ni, n := range ns {
-			res, err := statespace.SolveP4Homogeneous(n, node, sigma, model.Groupput, nil)
-			if err != nil {
-				return nil, err
+		sigma := sigma
+		cells = append(cells, func() (fig4Cell, error) {
+			c := fig4Cell{anyCurve: statespace.AnyputBurstLength(sigma)}
+			for _, n := range ns {
+				res, err := statespace.SolveP4Homogeneous(n, node, sigma, model.Groupput, nil)
+				if err != nil {
+					return fig4Cell{}, err
+				}
+				c.analytic = append(c.analytic, res.BurstLength)
 			}
-			analytic[n] = res.BurstLength
-			rowG = append(rowG, sci(res.BurstLength))
+			for _, n := range ns {
+				if !simAt[sigma] {
+					c.simMean = append(c.simMean, math.NaN())
+					continue
+				}
+				nw := model.Homogeneous(n, node.Budget, node.ListenPower, node.TransmitPower)
+				ref, err := statespace.SolveP4(nw, sigma, model.Groupput, nil)
+				if err != nil {
+					return fig4Cell{}, err
+				}
+				m, err := sim.Run(sim.Config{
+					Network:   nw,
+					Protocol:  sim.Protocol{Mode: model.Groupput, Variant: econcast.Capture, Sigma: sigma},
+					Duration:  duration,
+					Warmup:    warmup,
+					Seed:      rng.DeriveSeed(opts.Seed, uint64(n), math.Float64bits(sigma)),
+					WarmEta:   ref.Eta,
+					FreezeEta: true,
+				})
+				if err != nil {
+					return fig4Cell{}, err
+				}
+				c.simMean = append(c.simMean, m.BurstLengths.Mean())
+			}
+			for _, n := range ns {
+				res, err := statespace.SolveP4Homogeneous(n, node, sigma, model.Anyput, nil)
+				if err != nil {
+					return fig4Cell{}, err
+				}
+				c.anyput = append(c.anyput, res.BurstLength)
+			}
+			return c, nil
+		})
+	}
+	res, err := sweep.Run(opts.Workers, cells)
+	if err != nil {
+		return nil, err
+	}
+
+	for i, sigma := range curveSigmas {
+		c := res[i]
+		rowG := []string{fmt.Sprintf("%.2f", sigma)}
+		for ni := range ns {
+			rowG = append(rowG, sci(c.analytic[ni]))
 			chart.Series[ni].X = append(chart.Series[ni].X, sigma)
-			chart.Series[ni].Y = append(chart.Series[ni].Y, res.BurstLength)
+			chart.Series[ni].Y = append(chart.Series[ni].Y, c.analytic[ni])
 		}
-		for ni, n := range ns {
-			if !simAt[sigma] {
+		for ni := range ns {
+			mean := c.simMean[ni]
+			if math.IsNaN(mean) {
 				rowG = append(rowG, "-")
 				continue
 			}
-			nw := model.Homogeneous(n, node.Budget, node.ListenPower, node.TransmitPower)
-			ref, err := statespace.SolveP4(nw, sigma, model.Groupput, nil)
-			if err != nil {
-				return nil, err
-			}
-			m, err := sim.Run(sim.Config{
-				Network:   nw,
-				Protocol:  sim.Protocol{Mode: model.Groupput, Variant: econcast.Capture, Sigma: sigma},
-				Duration:  duration,
-				Warmup:    warmup,
-				Seed:      opts.Seed + uint64(n),
-				WarmEta:   ref.Eta,
-				FreezeEta: true,
-			})
-			if err != nil {
-				return nil, err
-			}
-			rowG = append(rowG, sci(m.BurstLengths.Mean()))
-			if m.BurstLengths.Mean() > 0 {
+			rowG = append(rowG, sci(mean))
+			if mean > 0 {
 				chart.Series[2+ni].X = append(chart.Series[2+ni].X, sigma)
-				chart.Series[2+ni].Y = append(chart.Series[2+ni].Y, m.BurstLengths.Mean())
+				chart.Series[2+ni].Y = append(chart.Series[2+ni].Y, mean)
 			}
 		}
 		tg.Rows = append(tg.Rows, rowG)
 
-		rowA := []string{fmt.Sprintf("%.2f", sigma), sci(statespace.AnyputBurstLength(sigma))}
-		for _, n := range ns {
-			res, err := statespace.SolveP4Homogeneous(n, node, sigma, model.Anyput, nil)
-			if err != nil {
-				return nil, err
-			}
-			rowA = append(rowA, sci(res.BurstLength))
+		rowA := []string{fmt.Sprintf("%.2f", sigma), sci(c.anyCurve)}
+		for ni := range ns {
+			rowA = append(rowA, sci(c.anyput[ni]))
 		}
 		ta.Rows = append(ta.Rows, rowA)
 	}

@@ -2,12 +2,15 @@ package experiments
 
 import (
 	"fmt"
+	"math"
 
 	"econcast/internal/baselines"
 	"econcast/internal/econcast"
 	"econcast/internal/model"
+	"econcast/internal/rng"
 	"econcast/internal/sim"
 	"econcast/internal/statespace"
+	"econcast/internal/sweep"
 	"econcast/internal/viz"
 )
 
@@ -22,6 +25,13 @@ func init() {
 // cdfAt are the time points at which the latency CDF is tabulated.
 var cdfAt = []float64{5, 25, 50, 75, 100, 125}
 
+// fig5Cell is one (mode, N, sigma) point: a formatted table row plus the
+// CDF series behind it.
+type fig5Cell struct {
+	row    []string
+	series viz.Series
+}
+
 func runFig5(opts Options) ([]*Table, error) {
 	node := model.Node{
 		Budget:        10 * model.MicroWatt,
@@ -33,7 +43,64 @@ func runFig5(opts Options) ([]*Table, error) {
 		duration, warmup = 5000, 500
 	}
 
-	mk := func(mode model.Mode) (*Table, error) {
+	modes := []model.Mode{model.Groupput, model.Anyput}
+	ns := []int{5, 10}
+	sigmas := []float64{0.25, 0.5}
+
+	var cells []sweep.Cell[fig5Cell]
+	for _, mode := range modes {
+		mode := mode
+		for _, n := range ns {
+			n := n
+			for _, sigma := range sigmas {
+				sigma := sigma
+				cells = append(cells, func() (fig5Cell, error) {
+					nw := model.Homogeneous(n, node.Budget, node.ListenPower, node.TransmitPower)
+					ref, err := statespace.SolveP4(nw, sigma, mode, nil)
+					if err != nil {
+						return fig5Cell{}, err
+					}
+					m, err := sim.Run(sim.Config{
+						Network:  nw,
+						Protocol: sim.Protocol{Mode: mode, Variant: econcast.Capture, Sigma: sigma, Delta: 0.1},
+						Duration: duration,
+						Warmup:   warmup,
+						Seed:     rng.DeriveSeed(opts.Seed, uint64(mode), uint64(n), math.Float64bits(sigma)),
+						WarmEta:  ref.Eta,
+					})
+					if err != nil {
+						return fig5Cell{}, err
+					}
+					mean, p99 := 0.0, 0.0
+					if m.Latency.N() > 0 {
+						mean = m.Latency.Mean()
+						p99 = m.Latency.Quantile(0.99)
+					}
+					c := fig5Cell{row: []string{
+						fmt.Sprintf("%d", n), fmt.Sprintf("%.2f", sigma),
+						f3(mean), f3(p99), fmt.Sprintf("%d", m.Latency.N()),
+					}}
+					// CDF series (the actual content of the paper's figure).
+					c.series = viz.Series{Name: fmt.Sprintf("N=%d sigma=%.2f", n, sigma)}
+					for _, at := range cdfAt {
+						v := m.Latency.At(at)
+						c.row = append(c.row, f3(v))
+						c.series.X = append(c.series.X, at)
+						c.series.Y = append(c.series.Y, v)
+					}
+					return c, nil
+				})
+			}
+		}
+	}
+	res, err := sweep.Run(opts.Workers, cells)
+	if err != nil {
+		return nil, err
+	}
+
+	perMode := len(ns) * len(sigmas)
+	tables := make([]*Table, 0, len(modes))
+	for mi, mode := range modes {
 		t := &Table{
 			Name: fmt.Sprintf("Fig. 5(%s): %s latency (seconds)",
 				map[model.Mode]string{model.Groupput: "a", model.Anyput: "b"}[mode], mode),
@@ -45,61 +112,18 @@ func runFig5(opts Options) ([]*Table, error) {
 			Subtitle: "rho=10uW, L=X=500uW; CDF of inter-burst latency",
 			XLabel:   "latency (s)", YLabel: "CDF",
 		}
-		for _, n := range []int{5, 10} {
-			for _, sigma := range []float64{0.25, 0.5} {
-				nw := model.Homogeneous(n, node.Budget, node.ListenPower, node.TransmitPower)
-				ref, err := statespace.SolveP4(nw, sigma, mode, nil)
-				if err != nil {
-					return nil, err
-				}
-				m, err := sim.Run(sim.Config{
-					Network:  nw,
-					Protocol: sim.Protocol{Mode: mode, Variant: econcast.Capture, Sigma: sigma, Delta: 0.1},
-					Duration: duration,
-					Warmup:   warmup,
-					Seed:     opts.Seed + uint64(n)*10 + uint64(sigma*100),
-					WarmEta:  ref.Eta,
-				})
-				if err != nil {
-					return nil, err
-				}
-				mean, p99 := 0.0, 0.0
-				if m.Latency.N() > 0 {
-					mean = m.Latency.Mean()
-					p99 = m.Latency.Quantile(0.99)
-				}
-				row := []string{
-					fmt.Sprintf("%d", n), fmt.Sprintf("%.2f", sigma),
-					f3(mean), f3(p99), fmt.Sprintf("%d", m.Latency.N()),
-				}
-				// CDF series (the actual content of the paper's figure).
-				series := viz.Series{Name: fmt.Sprintf("N=%d sigma=%.2f", n, sigma)}
-				for _, at := range cdfAt {
-					v := m.Latency.At(at)
-					row = append(row, f3(v))
-					series.X = append(series.X, at)
-					series.Y = append(series.Y, v)
-				}
-				chart.Series = append(chart.Series, series)
-				t.Rows = append(t.Rows, row)
-			}
+		for _, c := range res[mi*perMode : (mi+1)*perMode] {
+			t.Rows = append(t.Rows, c.row)
+			chart.Series = append(chart.Series, c.series)
 		}
 		t.Chart = chart
-		return t, nil
+		tables = append(tables, t)
 	}
 
-	tg, err := mk(model.Groupput)
-	if err != nil {
-		return nil, err
-	}
 	wcl, err := baselines.SearchlightWorstCaseLatency(node, baselines.SearchlightConfig{})
 	if err != nil {
 		return nil, err
 	}
-	tg.Notes = fmt.Sprintf("Searchlight pairwise worst-case latency: %.0f s (paper: 125 s)", wcl)
-	ta, err := mk(model.Anyput)
-	if err != nil {
-		return nil, err
-	}
-	return []*Table{tg, ta}, nil
+	tables[0].Notes = fmt.Sprintf("Searchlight pairwise worst-case latency: %.0f s (paper: 125 s)", wcl)
+	return tables, nil
 }

@@ -2,11 +2,14 @@ package experiments
 
 import (
 	"fmt"
+	"math"
 
 	"econcast/internal/econcast"
 	"econcast/internal/model"
 	"econcast/internal/oracle"
+	"econcast/internal/rng"
 	"econcast/internal/sim"
+	"econcast/internal/sweep"
 	"econcast/internal/topology"
 	"econcast/internal/viz"
 )
@@ -17,6 +20,13 @@ func init() {
 		Title: "Fig. 6: grid-topology oracle groupput and simulated EconCast groupput",
 		Run:   runFig6,
 	})
+}
+
+// fig6Cell carries one sweep cell's result: either the oracle bounds for a
+// grid size or one simulated groupput sample at a (size, sigma) point.
+type fig6Cell struct {
+	lower, upper float64
+	groupput     float64
 }
 
 func runFig6(opts Options) ([]*Table, error) {
@@ -47,41 +57,65 @@ func runFig6(opts Options) ([]*Table, error) {
 		viz.Series{Name: "sim sigma=0.50"},
 		viz.Series{Name: "sim sigma=0.75"},
 	)
+
+	// One oracle cell plus one sim cell per sigma for every grid size; the
+	// stride indexes the flat cell slice back into (size, sigma) order.
+	stride := 1 + len(sigmas)
+	cells := make([]sweep.Cell[fig6Cell], 0, len(sizes)*stride)
 	for _, n := range sizes {
+		n := n
 		nw := model.Homogeneous(n, 10*model.MicroWatt, 500*model.MicroWatt, 500*model.MicroWatt)
 		topo := topology.SquareGrid(n)
-		lower, upper, err := oracle.GroupputNonCliqueBounds(nw, topo)
-		if err != nil {
-			return nil, err
-		}
-		row := []string{fmt.Sprintf("%d", n), f4(lower.Throughput), f4(upper.Throughput)}
-		chart.Series[0].X = append(chart.Series[0].X, float64(n))
-		chart.Series[0].Y = append(chart.Series[0].Y, lower.Throughput)
-		var first float64
-		for si, sigma := range sigmas {
-			m, err := sim.Run(sim.Config{
-				Network:          nw,
-				Topology:         topo,
-				Protocol:         sim.Protocol{Mode: model.Groupput, Variant: econcast.Capture, Sigma: sigma, Delta: 0.1},
-				Duration:         duration,
-				Warmup:           warmup,
-				Seed:             opts.Seed + uint64(n),
-				HardBatteryFloor: true,
-				InitialBattery:   2e-3,
-			})
+		cells = append(cells, func() (fig6Cell, error) {
+			lower, upper, err := oracle.GroupputNonCliqueBounds(nw, topo)
 			if err != nil {
-				return nil, err
+				return fig6Cell{}, err
 			}
+			return fig6Cell{lower: lower.Throughput, upper: upper.Throughput}, nil
+		})
+		for _, sigma := range sigmas {
+			sigma := sigma
+			cells = append(cells, func() (fig6Cell, error) {
+				m, err := sim.Run(sim.Config{
+					Network:          nw,
+					Topology:         topo,
+					Protocol:         sim.Protocol{Mode: model.Groupput, Variant: econcast.Capture, Sigma: sigma, Delta: 0.1},
+					Duration:         duration,
+					Warmup:           warmup,
+					Seed:             rng.DeriveSeed(opts.Seed, uint64(n), math.Float64bits(sigma)),
+					HardBatteryFloor: true,
+					InitialBattery:   2e-3,
+				})
+				if err != nil {
+					return fig6Cell{}, err
+				}
+				return fig6Cell{groupput: m.Groupput}, nil
+			})
+		}
+	}
+	res, err := sweep.Run(opts.Workers, cells)
+	if err != nil {
+		return nil, err
+	}
+
+	for i, n := range sizes {
+		bounds := res[i*stride]
+		row := []string{fmt.Sprintf("%d", n), f4(bounds.lower), f4(bounds.upper)}
+		chart.Series[0].X = append(chart.Series[0].X, float64(n))
+		chart.Series[0].Y = append(chart.Series[0].Y, bounds.lower)
+		var first float64
+		for si := range sigmas {
+			g := res[i*stride+1+si].groupput
 			if si == 0 {
-				first = m.Groupput
+				first = g
 			}
-			row = append(row, f4(m.Groupput))
-			if m.Groupput > 0 {
+			row = append(row, f4(g))
+			if g > 0 {
 				chart.Series[1+si].X = append(chart.Series[1+si].X, float64(n))
-				chart.Series[1+si].Y = append(chart.Series[1+si].Y, m.Groupput)
+				chart.Series[1+si].Y = append(chart.Series[1+si].Y, g)
 			}
 		}
-		row = append(row, f3(first/lower.Throughput))
+		row = append(row, f3(first/bounds.lower))
 		t.Rows = append(t.Rows, row)
 	}
 	t.Chart = chart

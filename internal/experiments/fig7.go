@@ -2,11 +2,14 @@ package experiments
 
 import (
 	"fmt"
+	"math"
 
 	"econcast/internal/baselines"
 	"econcast/internal/model"
+	"econcast/internal/rng"
 	"econcast/internal/statespace"
 	"econcast/internal/stats"
+	"econcast/internal/sweep"
 	"econcast/internal/testbed"
 )
 
@@ -47,8 +50,16 @@ func runTestbed(n int, budget, sigma float64, opts Options) (*testbed.Metrics, e
 		Sigma:    sigma,
 		Duration: duration,
 		Warmup:   warmup,
-		Seed:     opts.Seed + uint64(n)*100 + uint64(budget*1e4) + uint64(sigma*1000),
+		Seed:     rng.DeriveSeed(opts.Seed, uint64(n), math.Float64bits(budget), math.Float64bits(sigma)),
 	})
+}
+
+// testbedPoint is one emulation operating point shared by the testbed
+// sweeps below.
+type testbedPoint struct {
+	n      int
+	budget float64
+	sigma  float64
 }
 
 func runFig7(opts Options) ([]*Table, error) {
@@ -58,38 +69,46 @@ func runFig7(opts Options) ([]*Table, error) {
 			"battery variance = per-node power / rho (mean [min, max])",
 		Head: []string{"rho(mW)", "N", "sigma", "Ideal", "Relaxed", "power/rho mean", "min", "max"},
 	}
+	var points []testbedPoint
 	for _, budget := range []float64{1 * model.MilliWatt, 5 * model.MilliWatt} {
 		for _, n := range []int{5, 10} {
 			for _, sigma := range []float64{0.25, 0.5} {
-				m, err := runTestbed(n, budget, sigma, opts)
-				if err != nil {
-					return nil, err
-				}
-				ideal, err := statespace.SolveP4Homogeneous(n, testbedNode(budget), sigma, model.Groupput, nil)
-				if err != nil {
-					return nil, err
-				}
-				var pow stats.Accumulator
-				for _, p := range m.Power {
-					pow.Add(p)
-				}
-				relaxedRef, err := statespace.SolveP4Homogeneous(n, testbedNode(pow.Mean()), sigma, model.Groupput, nil)
-				if err != nil {
-					return nil, err
-				}
-				t.Rows = append(t.Rows, []string{
-					fmt.Sprintf("%.0f", budget/model.MilliWatt),
-					fmt.Sprintf("%d", n),
-					fmt.Sprintf("%.2f", sigma),
-					pct(m.Groupput / ideal.Throughput),
-					pct(m.Groupput / relaxedRef.Throughput),
-					f3(pow.Mean() / budget),
-					f3(pow.Min() / budget),
-					f3(pow.Max() / budget),
-				})
+				points = append(points, testbedPoint{n: n, budget: budget, sigma: sigma})
 			}
 		}
 	}
+	rows, err := sweep.Map(opts.Workers, points, func(_ int, p testbedPoint) ([]string, error) {
+		m, err := runTestbed(p.n, p.budget, p.sigma, opts)
+		if err != nil {
+			return nil, err
+		}
+		ideal, err := statespace.SolveP4Homogeneous(p.n, testbedNode(p.budget), p.sigma, model.Groupput, nil)
+		if err != nil {
+			return nil, err
+		}
+		var pow stats.Accumulator
+		for _, pw := range m.Power {
+			pow.Add(pw)
+		}
+		relaxedRef, err := statespace.SolveP4Homogeneous(p.n, testbedNode(pow.Mean()), p.sigma, model.Groupput, nil)
+		if err != nil {
+			return nil, err
+		}
+		return []string{
+			fmt.Sprintf("%.0f", p.budget/model.MilliWatt),
+			fmt.Sprintf("%d", p.n),
+			fmt.Sprintf("%.2f", p.sigma),
+			pct(m.Groupput / ideal.Throughput),
+			pct(m.Groupput / relaxedRef.Throughput),
+			f3(pow.Mean() / p.budget),
+			f3(pow.Min() / p.budget),
+			f3(pow.Max() / p.budget),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	t.Rows = rows
 	return []*Table{t}, nil
 }
 
@@ -101,34 +120,38 @@ func runTable3(opts Options) ([]*Table, error) {
 			"EconCast/Panda = 2.3x-10.8x (throughputs normalized by T^sigma_g)",
 		Head: []string{"(N, rho mW)", "T~/T^sigma %", "Panda/T^sigma %", "T~/Panda"},
 	}
-	for _, cfg := range []struct {
-		n      int
-		budget float64
-	}{
-		{5, 1 * model.MilliWatt}, {10, 1 * model.MilliWatt},
-		{5, 5 * model.MilliWatt}, {10, 5 * model.MilliWatt},
-	} {
-		m, err := runTestbed(cfg.n, cfg.budget, sigma, opts)
+	points := []testbedPoint{
+		{n: 5, budget: 1 * model.MilliWatt, sigma: sigma},
+		{n: 10, budget: 1 * model.MilliWatt, sigma: sigma},
+		{n: 5, budget: 5 * model.MilliWatt, sigma: sigma},
+		{n: 10, budget: 5 * model.MilliWatt, sigma: sigma},
+	}
+	rows, err := sweep.Map(opts.Workers, points, func(_ int, p testbedPoint) ([]string, error) {
+		m, err := runTestbed(p.n, p.budget, p.sigma, opts)
 		if err != nil {
 			return nil, err
 		}
-		node := testbedNode(cfg.budget)
-		ref, err := statespace.SolveP4Homogeneous(cfg.n, node, sigma, model.Groupput, nil)
+		node := testbedNode(p.budget)
+		ref, err := statespace.SolveP4Homogeneous(p.n, node, p.sigma, model.Groupput, nil)
 		if err != nil {
 			return nil, err
 		}
 		// Panda at the testbed's packet length.
-		panda, err := baselines.PandaOptimize(cfg.n, node, 40e-3, model.Groupput)
+		panda, err := baselines.PandaOptimize(p.n, node, 40e-3, model.Groupput)
 		if err != nil {
 			return nil, err
 		}
-		t.Rows = append(t.Rows, []string{
-			fmt.Sprintf("(%d, %.0f)", cfg.n, cfg.budget/model.MilliWatt),
+		return []string{
+			fmt.Sprintf("(%d, %.0f)", p.n, p.budget/model.MilliWatt),
 			pct(m.Groupput / ref.Throughput),
 			pct(panda.Groupput / ref.Throughput),
 			fmt.Sprintf("%.2f", m.Groupput/panda.Groupput),
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	t.Rows = rows
 	return []*Table{t}, nil
 }
 
@@ -139,7 +162,8 @@ func runTable4(opts Options) ([]*Table, error) {
 		Notes: "paper: rho=1mW -> 89.0/9.7/1.3/0/0 %; rho=5mW -> 59.2/31.2/8.2/1.2/0.1 %",
 		Head:  []string{"rho(mW)", "0", "1", "2", "3", "4"},
 	}
-	for _, budget := range []float64{1 * model.MilliWatt, 5 * model.MilliWatt} {
+	budgets := []float64{1 * model.MilliWatt, 5 * model.MilliWatt}
+	rows, err := sweep.Map(opts.Workers, budgets, func(_ int, budget float64) ([]string, error) {
 		m, err := runTestbed(5, budget, sigma, opts)
 		if err != nil {
 			return nil, err
@@ -148,7 +172,11 @@ func runTable4(opts Options) ([]*Table, error) {
 		for v := 0; v <= 4; v++ {
 			row = append(row, pct(m.PingCounts.Fraction(v)))
 		}
-		t.Rows = append(t.Rows, row)
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	t.Rows = rows
 	return []*Table{t}, nil
 }

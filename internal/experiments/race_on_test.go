@@ -1,0 +1,8 @@
+//go:build race
+
+package experiments
+
+// raceEnabled reports whether the test binary was built with the race
+// detector. See determinism_test.go for why the sweep byte-identity
+// tests skip under it.
+const raceEnabled = true

@@ -6,6 +6,7 @@ import (
 	"econcast/internal/oracle"
 	"econcast/internal/rng"
 	"econcast/internal/sim"
+	"econcast/internal/sweep"
 	"econcast/internal/topology"
 )
 
@@ -26,7 +27,7 @@ func runTopologies(opts Options) ([]*Table, error) {
 	if opts.Quick {
 		duration, warmup = 3000, 500
 	}
-	src := rng.New(opts.Seed + 33)
+	src := rng.New(rng.DeriveSeed(opts.Seed, 33))
 	topos := []*topology.Topology{
 		topology.Clique(8),
 		topology.SquareGrid(9),
@@ -42,7 +43,9 @@ func runTopologies(opts Options) ([]*Table, error) {
 			"bounds are the paper's §IV-C pair",
 		Head: []string{"topology", "lower", "exact", "upper", "sim", "sim/exact"},
 	}
-	for _, topo := range topos {
+	// Seeds are derived from the topology's index in the family list: the
+	// old additive `Seed + N` collided for the four 8-node families.
+	rows, err := sweep.Map(opts.Workers, topos, func(ti int, topo *topology.Topology) ([]string, error) {
 		nw := model.Homogeneous(topo.N(), 10*model.MicroWatt, 500*model.MicroWatt, 500*model.MicroWatt)
 		lower, upper, err := oracle.GroupputNonCliqueBounds(nw, topo)
 		if err != nil {
@@ -58,18 +61,22 @@ func runTopologies(opts Options) ([]*Table, error) {
 			Protocol:         sim.Protocol{Mode: model.Groupput, Variant: econcast.Capture, Sigma: 0.25, Delta: 0.1},
 			Duration:         duration,
 			Warmup:           warmup,
-			Seed:             opts.Seed + uint64(topo.N()),
+			Seed:             rng.DeriveSeed(opts.Seed, 33, uint64(ti)),
 			HardBatteryFloor: true,
 			InitialBattery:   2e-3,
 		})
 		if err != nil {
 			return nil, err
 		}
-		t.Rows = append(t.Rows, []string{
+		return []string{
 			topo.Name(),
 			f4(lower.Throughput), f4(exact.Throughput), f4(upper.Throughput),
 			f4(m.Groupput), f3(m.Groupput / exact.Throughput),
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	t.Rows = rows
 	return []*Table{t}, nil
 }

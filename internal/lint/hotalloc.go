@@ -1,0 +1,136 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// hotEntry names one event-loop entry point: a method on a receiver type
+// from which the whole per-event call tree is reachable.
+type hotEntry struct {
+	recv   string
+	method string
+}
+
+// hotEntries lists, per package, the entry points of the allocation-free
+// hot paths. Everything statically reachable from an entry through
+// same-package calls is "hot": the simulators execute those functions once
+// per discrete event (millions of times per run), so a single allocation
+// there dominates the profile. Cold setup/teardown (newEngine, Run,
+// validate) is not reachable from the entries and stays unconstrained.
+var hotEntries = map[string][]hotEntry{
+	"econcast/internal/sim": {
+		{recv: "engine", method: "run"},
+	},
+	"econcast/internal/asim": {
+		{recv: "broker", method: "loop"},
+		{recv: "nodeRuntime", method: "run"},
+	},
+}
+
+// HotAlloc flags allocation sites — make, append, and map literals —
+// inside the simulators' event-loop call trees. The event loops are
+// required to be allocation-free in steady state (see
+// internal/sim/alloc_test.go); an allocation that is genuinely one-time
+// or amortized earns a per-line `//lint:allow hotalloc <reason>`.
+var HotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc:  "allocation (make/append/map literal) inside a simulator event loop",
+	Run: func(p *Pass) {
+		entries, ok := hotEntries[p.Path]
+		if !ok {
+			return
+		}
+
+		// Index this package's function declarations by their object.
+		decls := make(map[*types.Func]*ast.FuncDecl)
+		for _, f := range p.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				if fn, ok := p.Info.Defs[fd.Name].(*types.Func); ok {
+					decls[fn] = fd
+				}
+			}
+		}
+
+		// Seed the worklist with the entry methods.
+		hot := make(map[*types.Func]bool)
+		var work []*types.Func
+		for fn, fd := range decls {
+			name := recvTypeName(fd)
+			for _, e := range entries {
+				if name == e.recv && fd.Name.Name == e.method {
+					hot[fn] = true
+					work = append(work, fn)
+				}
+			}
+		}
+
+		// Transitive closure over same-package static calls: any helper the
+		// event loop calls is itself hot.
+		for len(work) > 0 {
+			fn := work[len(work)-1]
+			work = work[:len(work)-1]
+			ast.Inspect(decls[fn].Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				callee := calleeFunc(p.Info, call)
+				if callee == nil || hot[callee] {
+					return true
+				}
+				if _, ok := decls[callee]; ok {
+					hot[callee] = true
+					work = append(work, callee)
+				}
+				return true
+			})
+		}
+
+		for fn := range hot {
+			fd := decls[fn]
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.CallExpr:
+					if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok {
+						if b, ok := p.Info.Uses[id].(*types.Builtin); ok {
+							switch b.Name() {
+							case "make", "append":
+								p.Reportf(n.Pos(), "%s in hot path %s; hoist the allocation out of the event loop or add //lint:allow hotalloc with a justification", b.Name(), fd.Name.Name)
+							}
+						}
+					}
+				case *ast.CompositeLit:
+					t := p.Info.TypeOf(n)
+					if t == nil {
+						return true
+					}
+					if _, isMap := t.Underlying().(*types.Map); isMap {
+						p.Reportf(n.Pos(), "map literal in hot path %s; hoist the allocation out of the event loop or add //lint:allow hotalloc with a justification", fd.Name.Name)
+					}
+				}
+				return true
+			})
+		}
+	},
+}
+
+// recvTypeName returns the bare receiver type name of a method
+// declaration ("engine" for `func (e *engine) step()`), or "".
+func recvTypeName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return ""
+	}
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
+}

@@ -16,9 +16,13 @@
 //   - wallclock: time.Now / time.Sleep / math/rand outside internal/rng.
 //   - floateq: == / != between floating-point operands outside approved
 //     epsilon-comparison helpers.
-//   - rawgoroutine: `go` statements outside internal/asim and
-//     internal/testbed, the only packages licensed to spawn concurrency.
+//   - rawgoroutine: `go` statements outside internal/asim,
+//     internal/testbed, and internal/sweep, the only packages licensed to
+//     spawn concurrency.
 //   - errdrop: discarded error return values.
+//   - hotalloc: make/append/map-literal allocation sites reachable from
+//     the simulators' event loops, which must stay allocation-free in
+//     steady state.
 //
 // # Suppressions
 //
@@ -87,7 +91,7 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 
 // All returns the full analyzer suite in reporting order.
 func All() []*Analyzer {
-	return []*Analyzer{MapRange, WallClock, FloatEq, RawGoroutine, ErrDrop}
+	return []*Analyzer{MapRange, WallClock, FloatEq, RawGoroutine, ErrDrop, HotAlloc}
 }
 
 // ByName returns the named analyzer, or nil.

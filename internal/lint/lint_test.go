@@ -96,6 +96,8 @@ func TestFixtures(t *testing.T) {
 		{"rawgoroutine", "rawgoroutine", "econcast/internal/experiments", RawGoroutine, false},
 		{"rawgoroutine/licensed-pkg", "rawgoroutine", "econcast/internal/asim", RawGoroutine, true},
 		{"errdrop", "errdrop", "econcast/internal/experiments", ErrDrop, false},
+		{"hotalloc", "hotalloc", "econcast/internal/sim", HotAlloc, false},
+		{"hotalloc/outside-hot-pkg", "hotalloc", "econcast/internal/viz", HotAlloc, true},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -5,20 +5,23 @@ import (
 )
 
 // concurrencyPkgs are the only packages licensed to spawn goroutines:
-// asim's broker/node protocol and the testbed built on top of it. They
-// confine concurrency behind a conservative virtual clock so runs stay
-// reproducible; a raw `go` statement anywhere else reintroduces
-// scheduling nondeterminism (and data-race surface) outside that fence.
+// asim's broker/node protocol, the testbed built on top of it, and
+// sweep's bounded worker pool. Each confines concurrency behind a
+// determinism fence (a conservative virtual clock, or sweep's
+// index-ordered collection barrier) so runs stay reproducible; a raw
+// `go` statement anywhere else reintroduces scheduling nondeterminism
+// (and data-race surface) outside those fences.
 var concurrencyPkgs = map[string]bool{
 	"econcast/internal/asim":    true,
 	"econcast/internal/testbed": true,
+	"econcast/internal/sweep":   true,
 }
 
 // RawGoroutine flags `go` statements outside the licensed concurrency
 // packages.
 var RawGoroutine = &Analyzer{
 	Name: "rawgoroutine",
-	Doc:  "goroutine spawned outside internal/asim and internal/testbed",
+	Doc:  "goroutine spawned outside internal/asim, internal/testbed, and internal/sweep",
 	Run: func(p *Pass) {
 		if concurrencyPkgs[p.Path] {
 			return
@@ -26,7 +29,7 @@ var RawGoroutine = &Analyzer{
 		for _, f := range p.Files {
 			ast.Inspect(f, func(n ast.Node) bool {
 				if g, ok := n.(*ast.GoStmt); ok {
-					p.Reportf(g.Pos(), "goroutines are confined to internal/asim and internal/testbed; route concurrency through their broker protocol")
+					p.Reportf(g.Pos(), "goroutines are confined to internal/asim, internal/testbed, and internal/sweep; route concurrency through their fenced pools")
 				}
 				return true
 			})

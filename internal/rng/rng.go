@@ -51,6 +51,26 @@ func (s *Source) Split() *Source {
 	return New(s.Uint64() ^ 0xd2b74407b1ce6e93)
 }
 
+// DeriveSeed mixes base with the given parts through splitmix64 and
+// returns a child seed. It is the one sanctioned way to derive per-cell
+// seeds for parameter sweeps: unlike additive arithmetic such as
+// `base + uint64(sigma*1000)`, distinct part tuples cannot collide by
+// landing on the same sum, and every part perturbs all 64 output bits.
+// Float-valued sweep parameters should be passed through
+// math.Float64bits so distinct values map to distinct parts.
+//
+// The derivation is pure (base is not a stream and does not advance), so
+// cells of a sweep may derive their seeds concurrently and in any order.
+func DeriveSeed(base uint64, parts ...uint64) uint64 {
+	x := base
+	h := splitmix64(&x)
+	for _, p := range parts {
+		x = h ^ p
+		h = splitmix64(&x)
+	}
+	return h
+}
+
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
 
 // Uint64 returns the next 64 uniformly distributed bits.

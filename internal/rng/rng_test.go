@@ -247,6 +247,63 @@ func TestBernoulliFrequency(t *testing.T) {
 	}
 }
 
+func TestDeriveSeedDeterministic(t *testing.T) {
+	if DeriveSeed(1, 2, 3) != DeriveSeed(1, 2, 3) {
+		t.Fatal("DeriveSeed not a pure function of its inputs")
+	}
+	if DeriveSeed(1) == DeriveSeed(2) {
+		t.Fatal("distinct bases collided")
+	}
+}
+
+func TestDeriveSeedOrderAndArity(t *testing.T) {
+	cases := [][]uint64{
+		{},
+		{0},
+		{1},
+		{2},
+		{1, 2},
+		{2, 1},
+		{1, 2, 3},
+		{3, 2, 1},
+		{math.Float64bits(0.25)},
+		{math.Float64bits(0.5)},
+	}
+	seen := map[uint64][]uint64{}
+	for _, parts := range cases {
+		s := DeriveSeed(42, parts...)
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("DeriveSeed(42, %v) == DeriveSeed(42, %v) = %#x", parts, prev, s)
+		}
+		seen[s] = parts
+	}
+}
+
+// TestDeriveSeedNoAdditiveCollisions pins the reason DeriveSeed exists:
+// the old `base + uint64(sigma*1000)`-style arithmetic collides whenever
+// two cells' offsets sum to the same value (e.g. (n=5, rep=1) and
+// (n=4, rep=2) under base+n+rep). Mixed derivation keeps a dense grid of
+// part tuples collision-free.
+func TestDeriveSeedNoAdditiveCollisions(t *testing.T) {
+	seen := map[uint64]bool{}
+	count := 0
+	for n := uint64(0); n < 30; n++ {
+		for rep := uint64(0); rep < 30; rep++ {
+			for k := uint64(0); k < 4; k++ {
+				s := DeriveSeed(7, n, rep, k)
+				if seen[s] {
+					t.Fatalf("collision at (n=%d, rep=%d, k=%d)", n, rep, k)
+				}
+				seen[s] = true
+				count++
+			}
+		}
+	}
+	if len(seen) != count {
+		t.Fatalf("%d distinct seeds from %d tuples", len(seen), count)
+	}
+}
+
 func BenchmarkUint64(b *testing.B) {
 	s := New(1)
 	var sink uint64

@@ -1,0 +1,104 @@
+package sim
+
+import (
+	"testing"
+
+	"econcast/internal/econcast"
+	"econcast/internal/model"
+	"econcast/internal/topology"
+)
+
+// steadyEngine builds an engine on the reference 8-node clique with an
+// effectively infinite horizon and pumps it past its transient, so that
+// every one-time growth (queue capacity, per-slot listener capacity) has
+// already happened and subsequent steps exercise pure steady state.
+func steadyEngine(tb testing.TB) *engine {
+	tb.Helper()
+	nw := model.Homogeneous(8, 10*model.MicroWatt, 500*model.MicroWatt, 500*model.MicroWatt)
+	cfg := Config{
+		Network:  nw,
+		Protocol: Protocol{Mode: model.Groupput, Variant: econcast.Capture, Sigma: 0.5, Delta: 0.1},
+		// The horizon and warmup are never reached: the benchmark measures
+		// the engine loop itself, not the metrics window machinery. Eta is
+		// frozen so the transition-rate mix (and with it the event queue's
+		// high-water mark) is stationary rather than drifting with the
+		// multiplier adaptation.
+		Duration:  1e18,
+		Warmup:    1e17,
+		Seed:      1,
+		FreezeEta: true,
+	}
+	if err := cfg.validate(); err != nil {
+		tb.Fatal(err)
+	}
+	e := newEngine(cfg)
+	e.start()
+	for i := 0; i < 200_000; i++ {
+		if !e.step() {
+			tb.Fatal("queue drained during warm-up")
+		}
+	}
+	return e
+}
+
+// BenchmarkEventLoop measures one discrete event through the engine's
+// hot path. Run with -benchmem: the acceptance bar for the
+// allocation-free event loop is 0 allocs/op here.
+func BenchmarkEventLoop(b *testing.B) {
+	e := steadyEngine(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !e.step() {
+			b.Fatal("queue drained")
+		}
+	}
+}
+
+// TestEventLoopSteadyStateAllocs is the executable form of the same bar:
+// steady-state events must not allocate. A tiny tolerance (well under
+// one allocation per hundred events) absorbs the rare amortized
+// high-water-mark growth of the event queue.
+func TestEventLoopSteadyStateAllocs(t *testing.T) {
+	e := steadyEngine(t)
+	avg := testing.AllocsPerRun(50_000, func() {
+		if !e.step() {
+			t.Fatal("queue drained")
+		}
+	})
+	if avg > 0.01 {
+		t.Fatalf("steady-state event loop allocates %.4f allocs/event, want 0", avg)
+	}
+}
+
+// BenchmarkEventLoopNonClique is the grid-topology variant: non-clique
+// runs additionally exercise the hidden-terminal collision scan, which
+// must also stay allocation-free.
+func BenchmarkEventLoopNonClique(b *testing.B) {
+	nw := model.Homogeneous(25, 10*model.MicroWatt, 500*model.MicroWatt, 500*model.MicroWatt)
+	cfg := Config{
+		Network:  nw,
+		Topology: topology.SquareGrid(25),
+		Protocol: Protocol{Mode: model.Groupput, Variant: econcast.Capture, Sigma: 0.5, Delta: 0.1},
+		Duration: 1e18,
+		Warmup:   1e17,
+		Seed:     1,
+	}
+	if err := cfg.validate(); err != nil {
+		b.Fatal(err)
+	}
+	e := newEngine(cfg)
+	e.start()
+	for i := 0; i < 200_000; i++ {
+		if !e.step() {
+			b.Fatal("queue drained during warm-up")
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !e.step() {
+			b.Fatal("queue drained")
+		}
+	}
+}

@@ -12,7 +12,6 @@
 package sim
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"io"
@@ -171,20 +170,62 @@ type event struct {
 	version uint64 // transition version; stale events are dropped
 }
 
+// eventQueue is a binary min-heap over event values ordered by (at, seq),
+// with sift-up/sift-down written directly against the slice. It
+// deliberately does not use container/heap: heap.Push and heap.Pop box
+// every event through interface{}, which allocates on each of the
+// millions of events a run processes; the direct heap keeps the
+// steady-state event loop allocation-free.
 type eventQueue []event
 
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
+func (q eventQueue) less(i, j int) bool {
 	if q[i].at != q[j].at { //lint:allow floateq exact tie detection so equal-time events fall through to the seq tiebreak
 		return q[i].at < q[j].at
 	}
 	return q[i].seq < q[j].seq
 }
-func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
-func (q *eventQueue) Push(x any)   { *q = append(*q, x.(event)) }
-func (q *eventQueue) Pop() any     { old := *q; n := len(old); e := old[n-1]; *q = old[:n-1]; return e }
-func (q *eventQueue) push(e event) { heap.Push(q, e) }
-func (q *eventQueue) pop() event   { return heap.Pop(q).(event) }
+
+// push inserts e and restores the heap property by sifting it up.
+func (q *eventQueue) push(e event) {
+	*q = append(*q, e) //lint:allow hotalloc amortized queue growth; capacity is stable in steady state
+	h := *q
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+// pop removes and returns the earliest event, sifting the displaced tail
+// element down.
+func (q *eventQueue) pop() event {
+	h := *q
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	*q = h[:n]
+	h = h[:n]
+	i := 0
+	for {
+		child := 2*i + 1
+		if child >= n {
+			break
+		}
+		if r := child + 1; r < n && h.less(r, child) {
+			child = r
+		}
+		if !h.less(child, i) {
+			break
+		}
+		h[i], h[child] = h[child], h[i]
+		i = child
+	}
+	return top
+}
 
 // nodeState is the simulator-side view of one node.
 type nodeState struct {
@@ -202,10 +243,13 @@ type nodeState struct {
 	collidedInPkt bool // current packet reception is lost to a collision
 }
 
-// packet tracks one in-flight unit packet.
+// packet tracks one in-flight unit packet. Packets live in a per-node
+// pool indexed by transmitter (engine.packets) and are reused across
+// holds — the listeners slice keeps its capacity — so starting a packet
+// never allocates in steady state.
 type packet struct {
-	tx        int
-	listeners []int // initial listener set (indices)
+	active    bool  // a packet from this transmitter is in flight
+	listeners []int // initial listener set (indices), reused across packets
 	burstLen  int   // packets already sent in this channel hold
 	delivered bool  // some packet of this hold was received by someone
 }
@@ -220,7 +264,13 @@ type engine struct {
 	queue eventQueue
 	seq   uint64
 
-	packets map[int]*packet // active packet per transmitter
+	// nbr[i] is node i's neighbor set, precomputed once so the hot path
+	// never materializes a clique neighbor list per event.
+	nbr [][]int
+
+	packets []packet // per-transmitter packet slots (index = transmitter)
+	logging bool     // cfg.EventLog != nil, checked before boxing logf args
+	tau     float64  // multiplier interval, resolved once at construction
 
 	met           Metrics
 	measuring     bool
@@ -248,10 +298,30 @@ func newEngine(cfg Config) *engine {
 		nodes:      make([]nodeState, n),
 		topo:       cfg.Topology,
 		src:        rng.New(cfg.Seed),
-		packets:    make(map[int]*packet),
+		packets:    make([]packet, n),
+		logging:    cfg.EventLog != nil,
 		packetTime: cfg.Protocol.PacketTime,
 	}
+	// Allocated here, not lazily in accrueOccupancy: the occupancy accrual
+	// runs on every event and must stay allocation-free.
+	if cfg.TrackOccupancy {
+		e.met.Occupancy = make(map[model.NetState]float64)
+	}
 	e.packetTime = model.DefaultIfZero(e.packetTime, 1e-3)
+	e.nbr = make([][]int, n)
+	for i := 0; i < n; i++ {
+		if e.topo != nil {
+			e.nbr[i] = e.topo.Neighbors(i)
+			continue
+		}
+		row := make([]int, 0, n-1)
+		for j := 0; j < n; j++ {
+			if j != i {
+				row = append(row, j)
+			}
+		}
+		e.nbr[i] = row
+	}
 	for i := 0; i < n; i++ {
 		nd := cfg.Network.Nodes[i]
 		pc := econcast.Config{
@@ -289,19 +359,9 @@ func newEngine(cfg Config) *engine {
 	return e
 }
 
-// neighbors returns the neighbor indices of i (all others in a clique).
-func (e *engine) neighbors(i int) []int {
-	if e.topo != nil {
-		return e.topo.Neighbors(i)
-	}
-	out := make([]int, 0, e.n-1)
-	for j := 0; j < e.n; j++ {
-		if j != i {
-			out = append(out, j)
-		}
-	}
-	return out
-}
+// neighbors returns the precomputed neighbor indices of i (all others in
+// a clique). The caller must not mutate the returned slice.
+func (e *engine) neighbors(i int) []int { return e.nbr[i] }
 
 func (e *engine) adjacent(i, j int) bool {
 	if e.topo != nil {
@@ -311,42 +371,60 @@ func (e *engine) adjacent(i, j int) bool {
 }
 
 func (e *engine) run() {
-	tau := e.nodes[0].proto.Config().Tau
+	e.start()
+	for e.step() {
+	}
+	e.drain()
+}
+
+// start seeds every node's first transition and multiplier tick.
+func (e *engine) start() {
+	e.tau = e.nodes[0].proto.Config().Tau
 	for i := 0; i < e.n; i++ {
 		e.scheduleTransition(i)
-		e.push(event{at: tau, kind: evTick, node: i})
+		e.push(event{at: e.tau, kind: evTick, node: i})
 	}
-	for len(e.queue) > 0 {
-		ev := e.queue.pop()
-		if ev.at > e.cfg.Duration {
-			break
+}
+
+// step pops and dispatches one event. It returns false once the queue is
+// empty or the next event lies past the horizon. Split out from run so
+// the event-loop microbenchmark can pump events one at a time.
+func (e *engine) step() bool {
+	if len(e.queue) == 0 {
+		return false
+	}
+	ev := e.queue.pop()
+	if ev.at > e.cfg.Duration {
+		return false
+	}
+	if e.cfg.TrackOccupancy && e.measuring {
+		e.accrueOccupancy(ev.at)
+	}
+	e.now = ev.at
+	if !e.measuring && e.now >= e.cfg.Warmup {
+		e.measuring = true
+		e.occLast = e.now
+		e.warmupBattery = make([]float64, e.n) //lint:allow hotalloc once per run, at the warmup boundary
+		for i := range e.nodes {
+			e.accrue(i)
+			e.warmupBattery[i] = e.nodes[i].proto.Battery()
 		}
-		if e.cfg.TrackOccupancy && e.measuring {
-			e.accrueOccupancy(ev.at)
-		}
-		e.now = ev.at
-		if !e.measuring && e.now >= e.cfg.Warmup {
-			e.measuring = true
-			e.occLast = e.now
-			e.warmupBattery = make([]float64, e.n)
-			for i := range e.nodes {
-				e.accrue(i)
-				e.warmupBattery[i] = e.nodes[i].proto.Battery()
-			}
-		}
-		switch ev.kind {
-		case evTransition:
-			if ev.version != e.nodes[ev.node].version {
-				continue // stale
-			}
+	}
+	switch ev.kind {
+	case evTransition:
+		if ev.version == e.nodes[ev.node].version {
 			e.handleTransition(ev.node)
-		case evPacketEnd:
-			e.handlePacketEnd(ev.node)
-		case evTick:
-			e.handleTick(ev.node, tau)
-		}
+		} // else stale: dropped
+	case evPacketEnd:
+		e.handlePacketEnd(ev.node)
+	case evTick:
+		e.handleTick(ev.node, e.tau)
 	}
-	// Final energy accrual to the horizon.
+	return true
+}
+
+// drain performs the final energy (and occupancy) accrual to the horizon.
+func (e *engine) drain() {
 	if e.cfg.TrackOccupancy && e.measuring {
 		e.accrueOccupancy(e.cfg.Duration)
 	}
@@ -380,9 +458,6 @@ func (e *engine) accrueOccupancy(until float64) {
 	dt := until - e.occLast
 	if dt <= 0 {
 		return
-	}
-	if e.met.Occupancy == nil {
-		e.met.Occupancy = make(map[model.NetState]float64)
 	}
 	e.met.Occupancy[e.currentNetState()] += dt
 	e.occLast = until
@@ -507,11 +582,15 @@ func (e *engine) handleTransition(i int) {
 // setState switches node i's recorded state after accruing energy.
 func (e *engine) setState(i int, st model.State) {
 	e.accrue(i)
-	e.logf("%.6f node %d: %v -> %v", e.now, i, e.nodes[i].state, st)
+	if e.logging {
+		e.logf("%.6f node %d: %v -> %v", e.now, i, e.nodes[i].state, st)
+	}
 	e.nodes[i].state = st
 }
 
-// logf writes one trace line when an event log is configured.
+// logf writes one trace line. Callers on the hot path must gate the call
+// on e.logging themselves: building the variadic argument list boxes
+// every operand, which would allocate per event even with no log sink.
 func (e *engine) logf(format string, args ...any) {
 	if e.cfg.EventLog != nil {
 		fmt.Fprintf(e.cfg.EventLog, format+"\n", args...)
@@ -553,12 +632,11 @@ func (e *engine) startTransmission(i int) {
 	}
 	// A new transmission collides with receptions of other in-flight
 	// packets at shared receivers (hidden terminals, non-clique only).
-	// Order audit: the body only latches collidedInPkt to true and counts
-	// each newly-collided receiver once (the flag guards the counter), so
-	// every visit order yields the same flags and the same count.
-	//lint:ordered idempotent flag-latch; counter guarded by the flag
-	for _, other := range e.packets {
-		for _, j := range other.listeners {
+	for tx := range e.packets {
+		if !e.packets[tx].active {
+			continue
+		}
+		for _, j := range e.packets[tx].listeners {
 			if e.adjacent(i, j) && !e.nodes[j].collidedInPkt {
 				e.nodes[j].collidedInPkt = true
 				if e.measuring {
@@ -576,28 +654,33 @@ func (e *engine) startTransmission(i int) {
 // currently listening; a listener with more than one transmitting neighbor
 // is collided from the start.
 func (e *engine) startPacket(i, burstLen int, delivered bool) {
-	p := &packet{tx: i, burstLen: burstLen, delivered: delivered}
+	p := &e.packets[i]
+	p.active = true
+	p.burstLen = burstLen
+	p.delivered = delivered
+	p.listeners = p.listeners[:0]
 	for _, j := range e.neighbors(i) {
 		ns := &e.nodes[j]
 		if ns.state == model.Listen {
-			p.listeners = append(p.listeners, j)
+			p.listeners = append(p.listeners, j) //lint:allow hotalloc reuses the slot's capacity; grows at most n times per run
 			ns.collidedInPkt = ns.busy > 1
 			if ns.collidedInPkt && e.measuring {
 				e.met.CollidedReceptions++
 			}
 		}
 	}
-	e.packets[i] = p
-	e.logf("%.6f node %d: packet %d of hold, %d listeners",
-		e.now, i, burstLen+1, len(p.listeners))
+	if e.logging {
+		e.logf("%.6f node %d: packet %d of hold, %d listeners",
+			e.now, i, burstLen+1, len(p.listeners))
+	}
 	e.push(event{at: e.now + e.packetTime, kind: evPacketEnd, node: i})
 }
 
 // handlePacketEnd completes transmitter i's current packet: deliver
 // receptions, re-estimate listeners, and continue or release the channel.
 func (e *engine) handlePacketEnd(i int) {
-	p := e.packets[i]
-	if p == nil || e.nodes[i].state != model.Transmit {
+	p := &e.packets[i]
+	if !p.active || e.nodes[i].state != model.Transmit {
 		return
 	}
 	success := 0
@@ -639,7 +722,9 @@ func (e *engine) handlePacketEnd(i int) {
 	if success > 0 {
 		p.delivered = true
 	}
-	delete(e.packets, i)
+	// The slot stays readable (listeners, burstLen, delivered) for the
+	// remainder of this handler; startPacket reclaims it on a hold.
+	p.active = false
 
 	// A physically depleted listener is forced to sleep to recharge; it
 	// cannot stay in receive on an empty store.

@@ -1,0 +1,130 @@
+// Package sweep is a deterministic fan-out engine for embarrassingly
+// parallel experiment sweeps. Every paper artifact in this repository is
+// a grid of independent (parameter, seed) cells; sweep executes such a
+// grid across a bounded worker pool while guaranteeing that the observable
+// output is byte-identical to a serial run at any worker count.
+//
+// The contract has three parts:
+//
+//   - Ordering: results are collected in cell index order. Each cell is a
+//     self-contained closure over its own inputs (including its seed,
+//     derived with rng.DeriveSeed, never from shared mutable state), so
+//     the assembled result slice — and anything formatted from it — does
+//     not depend on scheduling.
+//
+//   - Seed derivation: cells must derive their seeds by splitmix mixing
+//     (rng.DeriveSeed) from the sweep's base seed and the cell's
+//     parameters, not by additive arithmetic, so no two cells can collide
+//     on a seed and no cell's randomness depends on execution order.
+//
+//   - Error propagation: the first error in cell index order wins. Cells
+//     are dispatched in increasing index order and every dispatched cell
+//     is drained before Run returns, so the reported error is the same at
+//     any worker count. A panicking cell is converted to an error rather
+//     than tearing down the process; the pool always drains cleanly.
+//
+// sweep is one of the three packages licensed by econlint's rawgoroutine
+// analyzer to spawn goroutines: its concurrency is confined behind the
+// index-ordered collection barrier above, so callers stay deterministic.
+package sweep
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Cell is one independent unit of a sweep: a closure over its own inputs
+// that returns its result. Cells must not communicate with each other or
+// mutate state shared with other cells; everything a cell produces must
+// travel through its return value.
+type Cell[T any] func() (T, error)
+
+// Run executes cells across a bounded worker pool and returns their
+// results in cell index order. workers <= 0 selects GOMAXPROCS. The
+// output is byte-identical to a serial run at any worker count; on
+// failure the error of the lowest-index failing cell is returned (see the
+// package comment for why that is deterministic).
+func Run[T any](workers int, cells []Cell[T]) ([]T, error) {
+	n := len(cells)
+	results := make([]T, n)
+	if n == 0 {
+		return results, nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+
+	errs := make([]error, n)
+	var (
+		next   atomic.Int64 // next undispatched cell index
+		failed atomic.Bool  // stop dispatching; in-flight cells drain
+		wg     sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				// The stop flag is checked only BEFORE claiming an index:
+				// a claimed cell always runs to completion. That keeps the
+				// dispatched set a prefix {0..k} with every member drained,
+				// which is what makes first-error-by-index deterministic.
+				if failed.Load() {
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := runCell(i, cells[i], results); err != nil {
+					errs[i] = err
+					failed.Store(true)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// runCell executes one cell, converting a panic into an error so a bad
+// cell cannot tear down the pool (or the process).
+func runCell[T any](i int, cell Cell[T], results []T) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("sweep: cell %d panicked: %v", i, r)
+		}
+	}()
+	if cell == nil {
+		return fmt.Errorf("sweep: cell %d is nil", i)
+	}
+	out, err := cell()
+	if err != nil {
+		return fmt.Errorf("sweep: cell %d: %w", i, err)
+	}
+	results[i] = out
+	return nil
+}
+
+// Map applies f to every item across the worker pool, preserving item
+// order in the returned slice. It is shorthand for building one Cell per
+// item; f receives the item's index and value.
+func Map[S, T any](workers int, items []S, f func(i int, item S) (T, error)) ([]T, error) {
+	cells := make([]Cell[T], len(items))
+	for i := range items {
+		i, item := i, items[i]
+		cells[i] = func() (T, error) { return f(i, item) }
+	}
+	return Run(workers, cells)
+}
