@@ -5,20 +5,38 @@
 //
 // Usage:
 //
-//	econlint [-list] [-only name,name] [-as importpath] [packages]
+//	econlint [-list] [-only name,name] [-as importpath] [-parallel n]
+//	         [-json] [-baseline file [-write-baseline]]
+//	         [-audit-suppressions] [packages]
 //
 // Patterns default to ./... and support the usual dir and dir/... forms.
 // The -as flag checks a single directory under an assumed import path,
 // which is how the fixture packages under internal/lint/testdata are
 // placed into deterministic packages without living there.
+//
+// -parallel n type-checks and analyzes packages on n workers (0 means
+// GOMAXPROCS); output is byte-identical for every worker count. -json
+// replaces the text report with a JSON array of findings whose paths are
+// slash-separated and repo-relative, suitable for artifacts and diffing.
+//
+// -baseline file compares findings against a committed snapshot and
+// fails only on NEW ones (matched line-insensitively on file, analyzer,
+// and message, so unrelated edits don't churn the gate); with
+// -write-baseline the current findings are written to the file instead.
+// -audit-suppressions inverts the gate: it runs the full analyzer suite
+// with suppressions disabled and reports every //lint:allow or
+// //lint:ordered directive that no longer matches a finding, so stale
+// exemptions cannot accumulate.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 
 	"econcast/internal/lint"
@@ -28,12 +46,35 @@ func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
+// jsonFinding is the stable wire form of one finding. File is
+// slash-separated and relative to the working directory when the finding
+// lies under it, so baselines and artifacts are machine-independent.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// key is the baseline identity of a finding: file, analyzer, and message
+// but not line/column, so findings don't churn when unrelated edits move
+// code around.
+func (f jsonFinding) key() string {
+	return f.File + "\x00" + f.Analyzer + "\x00" + f.Message
+}
+
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("econlint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	list := fs.Bool("list", false, "list analyzers and exit")
 	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
 	asPath := fs.String("as", "", "check a single directory under this assumed import path")
+	parallel := fs.Int("parallel", 0, "worker count for loading and checking (0 = GOMAXPROCS)")
+	jsonOut := fs.Bool("json", false, "report findings as a JSON array instead of text")
+	baseline := fs.String("baseline", "", "compare findings against this JSON baseline; fail only on new ones")
+	writeBaseline := fs.Bool("write-baseline", false, "write current findings to the -baseline file and exit")
+	audit := fs.Bool("audit-suppressions", false, "report suppression directives that no longer match any finding")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -43,6 +84,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stdout, "%-14s %s\n", a.Name, a.Doc)
 		}
 		return 0
+	}
+	if *writeBaseline && *baseline == "" {
+		fmt.Fprintln(stderr, "econlint: -write-baseline requires -baseline <file>")
+		return 2
 	}
 
 	analyzers := lint.All()
@@ -61,6 +106,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	patterns := fs.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
+	}
+	workers := *parallel
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
 
 	loader, err := lint.NewLoader(".")
@@ -82,26 +131,152 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		pkgs = []*lint.Package{pkg}
 	} else {
-		pkgs, err = loader.Load(patterns...)
+		pkgs, err = loader.LoadParallel(workers, patterns...)
 		if err != nil {
 			fmt.Fprintf(stderr, "econlint: %v\n", err)
 			return 2
 		}
 	}
 
-	findings := lint.Check(pkgs, analyzers)
-	cwd, _ := os.Getwd()
-	for _, f := range findings {
-		if cwd != "" {
-			if rel, err := filepath.Rel(cwd, f.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
-				f.Pos.Filename = rel
-			}
-		}
-		fmt.Fprintln(stdout, f)
+	var findings []lint.Finding
+	if *audit {
+		// Auditing always runs the full suite: a directive naming an
+		// analyzer excluded by -only would be reported stale spuriously.
+		findings, err = lint.AuditSuppressions(workers, pkgs, lint.All())
+	} else {
+		findings, err = lint.CheckParallel(workers, pkgs, analyzers)
 	}
-	if len(findings) > 0 {
-		fmt.Fprintf(stderr, "econlint: %d finding(s) in %d package(s)\n", len(findings), len(pkgs))
+	if err != nil {
+		fmt.Fprintf(stderr, "econlint: %v\n", err)
+		return 2
+	}
+
+	report := relativize(findings)
+
+	if *writeBaseline {
+		data, err := marshalFindings(report)
+		if err != nil {
+			fmt.Fprintf(stderr, "econlint: %v\n", err)
+			return 2
+		}
+		if err := os.WriteFile(*baseline, data, 0o644); err != nil {
+			fmt.Fprintf(stderr, "econlint: %v\n", err)
+			return 2
+		}
+		fmt.Fprintf(stderr, "econlint: wrote %d finding(s) to %s\n", len(report), *baseline)
+		return 0
+	}
+
+	if *baseline != "" {
+		known, err := readBaseline(*baseline)
+		if err != nil {
+			fmt.Fprintf(stderr, "econlint: %v\n", err)
+			return 2
+		}
+		fresh := subtractBaseline(report, known)
+		if err := emit(stdout, fresh, *jsonOut); err != nil {
+			fmt.Fprintf(stderr, "econlint: %v\n", err)
+			return 2
+		}
+		if len(fresh) > 0 {
+			fmt.Fprintf(stderr, "econlint: %d new finding(s) not in baseline %s (%d total, %d baselined)\n",
+				len(fresh), *baseline, len(report), len(report)-len(fresh))
+			return 1
+		}
+		return 0
+	}
+
+	if err := emit(stdout, report, *jsonOut); err != nil {
+		fmt.Fprintf(stderr, "econlint: %v\n", err)
+		return 2
+	}
+	if len(report) > 0 {
+		fmt.Fprintf(stderr, "econlint: %d finding(s) in %d package(s)\n", len(report), len(pkgs))
 		return 1
 	}
 	return 0
+}
+
+// relativize converts findings to the wire form, rewriting absolute
+// positions under the working directory to slash-separated relative
+// paths. Findings arrive sorted from internal/lint and the rewrite is
+// order-preserving, so the report is byte-identical at every -parallel.
+func relativize(findings []lint.Finding) []jsonFinding {
+	cwd, _ := os.Getwd()
+	out := make([]jsonFinding, 0, len(findings))
+	for _, f := range findings {
+		file := f.Pos.Filename
+		if cwd != "" {
+			if rel, err := filepath.Rel(cwd, file); err == nil && !strings.HasPrefix(rel, "..") {
+				file = rel
+			}
+		}
+		out = append(out, jsonFinding{
+			File:     filepath.ToSlash(file),
+			Line:     f.Pos.Line,
+			Col:      f.Pos.Column,
+			Analyzer: f.Analyzer,
+			Message:  f.Message,
+		})
+	}
+	return out
+}
+
+// emit writes findings as text lines or as a JSON array. The JSON form
+// is always a valid array ("[]" when clean) so consumers never special-
+// case the empty report.
+func emit(w io.Writer, findings []jsonFinding, asJSON bool) error {
+	if asJSON {
+		data, err := marshalFindings(findings)
+		if err != nil {
+			return err
+		}
+		_, err = fmt.Fprintf(w, "%s\n", data)
+		return err
+	}
+	for _, f := range findings {
+		if _, err := fmt.Fprintf(w, "%s:%d:%d: [%s] %s\n", f.File, f.Line, f.Col, f.Analyzer, f.Message); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func marshalFindings(findings []jsonFinding) ([]byte, error) {
+	if findings == nil {
+		findings = []jsonFinding{}
+	}
+	return json.MarshalIndent(findings, "", "  ")
+}
+
+func readBaseline(path string) ([]jsonFinding, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var findings []jsonFinding
+	if err := json.Unmarshal(data, &findings); err != nil {
+		return nil, fmt.Errorf("baseline %s: %v", path, err)
+	}
+	return findings, nil
+}
+
+// subtractBaseline removes findings matched by the baseline, multiset-
+// style: a baseline entry absorbs at most one finding with the same
+// (file, analyzer, message), so a regression that duplicates a baselined
+// finding still fails the gate.
+func subtractBaseline(findings, baseline []jsonFinding) []jsonFinding {
+	credit := make(map[string]int, len(baseline))
+	for _, f := range baseline {
+		credit[f.key()]++
+	}
+	var fresh []jsonFinding
+	for _, f := range findings {
+		if k := f.key(); credit[k] > 0 {
+			credit[k]--
+			continue
+		}
+		fresh = append(fresh, f)
+	}
+	return fresh
 }

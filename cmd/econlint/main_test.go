@@ -2,8 +2,19 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+)
+
+const (
+	wallclockFixture = "../../internal/lint/testdata/src/wallclock"
+	seedflowFixture  = "../../internal/lint/testdata/src/seedflow"
+	auditFixture     = "../../internal/lint/testdata/src/auditstale"
+	simPath          = "econcast/internal/sim"
+	experimentsPath  = "econcast/internal/experiments"
 )
 
 func TestListExitsZero(t *testing.T) {
@@ -22,9 +33,7 @@ func TestListExitsZero(t *testing.T) {
 // known to contain violations: the gate must fail loudly.
 func TestSeededViolationExitsNonzero(t *testing.T) {
 	var out, errb bytes.Buffer
-	code := run(
-		[]string{"-as", "econcast/internal/sim", "../../internal/lint/testdata/src/wallclock"},
-		&out, &errb)
+	code := run([]string{"-as", simPath, wallclockFixture}, &out, &errb)
 	if code != 1 {
 		t.Fatalf("exit = %d, want 1; stdout:\n%s\nstderr:\n%s", code, out.String(), errb.String())
 	}
@@ -44,5 +53,180 @@ func TestUnknownAnalyzerExitsTwo(t *testing.T) {
 	var out, errb bytes.Buffer
 	if code := run([]string{"-only", "nope"}, &out, &errb); code != 2 {
 		t.Fatalf("exit = %d, want 2", code)
+	}
+}
+
+// TestJSONRoundTrip pins the -json wire format: the report is a valid
+// JSON array that round-trips through encoding/json with every field
+// populated and slash-separated paths.
+func TestJSONRoundTrip(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-json", "-as", experimentsPath, seedflowFixture}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; stderr:\n%s", code, errb.String())
+	}
+	var findings []jsonFinding
+	if err := json.Unmarshal(out.Bytes(), &findings); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, out.String())
+	}
+	if len(findings) == 0 {
+		t.Fatal("expected seedflow findings in JSON report")
+	}
+	for _, f := range findings {
+		if f.File == "" || f.Line <= 0 || f.Col <= 0 || f.Analyzer != "seedflow" || f.Message == "" {
+			t.Errorf("incomplete finding: %+v", f)
+		}
+		if strings.Contains(f.File, "\\") {
+			t.Errorf("File %q must be slash-separated", f.File)
+		}
+	}
+	// Round-trip: re-marshaling what we decoded reproduces the report.
+	again, err := marshalFindings(findings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(again)+"\n" != out.String() {
+		t.Errorf("report does not round-trip through encoding/json:\n got: %s\nwant: %s", again, out.String())
+	}
+}
+
+// TestJSONCleanIsEmptyArray pins that a clean run emits "[]", never
+// "null", so downstream JSON consumers need no special case.
+func TestJSONCleanIsEmptyArray(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-json", "../../internal/rng"}, &out, &errb); code != 0 {
+		t.Fatalf("exit = %d; stderr:\n%s", code, errb.String())
+	}
+	if strings.TrimSpace(out.String()) != "[]" {
+		t.Errorf("clean -json report = %q, want []", out.String())
+	}
+}
+
+// TestBaselineGate pins the CI contract: identical findings exit 0, any
+// finding missing from the baseline exits 1 and is the only one printed.
+func TestBaselineGate(t *testing.T) {
+	base := filepath.Join(t.TempDir(), "baseline.json")
+
+	var out, errb bytes.Buffer
+	code := run([]string{"-baseline", base, "-write-baseline", "-as", experimentsPath, seedflowFixture}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("-write-baseline exit = %d; stderr:\n%s", code, errb.String())
+	}
+	data, err := os.ReadFile(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap []jsonFinding
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatalf("baseline file is not valid JSON: %v", err)
+	}
+	if len(snap) == 0 {
+		t.Fatal("baseline snapshot is empty; expected seedflow findings")
+	}
+
+	// Same findings, same baseline: the gate passes and stays silent.
+	out.Reset()
+	errb.Reset()
+	code = run([]string{"-baseline", base, "-as", experimentsPath, seedflowFixture}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("identical-baseline exit = %d; stdout:\n%s stderr:\n%s", code, out.String(), errb.String())
+	}
+	if out.String() != "" {
+		t.Errorf("identical-baseline run printed findings:\n%s", out.String())
+	}
+
+	// Empty baseline: every finding is new and the gate fails.
+	empty := filepath.Join(t.TempDir(), "empty.json")
+	if err := os.WriteFile(empty, []byte("[]\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	errb.Reset()
+	code = run([]string{"-baseline", empty, "-as", experimentsPath, seedflowFixture}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("empty-baseline exit = %d, want 1; stderr:\n%s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "[seedflow]") {
+		t.Errorf("new findings missing from output:\n%s", out.String())
+	}
+	if !strings.Contains(errb.String(), "new finding(s)") {
+		t.Errorf("stderr summary missing:\n%s", errb.String())
+	}
+}
+
+func TestWriteBaselineRequiresPath(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-write-baseline"}, &out, &errb); code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+}
+
+// TestAuditSuppressions pins -audit-suppressions: the fixture carries
+// live wallclock directives and one stale floateq directive; exactly the
+// stale one is reported. A package whose directives all hold back real
+// findings audits clean.
+func TestAuditSuppressions(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-audit-suppressions", "-as", simPath, auditFixture}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; stdout:\n%s stderr:\n%s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "[stale-suppression]") || !strings.Contains(out.String(), "floateq") {
+		t.Errorf("stale floateq directive not reported:\n%s", out.String())
+	}
+	if strings.Contains(out.String(), "wallclock fixture") {
+		t.Errorf("live wallclock directives must not be reported:\n%s", out.String())
+	}
+
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-audit-suppressions", "../../internal/..."}, &out, &errb); code != 0 {
+		t.Fatalf("repo audit exit = %d; stdout:\n%s stderr:\n%s", code, out.String(), errb.String())
+	}
+}
+
+// TestParallelByteIdentical pins the headline determinism contract: the
+// full report over packages with findings is byte-for-byte identical at
+// -parallel 1, 4, and 16, in both text and JSON form.
+func TestParallelByteIdentical(t *testing.T) {
+	render := func(workers string, asJSON bool) (string, int) {
+		args := []string{"-parallel", workers}
+		if asJSON {
+			args = append(args, "-json")
+		}
+		args = append(args, "-as", experimentsPath, seedflowFixture)
+		var out, errb bytes.Buffer
+		code := run(args, &out, &errb)
+		return out.String(), code
+	}
+	for _, asJSON := range []bool{false, true} {
+		seq, code := render("1", asJSON)
+		if code != 1 {
+			t.Fatalf("json=%v sequential exit = %d, want 1", asJSON, code)
+		}
+		for _, workers := range []string{"4", "16"} {
+			got, code := render(workers, asJSON)
+			if code != 1 {
+				t.Fatalf("json=%v -parallel %s exit = %d, want 1", asJSON, workers, code)
+			}
+			if got != seq {
+				t.Errorf("json=%v -parallel %s output differs from sequential:\n got:\n%s\nwant:\n%s", asJSON, workers, got, seq)
+			}
+		}
+	}
+	// Multi-package load path: the clean internal tree must agree too.
+	seq, code := func() (string, int) {
+		var out, errb bytes.Buffer
+		c := run([]string{"-parallel", "1", "../../internal/..."}, &out, &errb)
+		return out.String(), c
+	}()
+	if code != 0 {
+		t.Fatalf("internal/... exit = %d, want 0", code)
+	}
+	for _, workers := range []string{"4", "16"} {
+		var out, errb bytes.Buffer
+		if c := run([]string{"-parallel", workers, "../../internal/..."}, &out, &errb); c != 0 || out.String() != seq {
+			t.Errorf("-parallel %s over internal/...: exit %d, output %q, want exit 0 output %q", workers, c, out.String(), seq)
+		}
 	}
 }

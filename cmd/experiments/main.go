@@ -24,14 +24,14 @@ import (
 
 func main() {
 	var (
-		list  = flag.Bool("list", false, "list available experiments")
-		run   = flag.String("run", "", "experiment id to run (see -list)")
-		all   = flag.Bool("all", false, "run every experiment")
+		list     = flag.Bool("list", false, "list available experiments")
+		run      = flag.String("run", "", "experiment id to run (see -list)")
+		all      = flag.Bool("all", false, "run every experiment")
 		quick    = flag.Bool("quick", false, "reduced samples/durations for a fast pass")
 		seed     = flag.Uint64("seed", 1, "base random seed")
 		parallel = flag.Int("parallel", 0, "sweep workers per experiment (0 = GOMAXPROCS); any value gives identical output")
-		csv   = flag.String("csv", "", "directory to also write each table as a CSV file")
-		svg   = flag.String("svg", "", "directory to also render figure tables as SVG charts")
+		csv      = flag.String("csv", "", "directory to also write each table as a CSV file")
+		svg      = flag.String("svg", "", "directory to also render figure tables as SVG charts")
 	)
 	flag.Parse()
 

@@ -129,7 +129,7 @@ type nodeRuntime struct {
 	id    int
 	proto *econcast.Node
 	src   *rng.Source
-	cmd   chan command
+	cmd   <-chan command
 	out   chan<- reply
 
 	state model.State
@@ -230,8 +230,8 @@ type broker struct {
 	cfg   Config
 	n     int
 	nodes []*nodeRuntime
-	cmds  []chan command
-	out   chan reply
+	cmds  []chan<- command
+	out   <-chan reply
 
 	now         float64
 	transmitter int // -1 when idle
@@ -248,12 +248,16 @@ type broker struct {
 
 func newBroker(cfg Config) *broker {
 	n := cfg.Network.N()
+	// The broker keeps only its own end of each channel: send on cmds,
+	// receive on out. The bidirectional values live just long enough here
+	// to hand the opposite ends to the node runtimes.
+	out := make(chan reply)
 	b := &broker{
 		cfg:         cfg,
 		n:           n,
 		nodes:       make([]*nodeRuntime, n),
-		cmds:        make([]chan command, n),
-		out:         make(chan reply),
+		cmds:        make([]chan<- command, n),
+		out:         out,
 		transmitter: -1,
 		states:      make([]model.State, n),
 		bids:        make([]reply, n),
@@ -282,13 +286,14 @@ func newBroker(cfg Config) *broker {
 			p0 := math.Max(nd.ListenPower, nd.TransmitPower)
 			proto.SetEta(cfg.WarmEta[i] * p0)
 		}
-		b.cmds[i] = make(chan command)
+		ch := make(chan command)
+		b.cmds[i] = ch
 		b.nodes[i] = &nodeRuntime{
 			id:    i,
 			proto: proto,
 			src:   master.Split(),
-			cmd:   b.cmds[i],
-			out:   b.out,
+			cmd:   ch,
+			out:   out,
 		}
 	}
 	return b

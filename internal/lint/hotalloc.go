@@ -42,19 +42,7 @@ var HotAlloc = &Analyzer{
 			return
 		}
 
-		// Index this package's function declarations by their object.
-		decls := make(map[*types.Func]*ast.FuncDecl)
-		for _, f := range p.Files {
-			for _, d := range f.Decls {
-				fd, ok := d.(*ast.FuncDecl)
-				if !ok || fd.Body == nil {
-					continue
-				}
-				if fn, ok := p.Info.Defs[fd.Name].(*types.Func); ok {
-					decls[fn] = fd
-				}
-			}
-		}
+		decls := funcDecls(p)
 
 		// Seed the worklist with the entry methods.
 		hot := make(map[*types.Func]bool)
@@ -117,6 +105,25 @@ var HotAlloc = &Analyzer{
 			})
 		}
 	},
+}
+
+// funcDecls indexes the package's function and method declarations with
+// bodies by their type-checker object. Several analyzers (hotalloc,
+// seedflow, sharedstate) use it to chase same-package static calls.
+func funcDecls(p *Pass) map[*types.Func]*ast.FuncDecl {
+	decls := make(map[*types.Func]*ast.FuncDecl)
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, ok := p.Info.Defs[fd.Name].(*types.Func); ok {
+				decls[fn] = fd
+			}
+		}
+	}
+	return decls
 }
 
 // recvTypeName returns the bare receiver type name of a method

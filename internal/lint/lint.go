@@ -23,6 +23,18 @@
 //   - hotalloc: make/append/map-literal allocation sites reachable from
 //     the simulators' event loops, which must stay allocation-free in
 //     steady state.
+//   - chandir: channels crossing the asim/testbed broker-node boundary
+//     must be declared with a direction, and select is confined to the
+//     licensed event loops, so the request-reply discipline that makes
+//     the concurrent simulator deterministic is type-enforced.
+//   - seedflow: every seed reaching rng.New, rng.DeriveSeed's base, a
+//     Seed struct field, or a seed-named parameter must derive from
+//     rng.DeriveSeed (or be a constant / already-derived value), never
+//     from additive or xor arithmetic, which can collide.
+//   - sharedstate: a mutable determinism-critical pointer (*rng.Source,
+//     *stats.Accumulator, ...) must not be shared across goroutines, by
+//     closure capture or by storing one value into several
+//     goroutine-crossing structs.
 //
 // # Suppressions
 //
@@ -36,8 +48,11 @@
 //	//lint:ordered [reason]
 //
 // which asserts the loop body has been audited to be iteration-order
-// insensitive. Suppressions apply to exactly one line; there is no
-// file- or package-wide escape hatch.
+// insensitive. A trailing directive covers exactly its own line; a
+// standalone directive covers its own line and the next one. There is no
+// file- or package-wide escape hatch, and a directive that no longer
+// suppresses anything is itself reported by the suppression audit
+// (AuditSuppressions, `econlint -audit-suppressions`).
 package lint
 
 import (
@@ -47,6 +62,8 @@ import (
 	"go/types"
 	"sort"
 	"strings"
+
+	"econcast/internal/sweep"
 )
 
 // Finding is one analyzer report.
@@ -91,7 +108,7 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 
 // All returns the full analyzer suite in reporting order.
 func All() []*Analyzer {
-	return []*Analyzer{MapRange, WallClock, FloatEq, RawGoroutine, ErrDrop, HotAlloc}
+	return []*Analyzer{MapRange, WallClock, FloatEq, RawGoroutine, ErrDrop, HotAlloc, ChanDir, SeedFlow, SharedState}
 }
 
 // ByName returns the named analyzer, or nil.
@@ -109,27 +126,70 @@ func ByName(name string) *Analyzer {
 func Check(pkgs []*Package, analyzers []*Analyzer) []Finding {
 	var all []Finding
 	for _, pkg := range pkgs {
-		sup := suppressions(pkg.Fset, pkg.Files)
-		var raw []Finding
-		for _, a := range analyzers {
-			pass := &Pass{
-				Analyzer: a,
-				Fset:     pkg.Fset,
-				Path:     pkg.Path,
-				Files:    pkg.Files,
-				Pkg:      pkg.Types,
-				Info:     pkg.Info,
-				findings: &raw,
-			}
-			a.Run(pass)
-		}
-		for _, f := range raw {
-			if sup.allows(f.Pos.Filename, f.Pos.Line, f.Analyzer) {
-				continue
-			}
-			all = append(all, f)
-		}
+		all = append(all, checkPkg(pkg, analyzers)...)
 	}
+	sortFindings(all)
+	return all
+}
+
+// CheckParallel is Check fanned out per package on the internal/sweep
+// pool. Analysis of one package is pure (it only reads the type-checked
+// ASTs) and the merged findings are fully sorted, so the output is
+// byte-identical to a serial run at any worker count. workers <= 0
+// selects GOMAXPROCS.
+func CheckParallel(workers int, pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
+	per, err := sweep.Map(workers, pkgs, func(i int, pkg *Package) ([]Finding, error) {
+		return checkPkg(pkg, analyzers), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var all []Finding
+	for _, fs := range per {
+		all = append(all, fs...)
+	}
+	sortFindings(all)
+	return all, nil
+}
+
+// checkPkg runs the analyzers over one package and applies its
+// suppressions.
+func checkPkg(pkg *Package, analyzers []*Analyzer) []Finding {
+	sup := suppressions(pkg.Fset, pkg.Files)
+	var kept []Finding
+	for _, f := range rawFindings(pkg, analyzers) {
+		if sup.allows(f.Pos.Filename, f.Pos.Line, f.Analyzer) {
+			continue
+		}
+		kept = append(kept, f)
+	}
+	return kept
+}
+
+// rawFindings runs the analyzers over one package without applying
+// suppressions.
+func rawFindings(pkg *Package, analyzers []*Analyzer) []Finding {
+	var raw []Finding
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     pkg.Fset,
+			Path:     pkg.Path,
+			Files:    pkg.Files,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+			findings: &raw,
+		}
+		a.Run(pass)
+	}
+	return raw
+}
+
+// sortFindings orders findings by position, then analyzer, then message.
+// The message tiebreak matters for byte-identical output: an analyzer that
+// collects sites through a map (e.g. hotalloc's closure) may report two
+// findings on one line in either order.
+func sortFindings(all []Finding) {
 	sort.Slice(all, func(i, j int) bool {
 		a, b := all[i], all[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -138,9 +198,64 @@ func Check(pkgs []*Package, analyzers []*Analyzer) []Finding {
 		if a.Pos.Line != b.Pos.Line {
 			return a.Pos.Line < b.Pos.Line
 		}
-		return a.Analyzer < b.Analyzer
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
 	})
-	return all
+}
+
+// StaleSuppression is the pseudo-analyzer name under which
+// AuditSuppressions reports directives that no longer suppress anything.
+const StaleSuppression = "stale-suppression"
+
+// AuditSuppressions reruns the analyzers without applying suppressions
+// and reports every //lint: directive whose covered lines produce no
+// finding it names — dead weight that would silently mask a future
+// regression. Run it with the full suite: a directive naming an analyzer
+// that is not in the run set is indistinguishable from a stale one.
+func AuditSuppressions(workers int, pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
+	per, err := sweep.Map(workers, pkgs, func(i int, pkg *Package) ([]Finding, error) {
+		return auditPkg(pkg, analyzers), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var all []Finding
+	for _, fs := range per {
+		all = append(all, fs...)
+	}
+	sortFindings(all)
+	return all, nil
+}
+
+func auditPkg(pkg *Package, analyzers []*Analyzer) []Finding {
+	hits := make(suppTable)
+	for _, f := range rawFindings(pkg, analyzers) {
+		hits.add(f.Pos.Filename, f.Pos.Line, f.Analyzer)
+	}
+	var stale []Finding
+	for _, d := range directives(pkg.Fset, pkg.Files) {
+		live := false
+		for _, n := range d.Names {
+			if hits.allows(d.Pos.Filename, d.Pos.Line, n) ||
+				(d.Standalone && hits.allows(d.Pos.Filename, d.Pos.Line+1, n)) {
+				live = true
+				break
+			}
+		}
+		if !live {
+			stale = append(stale, Finding{
+				Pos:      d.Pos,
+				Analyzer: StaleSuppression,
+				Message:  fmt.Sprintf("suppression %q no longer matches any finding; delete it", d.Text),
+			})
+		}
+	}
+	return stale
 }
 
 // suppTable maps file -> line -> analyzer names allowed on that line.
@@ -164,11 +279,22 @@ func (s suppTable) add(file string, line int, analyzer string) {
 	names[analyzer] = true
 }
 
-// suppressions scans comments for //lint: directives. Each directive
-// covers its own line (trailing form) and the next line (standalone form).
-func suppressions(fset *token.FileSet, files []*ast.File) suppTable {
-	tab := make(suppTable)
+// Directive is one parsed //lint:allow or //lint:ordered comment.
+type Directive struct {
+	Pos        token.Position
+	Names      []string // analyzer names the directive allows
+	Standalone bool     // own-line comment: also covers the next line
+	Text       string   // the raw comment text
+}
+
+// directives scans the files' comments for //lint: directives. A
+// directive trailing code covers exactly its own line; a standalone
+// directive (nothing but the comment on its line) additionally covers
+// the next line.
+func directives(fset *token.FileSet, files []*ast.File) []Directive {
+	var ds []Directive
 	for _, f := range files {
+		var code map[int]bool // lazily built per file
 		for _, group := range f.Comments {
 			for _, c := range group.List {
 				text, ok := strings.CutPrefix(c.Text, "//lint:")
@@ -181,23 +307,68 @@ func suppressions(fset *token.FileSet, files []*ast.File) suppTable {
 					names = []string{MapRange.Name}
 				case strings.HasPrefix(text, "allow "):
 					list, _, _ := strings.Cut(strings.TrimPrefix(text, "allow "), " ")
-					names = strings.Split(list, ",")
+					for _, n := range strings.Split(list, ",") {
+						if n = strings.TrimSpace(n); n != "" {
+							names = append(names, n)
+						}
+					}
 				default:
 					continue
 				}
-				pos := fset.Position(c.Pos())
-				for _, n := range names {
-					n = strings.TrimSpace(n)
-					if n == "" {
-						continue
-					}
-					tab.add(pos.Filename, pos.Line, n)
-					tab.add(pos.Filename, pos.Line+1, n)
+				if len(names) == 0 {
+					continue
 				}
+				if code == nil {
+					code = codeEndLines(fset, f)
+				}
+				pos := fset.Position(c.Pos())
+				ds = append(ds, Directive{
+					Pos:        pos,
+					Names:      names,
+					Standalone: !code[pos.Line],
+					Text:       c.Text,
+				})
+			}
+		}
+	}
+	return ds
+}
+
+// suppressions builds the per-line allow table from the files'
+// directives.
+func suppressions(fset *token.FileSet, files []*ast.File) suppTable {
+	tab := make(suppTable)
+	for _, d := range directives(fset, files) {
+		for _, n := range d.Names {
+			tab.add(d.Pos.Filename, d.Pos.Line, n)
+			if d.Standalone {
+				// Only a standalone comment extends to the next line: a
+				// trailing directive silences the line it annotates, not
+				// whatever happens to follow it.
+				tab.add(d.Pos.Filename, d.Pos.Line+1, n)
 			}
 		}
 	}
 	return tab
+}
+
+// codeEndLines returns the set of lines on which some non-comment node of
+// f ends. A line comment on such a line trails code; on any other line it
+// stands alone. (Line comments cannot precede code on their line, so
+// "code ends here" is exactly "the comment trails something".)
+func codeEndLines(fset *token.FileSet, f *ast.File) map[int]bool {
+	lines := make(map[int]bool)
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n.(type) {
+		case nil, *ast.Comment, *ast.CommentGroup:
+			return false
+		case *ast.File:
+			return true
+		}
+		lines[fset.Position(n.End()).Line] = true
+		return true
+	})
+	return lines
 }
 
 // isFloat reports whether t's underlying type is a floating-point basic

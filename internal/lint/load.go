@@ -11,6 +11,9 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
+
+	"econcast/internal/sweep"
 )
 
 // Package is one parsed and type-checked package ready for analysis.
@@ -28,6 +31,12 @@ type Package struct {
 // recursively by the Loader itself; everything else (the standard
 // library) is type-checked from source via go/importer, so no compiled
 // export data is required.
+//
+// The Loader is safe for concurrent use through its exported methods:
+// parsing fans out lock-free (token.FileSet is synchronized), while
+// type-checking is serialized under an internal mutex because go/types
+// and the shared source importer mutate unsynchronized caches. See
+// LoadParallel.
 type Loader struct {
 	Fset *token.FileSet
 
@@ -35,8 +44,13 @@ type Loader struct {
 	module    string // module path from go.mod
 	goVersion string // e.g. "go1.22", from go.mod; may be ""
 	std       types.Importer
-	pkgs      map[string]*Package // memoized module-internal packages
-	loading   map[string]bool     // import-cycle guard
+
+	// mu serializes type-checking and the package cache. Exported
+	// loaders take it; the unexported internals (including Import, which
+	// go/types calls back into mid-Check) assume it is held.
+	mu      sync.Mutex
+	pkgs    map[string]*Package // memoized module-internal packages
+	loading map[string]bool     // import-cycle guard
 }
 
 // NewLoader returns a Loader for the module enclosing dir.
@@ -93,7 +107,9 @@ func findModule(dir string) (root, module, goVersion string, err error) {
 func (l *Loader) Root() string { return l.root }
 
 // Import implements types.Importer: module-internal paths resolve through
-// the Loader, everything else through the source importer.
+// the Loader, everything else through the source importer. It is called
+// by go/types during a Check the Loader initiated, so l.mu is already
+// held.
 func (l *Loader) Import(path string) (*types.Package, error) {
 	if path == l.module || strings.HasPrefix(path, l.module+"/") {
 		pkg, err := l.loadPath(path)
@@ -105,7 +121,7 @@ func (l *Loader) Import(path string) (*types.Package, error) {
 	return l.std.Import(path)
 }
 
-// loadPath loads a module-internal import path.
+// loadPath loads a module-internal import path. l.mu must be held.
 func (l *Loader) loadPath(path string) (*Package, error) {
 	if pkg, ok := l.pkgs[path]; ok {
 		return pkg, nil
@@ -114,19 +130,15 @@ func (l *Loader) loadPath(path string) (*Package, error) {
 		return nil, fmt.Errorf("lint: import cycle through %s", path)
 	}
 	rel := strings.TrimPrefix(strings.TrimPrefix(path, l.module), "/")
-	return l.loadDir(filepath.Join(l.root, filepath.FromSlash(rel)), path)
+	return l.loadDir(filepath.Join(l.root, filepath.FromSlash(rel)), path, nil)
 }
 
-// loadDir parses and type-checks the package in dir under import path
-// asPath. Test files (_test.go) are excluded: econlint guards the
-// production sources; tests are exercised by `go test -race` instead.
-func (l *Loader) loadDir(dir, asPath string) (*Package, error) {
-	if pkg, ok := l.pkgs[asPath]; ok {
-		return pkg, nil
-	}
-	l.loading[asPath] = true
-	defer delete(l.loading, asPath)
-
+// parseDir parses the non-test Go files of dir into fset. Test files
+// (_test.go) are excluded: econlint guards the production sources; tests
+// are exercised by `go test -race` instead. parseDir takes no Loader
+// state and token.FileSet is synchronized, so it may run concurrently
+// with other parses and with type-checking.
+func parseDir(fset *token.FileSet, dir string) ([]*ast.File, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, err
@@ -146,11 +158,31 @@ func (l *Loader) loadDir(dir, asPath string) (*Package, error) {
 
 	var files []*ast.File
 	for _, name := range names {
-		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
 		if err != nil {
 			return nil, err
 		}
 		files = append(files, f)
+	}
+	return files, nil
+}
+
+// loadDir type-checks the package in dir under import path asPath,
+// parsing it first unless pre-parsed files are supplied. l.mu must be
+// held.
+func (l *Loader) loadDir(dir, asPath string, files []*ast.File) (*Package, error) {
+	if pkg, ok := l.pkgs[asPath]; ok {
+		return pkg, nil
+	}
+	l.loading[asPath] = true
+	defer delete(l.loading, asPath)
+
+	if files == nil {
+		var err error
+		files, err = parseDir(l.Fset, dir)
+		if err != nil {
+			return nil, err
+		}
 	}
 
 	info := &types.Info{
@@ -178,15 +210,31 @@ func (l *Loader) LoadDirAs(dir, asPath string) (*Package, error) {
 	if err != nil {
 		return nil, err
 	}
-	return l.loadDir(abs, asPath)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.loadDir(abs, asPath, nil)
 }
 
-// Load expands package patterns relative to the current directory.
-// Supported forms: "./...", "dir/...", "./dir", "dir". Directories named
-// testdata or vendor, and hidden or underscore-prefixed directories, are
-// skipped, as are directories with no non-test Go files.
+// Load expands package patterns relative to the current directory and
+// loads them serially. Supported forms: "./...", "dir/...", "./dir",
+// "dir". Directories named testdata or vendor, and hidden or
+// underscore-prefixed directories, are skipped, as are directories with
+// no non-test Go files.
 func (l *Loader) Load(patterns ...string) ([]*Package, error) {
-	var pkgs []*Package
+	return l.LoadParallel(1, patterns...)
+}
+
+// target is one directory selected by pattern expansion.
+type target struct {
+	abs  string // absolute directory
+	path string // import path it will be checked under
+}
+
+// expand resolves patterns to a deduplicated target list in a
+// deterministic order (pattern order, then WalkDir's lexical directory
+// order), independent of any worker count.
+func (l *Loader) expand(patterns ...string) ([]target, error) {
+	var targets []target
 	seen := make(map[string]bool)
 	add := func(dir string) error {
 		abs, err := filepath.Abs(dir)
@@ -201,11 +249,7 @@ func (l *Loader) Load(patterns ...string) ([]*Package, error) {
 			return nil
 		}
 		seen[path] = true
-		pkg, err := l.loadDir(abs, path)
-		if err != nil {
-			return err
-		}
-		pkgs = append(pkgs, pkg)
+		targets = append(targets, target{abs: abs, path: path})
 		return nil
 	}
 	for _, pat := range patterns {
@@ -241,7 +285,35 @@ func (l *Loader) Load(patterns ...string) ([]*Package, error) {
 			return nil, err
 		}
 	}
-	return pkgs, nil
+	return targets, nil
+}
+
+// LoadParallel expands the patterns, then loads the selected packages on
+// the internal/sweep pool: each cell parses its package's files without
+// holding the loader lock, then type-checks under it. Parsing fans out;
+// type-checking is serialized because go/types and the shared source
+// importer mutate unsynchronized caches. The returned slice is in
+// expansion order (sweep collects in cell index order), so the result —
+// and any output formatted from it — is identical at every worker count.
+// workers <= 0 selects GOMAXPROCS.
+func (l *Loader) LoadParallel(workers int, patterns ...string) ([]*Package, error) {
+	targets, err := l.expand(patterns...)
+	if err != nil {
+		return nil, err
+	}
+	return sweep.Map(workers, targets, func(i int, t target) (*Package, error) {
+		// Pre-parse lock-free. If another cell already type-checked this
+		// package as a dependency, loadDir returns the cached Package and
+		// the duplicate ASTs are dropped; positions are per-parse, so
+		// either parse yields identical findings.
+		files, err := parseDir(l.Fset, t.abs)
+		if err != nil {
+			return nil, err
+		}
+		l.mu.Lock()
+		defer l.mu.Unlock()
+		return l.loadDir(t.abs, t.path, files)
+	})
 }
 
 // importPathFor maps an absolute directory inside the module to its

@@ -1,0 +1,272 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// criticalTypes names the mutable determinism-critical types: one of
+// these consumed from two goroutines makes the draw/accumulation order
+// scheduling-dependent, which is deterministic-but-wrong in exactly the
+// way `go test -race` cannot catch (every access may still be
+// happens-before ordered through the broker protocol, yet the stream is
+// shared). Each goroutine must own its own: rng.Source streams are split
+// per goroutine (rng.Source.Split), accumulators are merged after the
+// sweep barrier.
+var criticalTypes = map[string]map[string]bool{
+	"econcast/internal/rng":      {"Source": true},
+	"econcast/internal/stats":    {"Accumulator": true, "Counter": true},
+	"econcast/internal/econcast": {"Node": true},
+}
+
+// isCriticalPtr reports whether t is a pointer to a determinism-critical
+// named type.
+func isCriticalPtr(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	ptr, ok := t.Underlying().(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return false
+	}
+	return criticalTypes[obj.Pkg().Path()][obj.Name()]
+}
+
+// SharedState flags determinism-critical pointers shared across
+// goroutines. Two shapes are caught statically:
+//
+//   - A critical pointer referenced inside a `go`-launched call (captured
+//     by its closure, passed as an argument, or used as its receiver)
+//     that is also referenced elsewhere in the enclosing function — the
+//     launching side, or another goroutine, still holds it. A handoff
+//     whose only use is inside the one goroutine is fine.
+//
+//   - A critical pointer declared outside a loop and stored, inside that
+//     loop, into a struct whose methods the package launches with `go`
+//     (asim's nodeRuntime pattern): every constructed runtime would share
+//     the one stream. Storing a fresh call result (master.Split(),
+//     econcast.NewNode(...)) is the sanctioned per-goroutine handoff.
+var SharedState = &Analyzer{
+	Name: "sharedstate",
+	Doc:  "determinism-critical pointer (*rng.Source, *stats.Accumulator, ...) shared across goroutines",
+	Run: func(p *Pass) {
+		crossing := goCrossingTypes(p)
+		for _, f := range p.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				checkGoCaptures(p, fd)
+				checkCrossingStores(p, fd, crossing)
+			}
+		}
+	},
+}
+
+// goCrossingTypes collects named types with a method launched via
+// `go x.m()` anywhere in the package: their instances cross into
+// goroutines whole, fields included.
+func goCrossingTypes(p *Pass) map[*types.Named]bool {
+	crossing := make(map[*types.Named]bool)
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			sel, ok := ast.Unparen(g.Call.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			t := p.Info.TypeOf(sel.X)
+			if t == nil {
+				return true
+			}
+			if ptr, ok := t.Underlying().(*types.Pointer); ok {
+				t = ptr.Elem()
+			}
+			if named, ok := t.(*types.Named); ok {
+				crossing[named] = true
+			}
+			return true
+		})
+	}
+	return crossing
+}
+
+// checkGoCaptures implements the first shape: critical pointers handed
+// to a goroutine but still reachable outside it.
+func checkGoCaptures(p *Pass, fd *ast.FuncDecl) {
+	var gos []*ast.GoStmt
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if g, ok := n.(*ast.GoStmt); ok {
+			gos = append(gos, g)
+		}
+		return true
+	})
+	for _, g := range gos {
+		// Critical variables referenced anywhere in the go call:
+		// closure-captured free variables, call arguments, receivers.
+		handed := make(map[*types.Var]*ast.Ident)
+		ast.Inspect(g.Call, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if v, ok := p.Info.Uses[id].(*types.Var); ok && !v.IsField() && isCriticalPtr(v.Type()) {
+				if _, dup := handed[v]; !dup {
+					handed[v] = id
+				}
+			}
+			return true
+		})
+		// Deterministic report order (handed is a map).
+		vars := make([]*types.Var, 0, len(handed))
+		for v := range handed {
+			vars = append(vars, v)
+		}
+		sort.Slice(vars, func(i, j int) bool { return handed[vars[i]].Pos() < handed[vars[j]].Pos() })
+		for _, v := range vars {
+			if usedOutside(p, fd, v, g.Pos(), g.End()) {
+				p.Reportf(g.Pos(), "%s (%s) is handed to this goroutine but still reachable outside it; give each goroutine its own (e.g. rng.Source.Split per stream, merge accumulators after the barrier)", handed[v].Name, v.Type())
+			}
+		}
+	}
+}
+
+// usedOutside reports whether v is referenced in fd outside the
+// [lo, hi] source range.
+func usedOutside(p *Pass, fd *ast.FuncDecl, v *types.Var, lo, hi token.Pos) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if id.Pos() >= lo && id.Pos() < hi {
+			return true
+		}
+		if p.Info.Uses[id] == v {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// checkCrossingStores implements the second shape: a loop fanning one
+// critical pointer into many goroutine-crossing structs.
+func checkCrossingStores(p *Pass, fd *ast.FuncDecl, crossing map[*types.Named]bool) {
+	if len(crossing) == 0 {
+		return
+	}
+	// Collect the loops of fd so a store site can find its innermost
+	// enclosing loop.
+	var loops []ast.Node
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			loops = append(loops, n)
+		}
+		return true
+	})
+	if len(loops) == 0 {
+		return
+	}
+	inLoop := func(pos token.Pos) ast.Node {
+		var innermost ast.Node
+		for _, l := range loops {
+			if l.Pos() <= pos && pos < l.End() {
+				if innermost == nil || l.Pos() > innermost.Pos() {
+					innermost = l
+				}
+			}
+		}
+		return innermost
+	}
+	checkStore(p, fd, crossing, inLoop)
+}
+
+func checkStore(p *Pass, fd *ast.FuncDecl, crossing map[*types.Named]bool, inLoop func(token.Pos) ast.Node) {
+	report := func(val ast.Expr, fieldName string) {
+		id, ok := ast.Unparen(val).(*ast.Ident)
+		if !ok {
+			return // fresh call results and literals are per-instance
+		}
+		v, ok := p.Info.Uses[id].(*types.Var)
+		if !ok || v.IsField() || !isCriticalPtr(v.Type()) {
+			return
+		}
+		loop := inLoop(id.Pos())
+		if loop == nil {
+			return
+		}
+		if v.Pos() >= loop.Pos() && v.Pos() < loop.End() {
+			return // declared inside the loop: fresh per iteration
+		}
+		p.Reportf(id.Pos(), "%s (%s) is declared outside this loop but stored into goroutine-crossing field %s each iteration: every launched goroutine would share it; derive one per iteration (e.g. rng.Source.Split)", id.Name, v.Type(), fieldName)
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CompositeLit:
+			t := p.Info.TypeOf(n)
+			if t == nil {
+				return true
+			}
+			named, ok := t.(*types.Named)
+			if !ok || !crossing[named] {
+				return true
+			}
+			st, ok := named.Underlying().(*types.Struct)
+			if !ok {
+				return true
+			}
+			for i, el := range n.Elts {
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					if id, ok := kv.Key.(*ast.Ident); ok {
+						report(kv.Value, id.Name)
+					}
+					continue
+				}
+				if i < st.NumFields() {
+					report(el, st.Field(i).Name())
+				}
+			}
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				sel, ok := lhs.(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				t := p.Info.TypeOf(sel.X)
+				if t == nil {
+					continue
+				}
+				if ptr, ok := t.Underlying().(*types.Pointer); ok {
+					t = ptr.Elem()
+				}
+				if named, ok := t.(*types.Named); ok && crossing[named] {
+					report(n.Rhs[i], sel.Sel.Name)
+				}
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,16 @@
+// Package fixture exercises -audit-suppressions: loaded as
+// econcast/internal/sim it carries one live directive (the wallclock
+// suppression really is holding back a finding) and one stale directive
+// (nothing on the covered lines trips floateq), so the audit must report
+// exactly the stale one.
+package fixture
+
+import "time"
+
+//lint:allow wallclock fixture: pretend-sanctioned clock read
+var bootTime = time.Now()
+
+//lint:allow floateq stale: nothing here compares floats
+var nodeCount = 3
+
+func uptime() time.Duration { return time.Since(bootTime) } //lint:allow wallclock fixture: trailing live directive

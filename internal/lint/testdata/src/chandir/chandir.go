@@ -1,0 +1,52 @@
+// Package fixture exercises the chandir analyzer: loaded as
+// econcast/internal/asim, boundary-crossing channels (struct fields and
+// function parameters) must be direction-typed, and select statements are
+// licensed only inside (*broker).loop and (*nodeRuntime).run; loaded
+// under an unconfigured package (econcast/internal/viz) nothing may be
+// reported.
+package fixture
+
+type message struct{ v int }
+
+// hub mirrors the broker shape with undisciplined channels.
+type hub struct {
+	cmds []chan message       // want chandir
+	out  chan message         // want chandir
+	done <-chan struct{}      // direction declared: fine
+	ack  chan<- message       // direction declared: fine
+	seen map[int]chan message // want chandir
+}
+
+// relay takes one bad and one disciplined channel parameter.
+func relay(c chan message, in <-chan message) { // want chandir
+	c <- <-in
+}
+
+// broker matches a licensed receiver name; its loop may select.
+type broker struct {
+	quit <-chan struct{}
+}
+
+func (b *broker) loop() {
+	for {
+		select { // licensed: the broker's event loop is the one multiplexer
+		case <-b.quit:
+			return
+		}
+	}
+}
+
+// poll selects outside the licensed loops.
+func (h *hub) poll() {
+	select { // want chandir
+	case <-h.done:
+	default:
+	}
+}
+
+// localMake shows that bidirectional channels are fine as locals: make
+// needs one, and the roles are committed at the store/pass sites.
+func localMake() (<-chan message, chan<- message) {
+	ch := make(chan message)
+	return ch, ch
+}

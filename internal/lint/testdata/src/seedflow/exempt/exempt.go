@@ -1,0 +1,11 @@
+// Package exempt contains the same additive-derivation shape as the
+// seedflow fixture; loaded as econcast/internal/rng (the sanctioned
+// mixer's home, where splitmix arithmetic IS the implementation) it must
+// stay silent.
+package exempt
+
+type cfg struct{ Seed uint64 }
+
+func child(seed uint64, i int) cfg {
+	return cfg{Seed: seed + uint64(i)}
+}

@@ -1,0 +1,90 @@
+// Package fixture exercises the seedflow analyzer: loaded as
+// econcast/internal/experiments, every seed reaching rng.New, a Seed
+// field, or a seed-named parameter must derive from rng.DeriveSeed (or a
+// constant); additive/xor arithmetic on the way — the PR 2 seed-collision
+// class, where four topology families shared one stream via base+i — is
+// a finding. The exempt fixture shows the same code silent inside
+// econcast/internal/rng.
+package fixture
+
+import "econcast/internal/rng"
+
+type cellCfg struct {
+	Sigma float64
+	Seed  uint64
+}
+
+// sweepCells reproduces the PR 2 collision pattern: distinct (family, i)
+// tuples can land on the same additive sum.
+func sweepCells(base uint64, sigmas []float64) []cellCfg {
+	cells := make([]cellCfg, 0, len(sigmas))
+	for i, sigma := range sigmas {
+		cells = append(cells, cellCfg{
+			Sigma: sigma,
+			Seed:  base + uint64(i), // want seedflow
+		})
+	}
+	return cells
+}
+
+// launch feeds xor-mixed arithmetic straight into rng.New.
+func launch(base uint64) *rng.Source {
+	return rng.New(base ^ 0xdeadbeef) // want seedflow
+}
+
+// localFlow hides the arithmetic behind a local variable; the backward
+// chase still finds it.
+func localFlow(base uint64, i int) cellCfg {
+	s := base*31 + uint64(i) // want seedflow
+	return cellCfg{Seed: s}
+}
+
+// shifted is only unsound once its result reaches a sink (see below);
+// the finding lands here, on the arithmetic.
+func shifted(base uint64, i int) uint64 {
+	return base + uint64(i)<<8 // want seedflow
+}
+
+func useShifted(base uint64) *rng.Source {
+	return rng.New(shifted(base, 3))
+}
+
+// runNode stands in for a goroutine/cell entry point taking a seed.
+func runNode(seed uint64) uint64 { return seed }
+
+func fanOut(base uint64, n int) uint64 {
+	var acc uint64
+	for i := 0; i < n; i++ {
+		acc += runNode(base + uint64(i)) // want seedflow
+	}
+	return acc
+}
+
+// assignField covers the x.Seed = ... store form.
+func assignField(base uint64, i int) cellCfg {
+	var c cellCfg
+	c.Seed = base + uint64(i) // want seedflow
+	return c
+}
+
+// derivedOK shows the sanctioned derivations staying silent: DeriveSeed
+// mixing, constants (including constant arithmetic), field reads, and
+// already-derived locals.
+func derivedOK(base uint64, sigmas []float64) []cellCfg {
+	cells := make([]cellCfg, 0, len(sigmas))
+	for i := range sigmas {
+		s := rng.DeriveSeed(base, 1, uint64(i))
+		cells = append(cells, cellCfg{Seed: s})
+	}
+	cells = append(cells, cellCfg{Seed: 0x9e3779b9 + 7}) // constant: fine
+	if len(cells) > 0 {
+		cells = append(cells, cellCfg{Seed: cells[0].Seed}) // field read: checked at its write
+	}
+	_ = rng.New(rng.DeriveSeed(base, 42))
+	return cells
+}
+
+// deriveBase checks DeriveSeed's own base argument.
+func deriveBase(a, b uint64) uint64 {
+	return rng.DeriveSeed(a+b, 1) // want seedflow
+}

@@ -1,0 +1,44 @@
+// Package clean holds the sanctioned goroutine handoff patterns for the
+// sharedstate analyzer: a per-goroutine stream split from a master, a
+// fresh constructor call per crossing struct, and a full ownership
+// transfer whose only use is inside the one goroutine. Loaded under the
+// same package path as the violating fixture, nothing may be reported.
+package clean
+
+import (
+	"econcast/internal/rng"
+	"econcast/internal/stats"
+)
+
+type worker struct {
+	src *rng.Source
+	acc *stats.Accumulator
+}
+
+func (w *worker) run() { _ = w.src.Uint64() }
+
+// fanOut derives one independent stream per goroutine from the master:
+// the master stays on the launching side, the children cross.
+func fanOut(n int, seed uint64) {
+	master := rng.New(seed)
+	for i := 0; i < n; i++ {
+		w := &worker{src: master.Split(), acc: &stats.Accumulator{}}
+		go w.run()
+	}
+}
+
+// perIteration declares the stream inside the loop: fresh per goroutine.
+func perIteration(n int, seed uint64) {
+	for i := 0; i < n; i++ {
+		src := rng.New(rng.DeriveSeed(seed, uint64(i)))
+		w := &worker{src: src}
+		go w.run()
+	}
+}
+
+// handoff transfers ownership: the launching side never touches the
+// stream again.
+func handoff(seed uint64) {
+	src := rng.New(seed)
+	go func() { _ = src.Uint64() }()
+}

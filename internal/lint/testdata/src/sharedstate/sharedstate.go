@@ -1,0 +1,62 @@
+// Package fixture exercises the sharedstate analyzer: determinism-
+// critical pointers (*rng.Source, *stats.Accumulator, ...) may not be
+// shared across goroutines, neither by closure capture nor by fanning
+// one value into several goroutine-crossing structs. The clean fixture
+// (./clean) shows the sanctioned handoff patterns silent under the same
+// package path.
+package fixture
+
+import (
+	"econcast/internal/rng"
+	"econcast/internal/stats"
+)
+
+// worker is goroutine-crossing: the package launches its run method.
+type worker struct {
+	src *rng.Source
+	acc *stats.Accumulator
+}
+
+func (w *worker) run() { _ = w.src.Uint64() }
+
+// fanOutShared stores ONE stream into every worker: all goroutines would
+// consume from it and the draw order becomes scheduling-dependent.
+func fanOutShared(n int, seed uint64) {
+	src := rng.New(seed)
+	for i := 0; i < n; i++ {
+		w := &worker{src: src} // want sharedstate
+		go w.run()
+	}
+}
+
+// fanOutParam is the same bug with the stream arriving as a parameter.
+func fanOutParam(n int, src *rng.Source) {
+	for i := 0; i < n; i++ {
+		w := &worker{}
+		w.src = src // want sharedstate
+		go w.run()
+	}
+}
+
+// captureAndUse hands the stream to a goroutine and keeps drawing from
+// it on the launching side.
+func captureAndUse(seed uint64) uint64 {
+	src := rng.New(seed)
+	go func() { _ = src.Uint64() }() // want sharedstate
+	return src.Uint64()
+}
+
+// captureTwice shares one accumulator between two goroutine closures.
+func captureTwice(acc *stats.Accumulator) {
+	go func() { acc.Add(1) }() // want sharedstate
+	go func() { acc.Add(2) }() // want sharedstate
+}
+
+// passAndUse shares via an explicit argument rather than a capture.
+func passAndUse(seed uint64) uint64 {
+	src := rng.New(seed)
+	go consume(src) // want sharedstate
+	return src.Uint64()
+}
+
+func consume(src *rng.Source) { _ = src.Uint64() }

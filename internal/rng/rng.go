@@ -59,6 +59,10 @@ func (s *Source) Split() *Source {
 // Float-valued sweep parameters should be passed through
 // math.Float64bits so distinct values map to distinct parts.
 //
+// "One sanctioned way" is machine-checked: econlint's seedflow analyzer
+// flags any additive/xor-derived seed reaching rng.New, a Seed field, or
+// a seed-named parameter elsewhere in the repo (DESIGN.md §5, rule 8).
+//
 // The derivation is pure (base is not a stream and does not advance), so
 // cells of a sweep may derive their seeds concurrently and in any order.
 func DeriveSeed(base uint64, parts ...uint64) uint64 {

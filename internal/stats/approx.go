@@ -9,7 +9,9 @@ import "math"
 // "equal" values differ in the last ulp), and only epsilon helpers like
 // this one may compare exactly.
 func ApproxEqual(a, b, tol float64) bool {
-	if a == b { //lint:allow floateq fast path; also handles equal infinities
+	// Fast path; also handles equal infinities. Exact comparison is fine
+	// here: floateq exempts epsilon helpers like this one by name.
+	if a == b {
 		return true
 	}
 	if math.IsNaN(a) || math.IsNaN(b) {
