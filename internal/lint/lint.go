@@ -319,7 +319,7 @@ func directives(fset *token.FileSet, files []*ast.File) []Directive {
 					continue
 				}
 				if code == nil {
-					code = codeEndLines(fset, f)
+					code = codeLines(fset, f)
 				}
 				pos := fset.Position(c.Pos())
 				ds = append(ds, Directive{
@@ -352,11 +352,13 @@ func suppressions(fset *token.FileSet, files []*ast.File) suppTable {
 	return tab
 }
 
-// codeEndLines returns the set of lines on which some non-comment node of
-// f ends. A line comment on such a line trails code; on any other line it
-// stands alone. (Line comments cannot precede code on their line, so
-// "code ends here" is exactly "the comment trails something".)
-func codeEndLines(fset *token.FileSet, f *ast.File) map[int]bool {
+// codeLines returns the set of lines on which some non-comment node of f
+// starts or ends. A line comment on such a line trails code; on any other
+// line it stands alone. (Line comments cannot precede code on their line.)
+// Start lines must be recorded too: on header lines where no node ends —
+// `for {`, a bare `select {` — an end-only scan would misread a trailing
+// directive as standalone and leak it onto the next line.
+func codeLines(fset *token.FileSet, f *ast.File) map[int]bool {
 	lines := make(map[int]bool)
 	ast.Inspect(f, func(n ast.Node) bool {
 		switch n.(type) {
@@ -365,6 +367,7 @@ func codeEndLines(fset *token.FileSet, f *ast.File) map[int]bool {
 		case *ast.File:
 			return true
 		}
+		lines[fset.Position(n.Pos()).Line] = true
 		lines[fset.Position(n.End()).Line] = true
 		return true
 	})

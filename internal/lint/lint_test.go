@@ -273,6 +273,12 @@ var _ = 3
 
 var _ = 4 //lint:allow floateq trailing: covers this line only
 var _ = 5
+
+func f() {
+	for { //lint:allow floateq trailing on a header line: no node ends here
+		_ = 6
+	}
+}
 `
 	fset := token.NewFileSet()
 	f, err := parser.ParseFile(fset, "scope.go", src, parser.ParseComments)
@@ -296,6 +302,8 @@ var _ = 5
 		{13, "floateq", false}, // ordinary comments are inert
 		{15, "floateq", true},  // trailing directive covers its own line...
 		{16, "floateq", false}, // ...but must NOT leak onto the next one
+		{19, "floateq", true},  // `for {` header: code starts but nothing ends, still trailing...
+		{20, "floateq", false}, // ...so the loop body stays live
 	}
 	for _, c := range cases {
 		if got := tab.allows("scope.go", c.line, c.analyzer); got != c.want {
