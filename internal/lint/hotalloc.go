@@ -15,9 +15,11 @@ type hotEntry struct {
 // hotEntries lists, per package, the entry points of the allocation-free
 // hot paths. Everything statically reachable from an entry through
 // same-package calls is "hot": the simulators execute those functions once
-// per discrete event (millions of times per run), so a single allocation
-// there dominates the profile. Cold setup/teardown (newEngine, Run,
-// validate) is not reachable from the entries and stays unconstrained.
+// per discrete event (millions of times per run), the simplex once per
+// pivot, and the Gibbs evaluation once per dual-descent step, so a single
+// allocation there dominates the profile. Cold setup/teardown (newEngine,
+// Run, Solve's tableau construction, Enumerate) is not reachable from the
+// entries and stays unconstrained.
 var hotEntries = map[string][]hotEntry{
 	"econcast/internal/sim": {
 		{recv: "engine", method: "run"},
@@ -25,6 +27,13 @@ var hotEntries = map[string][]hotEntry{
 	"econcast/internal/asim": {
 		{recv: "broker", method: "loop"},
 		{recv: "nodeRuntime", method: "run"},
+	},
+	"econcast/internal/lp": {
+		{recv: "tableau", method: "iterate"},
+		{recv: "tableau", method: "pivot"},
+	},
+	"econcast/internal/statespace": {
+		{recv: "Space", method: "Gibbs"},
 	},
 }
 

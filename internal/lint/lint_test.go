@@ -98,6 +98,10 @@ func TestFixtures(t *testing.T) {
 		{"errdrop", "errdrop", "econcast/internal/experiments", ErrDrop, false},
 		{"hotalloc", "hotalloc", "econcast/internal/sim", HotAlloc, false},
 		{"hotalloc/outside-hot-pkg", "hotalloc", "econcast/internal/viz", HotAlloc, true},
+		{"hotalloc/lp-pivot-tree", filepath.Join("hotalloc", "lp"), "econcast/internal/lp", HotAlloc, false},
+		{"hotalloc/lp-outside-hot-pkg", filepath.Join("hotalloc", "lp"), "econcast/internal/viz", HotAlloc, true},
+		{"hotalloc/statespace-gibbs-tree", filepath.Join("hotalloc", "statespace"), "econcast/internal/statespace", HotAlloc, false},
+		{"hotalloc/statespace-outside-hot-pkg", filepath.Join("hotalloc", "statespace"), "econcast/internal/viz", HotAlloc, true},
 		{"chandir", "chandir", "econcast/internal/asim", ChanDir, false},
 		{"chandir/outside-channel-pkg", "chandir", "econcast/internal/viz", ChanDir, true},
 		{"seedflow", "seedflow", "econcast/internal/experiments", SeedFlow, false},

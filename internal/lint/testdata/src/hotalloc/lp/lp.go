@@ -1,0 +1,48 @@
+// Package fixture exercises the hotalloc roots added for the simplex:
+// loaded as econcast/internal/lp, everything statically reachable from
+// (*tableau).iterate or (*tableau).pivot runs once per pivot and may not
+// allocate; tableau construction in solve is cold and unconstrained.
+package fixture
+
+type tableau struct {
+	rows [][]float64
+	obj  []float64
+	work []int
+}
+
+// iterate is a hot entry: it prices and pivots until optimal.
+func (t *tableau) iterate() bool {
+	cols := make([]int, len(t.obj)) // want hotalloc
+	_ = cols
+	t.pivot(0, 0)
+	return false
+}
+
+// pivot is itself a hot entry, and eliminate is hot transitively.
+func (t *tableau) pivot(row, col int) {
+	t.work = append(t.work, col) // want hotalloc
+	t.eliminate(row)
+}
+
+func (t *tableau) eliminate(row int) {
+	scratch := make([]float64, len(t.rows[row])) // want hotalloc
+	copy(scratch, t.rows[row])
+	t.grow()
+}
+
+// grow shows the audited amortized escape hatch inside the pivot tree.
+func (t *tableau) grow() {
+	t.work = append(t.work, 0) //lint:allow hotalloc amortized high-water growth, audited
+}
+
+// solve is cold: the entries are iterate/pivot themselves, not their
+// callers, so building the tableau may allocate freely.
+func solve(m, n int) *tableau {
+	t := &tableau{obj: make([]float64, n)}
+	for i := 0; i < m; i++ {
+		t.rows = append(t.rows, make([]float64, n))
+	}
+	for t.iterate() {
+	}
+	return t
+}

@@ -1,0 +1,44 @@
+// Package fixture exercises the hotalloc root added for the Gibbs
+// evaluation: loaded as econcast/internal/statespace, everything
+// statically reachable from (*Space).Gibbs runs once per dual-descent
+// step and may not allocate; Enumerate-time cache construction is cold.
+package fixture
+
+type Space struct {
+	weights []float64
+	cost    []float64
+}
+
+type Dist struct {
+	pi []float64
+}
+
+// Gibbs is the hot entry point.
+func (sp *Space) Gibbs(eta []float64) *Dist {
+	d := &Dist{pi: make([]float64, len(sp.weights))} // want hotalloc
+	tmp := append([]float64(nil), eta...)            // want hotalloc
+	_ = tmp
+	sp.fill(d)
+	return d
+}
+
+// fill is hot transitively through Gibbs.
+func (sp *Space) fill(d *Dist) {
+	m := map[int]float64{} // want hotalloc
+	_ = m
+	sp.pool()
+}
+
+// pool shows the audited pool-miss escape hatch.
+func (sp *Space) pool() {
+	sp.cost = append(sp.cost, 0) //lint:allow hotalloc pool miss, reused across calls
+}
+
+// Enumerate is cold: not reachable from Gibbs, so building the per-state
+// caches may allocate freely.
+func Enumerate(n int) *Space {
+	return &Space{
+		weights: make([]float64, n),
+		cost:    make([]float64, 1<<uint(n)),
+	}
+}

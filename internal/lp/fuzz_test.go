@@ -7,17 +7,30 @@ import (
 
 // FuzzSolve checks that the simplex never panics, always returns a valid
 // status, and that any reported optimum is actually feasible, on LPs
-// decoded from arbitrary bytes.
+// decoded from arbitrary bytes. The high nibble of the first byte drives
+// the DegenStall override, so the corpus constantly crosses the
+// Dantzig->Bland fallback with thresholds from 1 up; the degenerate seeds
+// below (all-zero right-hand sides and duplicated rows force ties in the
+// ratio test) pin the fallback path itself.
 func FuzzSolve(f *testing.F) {
 	f.Add([]byte{2, 1, 10, 20, 1, 1, 50, 0})
 	f.Add([]byte{1, 3, 200, 5, 5, 5, 1, 2, 3, 4, 5, 6})
 	f.Add([]byte{3, 2, 0, 0, 0, 255, 255, 128, 7, 9})
+	// Degenerate vertex at the origin: positive objective, every rhs zero
+	// (byte 128 decodes to 0), rows mixing signs — pivots stall before any
+	// progress, with DegenStall=1 via the high nibble.
+	f.Add([]byte{0x13, 3, 200, 160, 144, 136, 129, 128, 160, 129, 128, 136, 129, 128})
+	// Duplicated constraint rows: exact ratio-test ties on every pivot.
+	f.Add([]byte{0x33, 2, 192, 192, 176, 176, 144, 176, 176, 144, 176, 176, 144})
+	// Zero-rhs GE/EQ rows drive phase 1 through degenerate artificials.
+	f.Add([]byte{0x12, 5, 250, 130, 140, 150, 128, 150, 140, 128, 130, 160, 128})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if len(data) < 4 {
 			return
 		}
 		n := int(data[0]%4) + 1
 		m := int(data[1]%4) + 1
+		stall := int(data[0]>>4) + 1 // 1..16: exercises the Bland fallback early
 		rest := data[2:]
 		at := 0
 		next := func() float64 {
@@ -29,6 +42,7 @@ func FuzzSolve(f *testing.F) {
 			return v / 16
 		}
 		p := NewProblem(Maximize, n)
+		p.DegenStall = stall
 		for j := 0; j < n; j++ {
 			p.C[j] = next()
 		}

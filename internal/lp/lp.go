@@ -1,18 +1,28 @@
 // Package lp implements a dense two-phase primal simplex solver for linear
 // programs over non-negative variables. It is the substrate for every
 // oracle-throughput computation in this repository: problems (P2) and (P3)
-// of the paper and their non-clique variants all reduce to small dense LPs.
+// of the paper and their non-clique variants all reduce to dense LPs, from
+// a handful of columns (symmetric cliques) to one column per transmitter
+// configuration (the exact non-clique oracle, 2^N columns).
 //
 // The solver handles <=, >= and = constraints, maximization and
 // minimization, and reports infeasibility and unboundedness. Pivoting uses
-// Dantzig's rule with a Bland's-rule fallback after an iteration threshold,
-// which guarantees termination on degenerate problems.
+// Dantzig's steepest-coefficient rule; after a run of consecutive
+// degenerate pivots (a stall, the precondition of cycling) it falls back to
+// Bland's rule until the objective moves again, which preserves the
+// anti-cycling termination guarantee while keeping Dantzig's fast typical
+// path. On wide tableaus the pivot's independent row updates fan out over
+// the internal/sweep worker pool; each row's arithmetic is unchanged, so
+// results are bit-identical at any worker count.
 package lp
 
 import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
+
+	"econcast/internal/sweep"
 )
 
 // Sense selects the optimization direction of a Problem.
@@ -81,6 +91,24 @@ type Problem struct {
 	A     [][]float64
 	Rel   []Rel
 	B     []float64
+
+	// MaxIter overrides the per-phase simplex iteration budget. Zero
+	// selects the default, which scales with the problem dimensions
+	// (200 * (rows + columns + 10)) so large oracle LPs get room to
+	// converge while tiny LPs still fail fast on pathologies.
+	MaxIter int
+
+	// Workers bounds the worker pool for the pivot's parallel row
+	// updates on wide tableaus. 0 selects GOMAXPROCS, 1 forces serial.
+	// Tableaus below the width cutoff always run serially, and results
+	// are bit-identical at any worker count.
+	Workers int
+
+	// DegenStall overrides the number of consecutive degenerate pivots
+	// tolerated under Dantzig pricing before falling back to Bland's
+	// anti-cycling rule. Zero selects the default (50). Tests and the
+	// fuzz harness lower it to exercise the fallback path.
+	DegenStall int
 }
 
 // NewProblem returns a problem with n variables and the given sense. The
@@ -121,13 +149,32 @@ type Result struct {
 	Status    Status
 	X         []float64
 	Objective float64
+
+	// Pivots is the total number of simplex pivots across both phases;
+	// BlandPivots counts how many of them priced the entering column with
+	// Bland's anti-cycling rule after a degeneracy stall. They expose
+	// solver effort to benchmarks and pin the fallback path in tests.
+	Pivots      int
+	BlandPivots int
 }
 
 const (
-	pivotTol   = 1e-9 // smallest pivot magnitude considered nonzero
-	reducedTol = 1e-9 // reduced-cost optimality tolerance
-	feasTol    = 1e-7 // phase-1 residual considered feasible
-	blandAfter = 2000 // iterations of Dantzig before switching to Bland
+	pivotTol   = 1e-9  // smallest pivot magnitude considered nonzero
+	reducedTol = 1e-9  // reduced-cost optimality tolerance
+	feasTol    = 1e-7  // phase-1 residual considered feasible
+	degenTol   = 1e-12 // ratio-test step below this counts as degenerate
+
+	// defaultDegenStall is how many consecutive degenerate pivots Dantzig
+	// pricing tolerates before the Bland fallback engages. Cycling can
+	// only occur within an unbroken run of degenerate pivots, so bounding
+	// the run and finishing it under Bland's rule preserves termination.
+	defaultDegenStall = 50
+
+	// parallelCells is the tableau area (rows * columns) at which pivots
+	// start fanning their row updates over the sweep pool. Below it the
+	// per-pivot goroutine handoff costs more than the arithmetic saves,
+	// so small LPs pay nothing.
+	parallelCells = 1 << 15
 )
 
 // ErrIterationLimit is returned when the simplex fails to terminate within
@@ -144,6 +191,24 @@ type tableau struct {
 	objRHS   float64     // negated objective value accumulator
 	basis    []int       // basic column of each row
 	artBegin int         // first artificial column index
+
+	maxIter    int // per-phase pivot budget
+	stallAfter int // consecutive degenerate pivots before Bland engages
+
+	// Pricing state. bland is sticky within a stall: once the run of
+	// degenerate pivots reaches stallAfter, entering columns are priced
+	// by Bland's rule until a pivot moves the objective again.
+	stall       int
+	bland       bool
+	pivots      int
+	blandPivots int
+
+	// Parallel pivot state: prebuilt sweep cells, each eliminating a
+	// fixed disjoint row chunk of the current pivot (pRow, pCol). Built
+	// once in Solve so the per-pivot hot path allocates nothing.
+	workers    int
+	cells      []sweep.Cell[struct{}]
+	pRow, pCol int
 }
 
 // Solve optimizes the problem and returns the result. The returned error is
@@ -198,6 +263,15 @@ func Solve(p *Problem) (*Result, error) {
 	for i := range t.rows {
 		t.rows[i], flat = flat[:t.ncols:t.ncols], flat[t.ncols:]
 	}
+	t.maxIter = p.MaxIter
+	if t.maxIter <= 0 {
+		t.maxIter = 200 * (m + t.ncols + 10)
+	}
+	t.stallAfter = p.DegenStall
+	if t.stallAfter <= 0 {
+		t.stallAfter = defaultDegenStall
+	}
+	t.initParallel(p.Workers)
 
 	slackCol := n
 	artCol := t.artBegin
@@ -255,7 +329,7 @@ func Solve(p *Problem) (*Result, error) {
 			return nil, errors.New("lp: phase 1 reported unbounded")
 		}
 		if t.objRHS > feasTol {
-			return &Result{Status: Infeasible}, nil
+			return &Result{Status: Infeasible, Pivots: t.pivots, BlandPivots: t.blandPivots}, nil
 		}
 		// Drive any artificial still in the basis out, or detect the row as
 		// redundant (all-zero) and leave it; its rhs is ~0.
@@ -310,7 +384,7 @@ func Solve(p *Problem) (*Result, error) {
 		return nil, err
 	}
 	if status == Unbounded {
-		return &Result{Status: Unbounded}, nil
+		return &Result{Status: Unbounded, Pivots: t.pivots, BlandPivots: t.blandPivots}, nil
 	}
 
 	x := make([]float64, n)
@@ -323,23 +397,74 @@ func Solve(p *Problem) (*Result, error) {
 	for j := 0; j < n; j++ {
 		objective += p.C[j] * x[j]
 	}
-	return &Result{Status: Optimal, X: x, Objective: objective}, nil
+	return &Result{
+		Status:      Optimal,
+		X:           x,
+		Objective:   objective,
+		Pivots:      t.pivots,
+		BlandPivots: t.blandPivots,
+	}, nil
+}
+
+// initParallel prepares the pivot fan-out for wide tableaus. Small
+// tableaus stay serial so they pay nothing. Wide ones split their rows
+// into contiguous per-worker chunks executed on the sweep pool; each chunk
+// owns a disjoint row range and every row's arithmetic sequence is
+// identical to the serial one, so the tableau — and hence the solution —
+// is bit-identical at any worker count.
+func (t *tableau) initParallel(workers int) {
+	if workers == 1 || t.m < 2 || t.m*t.ncols < parallelCells {
+		return
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > t.m {
+		workers = t.m
+	}
+	if workers < 2 {
+		return
+	}
+	t.workers = workers
+	t.cells = make([]sweep.Cell[struct{}], workers)
+	for k := 0; k < workers; k++ {
+		lo := k * t.m / workers
+		hi := (k + 1) * t.m / workers
+		t.cells[k] = func() (struct{}, error) {
+			t.eliminateRows(lo, hi)
+			return struct{}{}, nil
+		}
+	}
 }
 
 // iterate runs simplex pivots until optimality or unboundedness, allowing
 // entering columns in [0, maxCol).
+//
+// Pricing: Dantzig's rule (steepest reduced cost) by default. A pivot
+// whose ratio-test step is ~0 is degenerate: the basis changes but the
+// objective does not, which is the only situation in which the simplex
+// can cycle. After stallAfter consecutive degenerate pivots the entering
+// column is priced by Bland's rule (lowest eligible index) until a pivot
+// makes strict progress again. Termination: within a Bland stretch the
+// classic anti-cycling argument applies; every exit from a stretch
+// coincides with a strict objective increase, so no basis can recur
+// across stretches, and Dantzig stretches contain fewer than stallAfter
+// degenerate pivots between progress events by construction.
 func (t *tableau) iterate(maxCol int) (Status, error) {
-	limit := 200 * (t.m + t.ncols + 10)
-	for iter := 0; iter < limit; iter++ {
-		bland := iter >= blandAfter
+	t.stall, t.bland = 0, false
+	for iter := 0; iter < t.maxIter; iter++ {
+		bland := t.bland
 		enter := -1
-		best := reducedTol
-		for j := 0; j < maxCol; j++ {
-			if t.obj[j] > reducedTol {
-				if bland {
+		if bland {
+			for j := 0; j < maxCol; j++ {
+				if t.obj[j] > reducedTol {
 					enter = j
 					break
 				}
+			}
+		} else {
+			best := reducedTol
+			for j := 0; j < maxCol; j++ {
 				if t.obj[j] > best {
 					best = t.obj[j]
 					enter = j
@@ -367,13 +492,28 @@ func (t *tableau) iterate(maxCol int) (Status, error) {
 		if leave < 0 {
 			return Unbounded, nil
 		}
+		if bestRatio <= degenTol {
+			t.stall++
+			if t.stall >= t.stallAfter {
+				t.bland = true
+			}
+		} else {
+			t.stall = 0
+			t.bland = false
+		}
+		if bland {
+			t.blandPivots++
+		}
 		t.pivot(leave, enter)
 	}
 	return Optimal, ErrIterationLimit
 }
 
-// pivot performs a Gauss-Jordan pivot on (row, col), making col basic in row.
+// pivot performs a Gauss-Jordan pivot on (row, col), making col basic in
+// row. The per-row eliminations are independent; on wide tableaus they
+// run chunked over the sweep pool (see initParallel).
 func (t *tableau) pivot(row, col int) {
+	t.pivots++
 	pr := t.rows[row]
 	pv := pr[col]
 	inv := 1 / pv
@@ -385,7 +525,35 @@ func (t *tableau) pivot(row, col int) {
 	if t.rhs[row] < 0 && t.rhs[row] > -1e-12 {
 		t.rhs[row] = 0
 	}
-	for i := 0; i < t.m; i++ {
+	t.pRow, t.pCol = row, col
+	if t.cells != nil {
+		if _, err := sweep.Run(t.workers, t.cells); err != nil {
+			// Cells are pure row arithmetic and never return errors; only
+			// a runtime panic inside a cell can land here.
+			panic(err)
+		}
+	} else {
+		t.eliminateRows(0, t.m)
+	}
+	if f := t.obj[col]; f != 0 { //lint:allow floateq structural zero: objective row update is a no-op at exact zero
+		for j := range t.obj {
+			t.obj[j] -= f * pr[j]
+		}
+		t.obj[col] = 0
+		t.objRHS -= f * t.rhs[row]
+	}
+	t.basis[row] = col
+}
+
+// eliminateRows applies the current pivot's row elimination to rows
+// [lo, hi), skipping the pivot row itself. Each row touches only its own
+// storage, so disjoint chunks can run concurrently without changing any
+// row's arithmetic.
+func (t *tableau) eliminateRows(lo, hi int) {
+	row, col := t.pRow, t.pCol
+	pr := t.rows[row]
+	prhs := t.rhs[row]
+	for i := lo; i < hi; i++ {
 		if i == row {
 			continue
 		}
@@ -398,17 +566,9 @@ func (t *tableau) pivot(row, col int) {
 			ri[j] -= f * pr[j]
 		}
 		ri[col] = 0
-		t.rhs[i] -= f * t.rhs[row]
+		t.rhs[i] -= f * prhs
 		if t.rhs[i] < 0 && t.rhs[i] > -1e-9 {
 			t.rhs[i] = 0
 		}
 	}
-	if f := t.obj[col]; f != 0 { //lint:allow floateq structural zero: objective row update is a no-op at exact zero
-		for j := range t.obj {
-			t.obj[j] -= f * pr[j]
-		}
-		t.obj[col] = 0
-		t.objRHS -= f * t.rhs[row]
-	}
-	t.basis[row] = col
 }

@@ -462,3 +462,145 @@ func TestNoFeasiblePointBeatsOptimum(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// --- PR 4: pricing fallback, iteration budget, and parallel pivots ---
+
+// beale builds Beale's classic cycling example: under naive Dantzig pricing
+// with unlucky tie-breaking, the simplex cycles forever through degenerate
+// bases. Optimal value is -0.05 at x = (1/25, 0, 1, 0).
+func beale() *Problem {
+	p := NewProblem(Minimize, 4)
+	p.C = []float64{-0.75, 150, -0.02, 6}
+	p.AddLE([]float64{0.25, -60, -0.04, 9}, 0)
+	p.AddLE([]float64{0.5, -90, -0.02, 3}, 0)
+	p.AddLE([]float64{0, 0, 1, 0}, 1)
+	return p
+}
+
+func TestBealeCyclingExample(t *testing.T) {
+	res := solveOK(t, beale())
+	wantOptimal(t, res, -0.05, 1e-9)
+}
+
+func TestDegenerateStallFallsBackToBland(t *testing.T) {
+	// With the stall threshold forced to 1, the very first degenerate
+	// pivot flips pricing to Bland's rule; Beale's example pivots through
+	// degenerate bases at the origin, so the fallback must engage and the
+	// solve must still reach the optimum.
+	p := beale()
+	p.DegenStall = 1
+	res := solveOK(t, p)
+	wantOptimal(t, res, -0.05, 1e-9)
+	if res.BlandPivots == 0 {
+		t.Fatalf("expected Bland fallback pivots on a degenerate problem (pivots=%d)", res.Pivots)
+	}
+	if res.Pivots <= res.BlandPivots {
+		t.Fatalf("pivot accounting inconsistent: total %d, bland %d", res.Pivots, res.BlandPivots)
+	}
+}
+
+func TestDantzigPathReportsNoBlandPivots(t *testing.T) {
+	// A nondegenerate problem must never engage the fallback.
+	p := NewProblem(Maximize, 2)
+	p.C = []float64{3, 5}
+	p.AddLE([]float64{1, 0}, 4)
+	p.AddLE([]float64{0, 2}, 12)
+	p.AddLE([]float64{3, 2}, 18)
+	res := solveOK(t, p)
+	if res.BlandPivots != 0 {
+		t.Fatalf("BlandPivots = %d on a nondegenerate problem", res.BlandPivots)
+	}
+	if res.Pivots == 0 {
+		t.Fatal("Pivots = 0, expected at least one")
+	}
+}
+
+func TestMaxIterOverride(t *testing.T) {
+	// An absurdly small budget must fail fast with ErrIterationLimit...
+	p := beale()
+	p.MaxIter = 1
+	if _, err := Solve(p); err != ErrIterationLimit {
+		t.Fatalf("MaxIter=1: err = %v, want ErrIterationLimit", err)
+	}
+	// ...and the default (dimension-scaled) budget must solve it.
+	p.MaxIter = 0
+	res := solveOK(t, p)
+	wantOptimal(t, res, -0.05, 1e-9)
+}
+
+// wideProblem builds a deterministic bounded LP whose tableau area crosses
+// the parallel-pivot cutoff: rows * (vars + slacks) >> parallelCells.
+func wideProblem(vars, rows int) *Problem {
+	src := rng.New(rng.DeriveSeed(99, uint64(vars), uint64(rows)))
+	p := NewProblem(Maximize, vars)
+	for j := range p.C {
+		p.C[j] = 0.1 + src.Float64()
+	}
+	for i := 0; i < rows; i++ {
+		row := make([]float64, vars)
+		for j := range row {
+			row[j] = 0.05 + src.Float64()
+		}
+		p.AddLE(row, 1+src.Float64()*float64(vars)/8)
+	}
+	return p
+}
+
+func TestParallelPivotBitIdentical(t *testing.T) {
+	const vars, rows = 4000, 12
+	base := wideProblem(vars, rows)
+	if rows*(vars+rows) < parallelCells {
+		t.Fatalf("test problem below parallel cutoff: %d < %d", rows*(vars+rows), parallelCells)
+	}
+	var ref *Result
+	for _, workers := range []int{1, 4, 16} {
+		p := wideProblem(vars, rows)
+		p.Workers = workers
+		res, err := Solve(p)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if res.Status != Optimal {
+			t.Fatalf("workers=%d: status %v", workers, res.Status)
+		}
+		if ref == nil {
+			ref = res
+			continue
+		}
+		if math.Float64bits(res.Objective) != math.Float64bits(ref.Objective) {
+			t.Fatalf("workers=%d: objective %v != serial %v (not bit-identical)",
+				workers, res.Objective, ref.Objective)
+		}
+		for j := range res.X {
+			if math.Float64bits(res.X[j]) != math.Float64bits(ref.X[j]) {
+				t.Fatalf("workers=%d: x[%d] = %v != serial %v (not bit-identical)",
+					workers, j, res.X[j], ref.X[j])
+			}
+		}
+		if res.Pivots != ref.Pivots || res.BlandPivots != ref.BlandPivots {
+			t.Fatalf("workers=%d: pivot counts (%d, %d) != serial (%d, %d)",
+				workers, res.Pivots, res.BlandPivots, ref.Pivots, ref.BlandPivots)
+		}
+	}
+	// The parallel result must also be feasible for the original problem.
+	if !feasible(base, ref.X, 1e-6) {
+		t.Fatal("parallel optimum infeasible")
+	}
+}
+
+func TestIterationBudgetScalesWithDimensions(t *testing.T) {
+	// A 4000-column LP gets a far larger default budget than a 2-column
+	// one; both derive from 200*(m+ncols+10). Verified indirectly: the
+	// wide problem needs more pivots than a tiny MaxIter would allow but
+	// solves fine under the scaled default.
+	p := wideProblem(2000, 8)
+	res := solveOK(t, p)
+	if res.Status != Optimal {
+		t.Fatalf("status %v", res.Status)
+	}
+	p2 := wideProblem(2000, 8)
+	p2.MaxIter = 1
+	if _, err := Solve(p2); err != ErrIterationLimit {
+		t.Fatalf("err = %v, want ErrIterationLimit with MaxIter=1", err)
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"math/bits"
 
 	"econcast/internal/rng"
 )
@@ -181,7 +182,7 @@ func (s NetState) StateOf(i int) State {
 
 // NumListeners returns c_w, the number of listening nodes.
 func (s NetState) NumListeners() int {
-	return popcount(s.Listeners)
+	return bits.OnesCount64(s.Listeners)
 }
 
 // HasTransmitter returns nu_w: whether exactly one node transmits.
@@ -201,15 +202,6 @@ func (s NetState) Throughput(mode Mode) float64 {
 		return 0
 	}
 	return float64(c)
-}
-
-func popcount(x uint64) int {
-	count := 0
-	for x != 0 {
-		x &= x - 1
-		count++
-	}
-	return count
 }
 
 // NumStates returns |W| = (N+2) * 2^(N-1), the size of the collision-free

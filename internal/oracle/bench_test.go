@@ -1,0 +1,93 @@
+package oracle
+
+import (
+	"fmt"
+	"testing"
+
+	"econcast/internal/model"
+)
+
+// Oracle pipeline benchmarks across the n grid of the perf trajectory
+// (BENCH_PR4.json). The routed benchmarks reset the memo cache every
+// iteration so they measure the symmetric solve itself; the Dense variants
+// measure the seed path (full per-node LP) on identical inputs, and
+// CacheHit measures a warm lookup.
+
+func benchNet(n int) *model.Network {
+	return homog(n, 5*model.MilliWatt, 67.08*model.MilliWatt, 56.29*model.MilliWatt)
+}
+
+var benchNs = []int{6, 10, 14, 18}
+
+func BenchmarkOracleGroupput(b *testing.B) {
+	for _, n := range benchNs {
+		nw := benchNet(n)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				resetSolutionCache()
+				if _, err := Groupput(nw); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkOracleGroupputDense(b *testing.B) {
+	for _, n := range benchNs {
+		nw := benchNet(n)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := groupputDense(nw); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkOracleAnyput(b *testing.B) {
+	for _, n := range benchNs {
+		nw := benchNet(n)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				resetSolutionCache()
+				if _, err := Anyput(nw); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkOracleAnyputDense(b *testing.B) {
+	for _, n := range benchNs {
+		nw := benchNet(n)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := anyputDense(nw); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkOracleCacheHit(b *testing.B) {
+	nw := benchNet(14)
+	resetSolutionCache()
+	if _, err := Groupput(nw); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Groupput(nw); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package oracle
+
+import (
+	"encoding/binary"
+	"math"
+	"sync"
+
+	"econcast/internal/model"
+	"econcast/internal/topology"
+)
+
+// Memoizing solution cache. Experiment sweeps revisit the same oracle
+// point many times (fig2/fig4/table3 share (n, budget) grid points, and
+// every sigma cell of a sweep needs the same sigma-independent oracle), so
+// each distinct LP is solved once per process. Keys are canonical byte
+// strings of everything the solution depends on — the objective kind, the
+// exact float64 bit patterns of every node's parameters, and the topology
+// adjacency — so two networks hash equal iff the solver would see
+// identical inputs. Values are deep-copied on store and on hit: callers
+// may mutate the slices they get back without poisoning the cache, which
+// also keeps sweep results byte-identical at any worker count (a hit
+// returns the same floats the miss computed).
+type solutionCache struct {
+	mu sync.Mutex
+	m  map[string]*Solution
+}
+
+// cacheMaxEntries bounds the cache; on overflow the whole map is dropped
+// (no LRU bookkeeping — oracle sweeps have far fewer distinct points, so
+// eviction is a safety valve, not a steady state).
+const cacheMaxEntries = 1 << 14
+
+var solCache = &solutionCache{m: make(map[string]*Solution)}
+
+// Cache key kinds: one per distinct LP formulation.
+const (
+	kindGroupput       byte = 1 // (P2) with the single-transmitter row (11)
+	kindGroupputUpper  byte = 2 // (P2) without (11): non-clique upper bound
+	kindAnyput         byte = 3 // (P3)
+	kindNonCliqueExact byte = 4 // configuration LP of GroupputNonCliqueExact
+)
+
+// cacheKey builds the canonical key. A nil topology (clique semantics) and
+// an explicit clique topology produce different keys; that costs at most
+// one duplicate solve, never a wrong hit.
+func cacheKey(kind byte, nw *model.Network, topo *topology.Topology) string {
+	n := nw.N()
+	buf := make([]byte, 0, 2+8*(1+3*n)+8*n)
+	buf = append(buf, kind)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(n))
+	for _, nd := range nw.Nodes {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(nd.Budget))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(nd.ListenPower))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(nd.TransmitPower))
+	}
+	if topo == nil {
+		buf = append(buf, 0)
+	} else {
+		buf = append(buf, 1)
+		for i := 0; i < topo.N(); i++ {
+			nbs := topo.Neighbors(i) // sorted by construction
+			buf = binary.LittleEndian.AppendUint64(buf, uint64(len(nbs)))
+			for _, j := range nbs {
+				buf = binary.LittleEndian.AppendUint64(buf, uint64(j))
+			}
+		}
+	}
+	return string(buf)
+}
+
+func (c *solutionCache) lookup(key string) (*Solution, bool) {
+	c.mu.Lock()
+	sol, ok := c.m[key]
+	c.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	return sol.clone(), true
+}
+
+func (c *solutionCache) store(key string, sol *Solution) {
+	c.mu.Lock()
+	if len(c.m) >= cacheMaxEntries {
+		c.m = make(map[string]*Solution) // drop everything; no map iteration
+	}
+	c.m[key] = sol.clone()
+	c.mu.Unlock()
+}
+
+func (s *Solution) clone() *Solution {
+	return &Solution{
+		Throughput: s.Throughput,
+		Alpha:      append([]float64(nil), s.Alpha...),
+		Beta:       append([]float64(nil), s.Beta...),
+	}
+}
+
+// resetSolutionCache empties the cache; tests use it to force the solve
+// path.
+func resetSolutionCache() {
+	solCache.mu.Lock()
+	solCache.m = make(map[string]*Solution)
+	solCache.mu.Unlock()
+}
+
+// cachedSolve memoizes solve under the canonical key for (kind, nw, topo).
+func cachedSolve(kind byte, nw *model.Network, topo *topology.Topology, solve func() (*Solution, error)) (*Solution, error) {
+	key := cacheKey(kind, nw, topo)
+	if sol, ok := solCache.lookup(key); ok {
+		return sol, nil
+	}
+	sol, err := solve()
+	if err != nil {
+		return nil, err
+	}
+	solCache.store(key, sol)
+	return sol.clone(), nil
+}

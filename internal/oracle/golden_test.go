@@ -1,0 +1,185 @@
+package oracle
+
+import (
+	"math"
+	"testing"
+
+	"econcast/internal/model"
+	"econcast/internal/rng"
+	"econcast/internal/topology"
+)
+
+// Golden-equivalence suite: the optimized oracle pipeline (symmetric
+// routing + memoizing cache) must reproduce the seed solver — the full
+// per-node dense LPs — to 1e-9 on the experiment operating points, and
+// cache hits must be bitwise-identical to the miss that filled them.
+
+const goldenTol = 1e-9
+
+// TestGoldenFig2PointsMatchDense replays the Fig. 2 sampler (N=5,
+// heterogeneity h from 10 to 250; h=10 is exactly homogeneous and routes
+// through the symmetric LPs) and pins routed Groupput/Anyput against the
+// dense formulations.
+func TestGoldenFig2PointsMatchDense(t *testing.T) {
+	src := rng.New(rng.DeriveSeed(42, 2))
+	for _, h := range []float64{10, 50, 100, 150, 200, 250} {
+		spec := model.HeterogeneitySpec{N: 5, H: h}
+		for s := 0; s < 20; s++ {
+			nw := spec.Sample(src)
+			resetSolutionCache()
+			g, err := Groupput(nw)
+			if err != nil {
+				t.Fatalf("h=%v sample %d: Groupput: %v", h, s, err)
+			}
+			gd, err := groupputDense(nw)
+			if err != nil {
+				t.Fatalf("h=%v sample %d: dense groupput: %v", h, s, err)
+			}
+			if !almost(g.Throughput, gd.Throughput, goldenTol) {
+				t.Errorf("h=%v sample %d: routed groupput %v, dense %v", h, s, g.Throughput, gd.Throughput)
+			}
+			a, err := Anyput(nw)
+			if err != nil {
+				t.Fatalf("h=%v sample %d: Anyput: %v", h, s, err)
+			}
+			ad, err := anyputDense(nw)
+			if err != nil {
+				t.Fatalf("h=%v sample %d: dense anyput: %v", h, s, err)
+			}
+			if !almost(a.Throughput, ad.Throughput, goldenTol) {
+				t.Errorf("h=%v sample %d: routed anyput %v, dense %v", h, s, a.Throughput, ad.Throughput)
+			}
+		}
+	}
+}
+
+// TestGoldenTable3PointsMatchDense pins the testbed parameterization of
+// Table III (homogeneous cliques on the measured TI CC1310 power numbers),
+// which routes through the symmetric LPs, against the dense solver and —
+// where its feasibility condition holds — the paper's closed form.
+func TestGoldenTable3PointsMatchDense(t *testing.T) {
+	for _, n := range []int{5, 10} {
+		for _, budget := range []float64{1 * model.MilliWatt, 5 * model.MilliWatt} {
+			nw := homog(n, budget, 67.08*model.MilliWatt, 56.29*model.MilliWatt)
+			resetSolutionCache()
+			g, err := Groupput(nw)
+			if err != nil {
+				t.Fatalf("n=%d rho=%v: %v", n, budget, err)
+			}
+			gd, err := groupputDense(nw)
+			if err != nil {
+				t.Fatalf("n=%d rho=%v: dense: %v", n, budget, err)
+			}
+			if !almost(g.Throughput, gd.Throughput, goldenTol) {
+				t.Errorf("n=%d rho=%v: routed %v, dense %v", n, budget, g.Throughput, gd.Throughput)
+			}
+			if cf, ok := GroupputClosedForm(n, nw.Nodes[0]); ok {
+				if !almost(g.Throughput, cf.Throughput, goldenTol) {
+					t.Errorf("n=%d rho=%v: routed %v, closed form %v", n, budget, g.Throughput, cf.Throughput)
+				}
+			}
+		}
+	}
+}
+
+// TestGoldenSymmetricMatchesDenseSmallN sweeps homogeneous cliques n <= 8
+// across power regimes (budget-limited, time-limited, and the boundary)
+// and requires the symmetry-reduced LPs to agree with the full per-node
+// LPs to 1e-9, per node and in total.
+func TestGoldenSymmetricMatchesDenseSmallN(t *testing.T) {
+	for n := 2; n <= 8; n++ {
+		for _, rho := range []float64{0.01, 0.2, 0.6, 5} {
+			nw := homog(n, rho, 0.9, 1.1)
+			gs, err := groupputSymmetric(nw)
+			if err != nil {
+				t.Fatalf("n=%d rho=%v: symmetric: %v", n, rho, err)
+			}
+			gd, err := groupputDense(nw)
+			if err != nil {
+				t.Fatalf("n=%d rho=%v: dense: %v", n, rho, err)
+			}
+			if !almost(gs.Throughput, gd.Throughput, goldenTol) {
+				t.Errorf("n=%d rho=%v: symmetric groupput %v, dense %v", n, rho, gs.Throughput, gd.Throughput)
+			}
+			as, err := anyputSymmetric(nw)
+			if err != nil {
+				t.Fatalf("n=%d rho=%v: symmetric anyput: %v", n, rho, err)
+			}
+			ad, err := anyputDense(nw)
+			if err != nil {
+				t.Fatalf("n=%d rho=%v: dense anyput: %v", n, rho, err)
+			}
+			if !almost(as.Throughput, ad.Throughput, goldenTol) {
+				t.Errorf("n=%d rho=%v: symmetric anyput %v, dense %v", n, rho, as.Throughput, ad.Throughput)
+			}
+		}
+	}
+}
+
+// TestCacheHitBitwiseIdentical pins the memoization contract: a hit
+// returns exactly the floats the miss computed (bit-for-bit, so cached
+// sweeps stay byte-identical), and mutating a returned solution must not
+// poison later hits.
+func TestCacheHitBitwiseIdentical(t *testing.T) {
+	nw := homog(6, 0.4, 0.9, 1.1)
+	resetSolutionCache()
+	first, err := Groupput(nw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := Groupput(nw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameBits := func(a, b *Solution) bool {
+		if math.Float64bits(a.Throughput) != math.Float64bits(b.Throughput) {
+			return false
+		}
+		for i := range a.Alpha {
+			if math.Float64bits(a.Alpha[i]) != math.Float64bits(b.Alpha[i]) ||
+				math.Float64bits(a.Beta[i]) != math.Float64bits(b.Beta[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if !sameBits(first, second) {
+		t.Fatalf("cache hit differs from miss: %+v vs %+v", first, second)
+	}
+	// Mutate the hit; the cache must hand out untouched copies.
+	second.Alpha[0] = -1
+	second.Beta[0] = -1
+	third, err := Groupput(nw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameBits(first, third) {
+		t.Fatalf("cache poisoned by caller mutation: %+v vs %+v", first, third)
+	}
+}
+
+// TestCacheSeparatesBoundKinds guards the key construction: the lower and
+// upper non-clique bounds share (network, topology) but differ in the LP,
+// and must never collide in the cache.
+func TestCacheSeparatesBoundKinds(t *testing.T) {
+	nw := homog(9, 0.3, 1, 1)
+	topo := topology.Grid(3, 3)
+	resetSolutionCache()
+	lower, upper, err := GroupputNonCliqueBounds(nw, topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lower.Throughput > upper.Throughput+goldenTol {
+		t.Fatalf("lower bound %v exceeds upper %v", lower.Throughput, upper.Throughput)
+	}
+	// Re-query through the cache and require the same ordering and values.
+	lower2, upper2, err := GroupputNonCliqueBounds(nw, topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(lower.Throughput) != math.Float64bits(lower2.Throughput) ||
+		math.Float64bits(upper.Throughput) != math.Float64bits(upper2.Throughput) {
+		t.Fatalf("cached bounds differ: (%v,%v) vs (%v,%v)",
+			lower.Throughput, upper.Throughput, lower2.Throughput, upper2.Throughput)
+	}
+}

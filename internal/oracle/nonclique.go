@@ -48,12 +48,21 @@ func GroupputNonCliqueExact(nw *model.Network, topo *topology.Topology) (*Soluti
 		return nil, fmt.Errorf("oracle: exact non-clique solver limited to %d nodes, got %d",
 			MaxNodesExactNonClique, n)
 	}
+	return cachedSolve(kindNonCliqueExact, nw, topo, func() (*Solution, error) {
+		return groupputNonCliqueExact(nw, topo)
+	})
+}
 
+func groupputNonCliqueExact(nw *model.Network, topo *topology.Topology) (*Solution, error) {
+	n := nw.N()
 	numS := 1 << uint(n)
 	nv := numS + n // pi_S for each S, then u_j
 	uVar := func(j int) int { return numS + j }
 
 	p := lp.NewProblem(lp.Maximize, nv)
+	// The tableau is wide (2^N + N columns, 2N+1 rows): the simplex's
+	// default Workers spreads pivot row updates over the sweep pool once
+	// the tableau crosses the parallel cutoff, bit-identical to serial.
 	for j := 0; j < n; j++ {
 		p.C[uVar(j)] = 1
 	}

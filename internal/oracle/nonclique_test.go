@@ -197,6 +197,9 @@ func BenchmarkExactNonCliqueGrid16(b *testing.B) {
 	nw := homog(16, 10*model.MicroWatt, 500*model.MicroWatt, 500*model.MicroWatt)
 	topo := topology.SquareGrid(16)
 	for i := 0; i < b.N; i++ {
+		// Reset the memo cache so every iteration measures the 2^16-column
+		// configuration LP itself (with its parallel pivots), not a hit.
+		resetSolutionCache()
 		if _, err := GroupputNonCliqueExact(nw, topo); err != nil {
 			b.Fatal(err)
 		}

@@ -28,7 +28,26 @@ type Solution struct {
 //	     alpha_i + beta_i <= 1                    (10)
 //	     sum_i beta_i <= 1                        (11)
 //	     alpha_i <= sum_{j != i} beta_j           (12)
+//
+// Homogeneous networks are routed through the symmetry-reduced two-variable
+// LP (see symmetric.go); the result is memoized either way, so sweeps that
+// revisit the same oracle point solve each LP once.
 func Groupput(nw *model.Network) (*Solution, error) {
+	if err := nw.Validate(); err != nil {
+		return nil, err
+	}
+	return cachedSolve(kindGroupput, nw, nil, func() (*Solution, error) {
+		if nw.Homogeneous() {
+			return groupputSymmetric(nw)
+		}
+		return groupputWithNeighbors(nw, nil, true)
+	})
+}
+
+// groupputDense solves (P2) through the full 2n-variable per-node LP
+// regardless of symmetry, bypassing both the cache and the reduced
+// routing. Golden tests and benchmarks pin the routed path against it.
+func groupputDense(nw *model.Network) (*Solution, error) {
 	return groupputWithNeighbors(nw, nil, true)
 }
 
@@ -106,14 +125,29 @@ func groupputWithNeighbors(nw *model.Network, topo *topology.Topology, singleTra
 //	     alpha_j = sum_{i != j} chi_{i,j}      (15)
 //
 // where chi_{i,j} is the fraction of time node j receives from node i.
+//
+// Homogeneous networks are routed through the symmetry-reduced
+// three-variable LP (see symmetric.go); the result is memoized either way.
 func Anyput(nw *model.Network) (*Solution, error) {
 	if err := nw.Validate(); err != nil {
 		return nil, err
 	}
-	n := nw.N()
-	if n < 2 {
-		return &Solution{Throughput: 0, Alpha: make([]float64, n), Beta: make([]float64, n)}, nil
+	if nw.N() < 2 {
+		return &Solution{Throughput: 0, Alpha: make([]float64, nw.N()), Beta: make([]float64, nw.N())}, nil
 	}
+	return cachedSolve(kindAnyput, nw, nil, func() (*Solution, error) {
+		if nw.Homogeneous() {
+			return anyputSymmetric(nw)
+		}
+		return anyputDense(nw)
+	})
+}
+
+// anyputDense solves (P3) through the full (n²+n)-variable per-node LP
+// regardless of symmetry, bypassing both the cache and the reduced
+// routing. Golden tests and benchmarks pin the routed path against it.
+func anyputDense(nw *model.Network) (*Solution, error) {
+	n := nw.N()
 	// Variables: alpha (n), beta (n), chi (n*(n-1)) indexed by chiIdx.
 	nChi := n * (n - 1)
 	nv := 2*n + nChi
@@ -188,11 +222,15 @@ func Anyput(nw *model.Network) (*Solution, error) {
 // (11), allowing spatially overlapping transmissions. When the two agree
 // the exact oracle T*_nc is known.
 func GroupputNonCliqueBounds(nw *model.Network, topo *topology.Topology) (lower, upper *Solution, err error) {
-	lower, err = groupputWithNeighbors(nw, topo, true)
+	lower, err = cachedSolve(kindGroupput, nw, topo, func() (*Solution, error) {
+		return groupputWithNeighbors(nw, topo, true)
+	})
 	if err != nil {
 		return nil, nil, err
 	}
-	upper, err = groupputWithNeighbors(nw, topo, false)
+	upper, err = cachedSolve(kindGroupputUpper, nw, topo, func() (*Solution, error) {
+		return groupputWithNeighbors(nw, topo, false)
+	})
 	if err != nil {
 		return nil, nil, err
 	}

@@ -1,0 +1,84 @@
+package oracle
+
+import (
+	"fmt"
+
+	"econcast/internal/lp"
+	"econcast/internal/model"
+)
+
+// Symmetry-reduced oracle LPs for homogeneous cliques.
+//
+// When every node is identical, the feasible regions of (P2) and (P3) are
+// invariant under node permutations and the objectives are symmetric
+// linear functions, so averaging any feasible point over all n!
+// permutations stays feasible and preserves the objective. An optimal
+// *symmetric* point therefore always exists, and restricting the LP to
+// symmetric points collapses the 2n-variable (P2) to two variables and the
+// (n²+n)-variable (P3) to three — constant-size LPs independent of n. The
+// golden tests pin these against the full per-node formulations to 1e-9,
+// and against the paper's closed forms where those apply.
+
+// groupputSymmetric solves (P2) restricted to symmetric points
+// (alpha_i = a, beta_i = b for all i):
+//
+//	max n*a
+//	s.t. a*L + b*X <= rho       (9)
+//	     a + b <= 1             (10)
+//	     n*b <= 1               (11)
+//	     a - (n-1)*b <= 0       (12)
+func groupputSymmetric(nw *model.Network) (*Solution, error) {
+	n := nw.N()
+	node := nw.Nodes[0]
+	p := lp.NewProblem(lp.Maximize, 2)
+	p.C[0] = float64(n)
+	p.AddLE([]float64{node.ListenPower / node.Budget, node.TransmitPower / node.Budget}, 1)
+	p.AddLE([]float64{1, 1}, 1)
+	p.AddLE([]float64{0, float64(n)}, 1)
+	p.AddLE([]float64{1, -float64(n - 1)}, 0)
+	res, err := lp.Solve(p)
+	if err != nil {
+		return nil, err
+	}
+	if res.Status != lp.Optimal {
+		return nil, fmt.Errorf("oracle: symmetric groupput LP %v", res.Status)
+	}
+	return &Solution{
+		Throughput: res.Objective,
+		Alpha:      repeat(res.X[0], n),
+		Beta:       repeat(res.X[1], n),
+	}, nil
+}
+
+// anyputSymmetric solves (P3) restricted to symmetric points (alpha_i = a,
+// beta_i = b, chi_{i,j} = c for all i != j):
+//
+//	max n*b
+//	s.t. a*L + b*X <= rho       (9)
+//	     a + b <= 1             (10)
+//	     n*b <= 1               (11)
+//	     b - (n-1)*c <= 0       (14)
+//	     a - (n-1)*c  = 0       (15)
+func anyputSymmetric(nw *model.Network) (*Solution, error) {
+	n := nw.N()
+	node := nw.Nodes[0]
+	p := lp.NewProblem(lp.Maximize, 3)
+	p.C[1] = float64(n)
+	p.AddLE([]float64{node.ListenPower / node.Budget, node.TransmitPower / node.Budget, 0}, 1)
+	p.AddLE([]float64{1, 1, 0}, 1)
+	p.AddLE([]float64{0, float64(n), 0}, 1)
+	p.AddLE([]float64{0, 1, -float64(n - 1)}, 0)
+	p.AddEQ([]float64{1, 0, -float64(n - 1)}, 0)
+	res, err := lp.Solve(p)
+	if err != nil {
+		return nil, err
+	}
+	if res.Status != lp.Optimal {
+		return nil, fmt.Errorf("oracle: symmetric anyput LP %v", res.Status)
+	}
+	return &Solution{
+		Throughput: res.Objective,
+		Alpha:      repeat(res.X[0], n),
+		Beta:       repeat(res.X[1], n),
+	}, nil
+}

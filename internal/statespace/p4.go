@@ -150,13 +150,16 @@ func (e *exactEval) eval(eta []float64) evalResult {
 		cons[i] = alpha[i]*node.ListenPower + beta[i]*node.TransmitPower
 		dual += eta[i] * e.rho[i]
 	}
+	thr := d.Throughput()
+	burst := d.AvgBurstLength()
+	d.Release()
 	return evalResult{
 		dual:  dual,
 		cons:  cons,
 		alpha: alpha,
 		beta:  beta,
-		thr:   d.Throughput(),
-		burst: d.AvgBurstLength(),
+		thr:   thr,
+		burst: burst,
 	}
 }
 
@@ -307,40 +310,28 @@ func finishResult(eta []float64, res evalResult, iters int, converged bool, p0 f
 	}
 }
 
-// homogEval aggregates the state space of a homogeneous network into
-// (transmitter-present, listener-count) classes, supporting arbitrary N.
+// homogEval evaluates the Gibbs distribution of a homogeneous network on
+// the symmetry-reduced class space (ReducedSpace), supporting arbitrary N.
 type homogEval struct {
-	n       int
-	node    model.Node // scaled
-	mode    model.Mode
-	sig     float64
-	rho     []float64
-	lgBinom []float64 // lgBinom[c] = log C(n, c)
-	lgBm1   []float64 // log C(n-1, c)
+	node model.Node // scaled
+	mode model.Mode
+	sig  float64
+	rho  []float64
+	rs   *ReducedSpace
 }
 
 func newHomogEval(n int, node model.Node, sigma float64, mode model.Mode) *homogEval {
-	e := &homogEval{
-		n:    n,
+	rs, err := EnumerateReduced(n)
+	if err != nil {
+		panic(err) // n >= 1 is checked by the caller
+	}
+	return &homogEval{
 		node: node,
 		mode: mode,
 		sig:  sigma,
 		rho:  []float64{node.Budget},
+		rs:   rs,
 	}
-	e.lgBinom = logBinomials(n)
-	e.lgBm1 = logBinomials(n - 1)
-	return e
-}
-
-func logBinomials(n int) []float64 {
-	out := make([]float64, n+1)
-	lgN, _ := math.Lgamma(float64(n + 1))
-	for c := 0; c <= n; c++ {
-		lgC, _ := math.Lgamma(float64(c + 1))
-		lgNC, _ := math.Lgamma(float64(n - c + 1))
-		out[c] = lgN - lgC - lgNC
-	}
-	return out
 }
 
 func (e *homogEval) dims() int          { return 1 }
@@ -349,63 +340,18 @@ func (e *homogEval) sigma() float64     { return e.sig }
 
 func (e *homogEval) eval(eta []float64) evalResult {
 	h := eta[0]
-	l, x := e.node.ListenPower, e.node.TransmitPower
-	n := e.n
-	// Class weights: (t=0, c) for c in 0..n, then (t=1, c) for c in 0..n-1.
-	logW := make([]float64, 0, 2*n+1)
-	type class struct {
-		tx        bool
-		listeners int
-		tw        float64
-	}
-	classes := make([]class, 0, 2*n+1)
-	for c := 0; c <= n; c++ {
-		logW = append(logW, e.lgBinom[c]-float64(c)*h*l/e.sig)
-		classes = append(classes, class{false, c, 0})
-	}
-	logN := math.Log(float64(n))
-	for c := 0; c <= n-1; c++ {
-		tw := float64(c)
-		if e.mode == model.Anyput && c >= 1 {
-			tw = 1
-		}
-		logW = append(logW,
-			logN+e.lgBm1[c]+(tw-float64(c)*h*l-h*x)/e.sig)
-		classes = append(classes, class{true, c, tw})
-	}
-	logZ := logSumExp(logW)
-
-	var eListen, pTx, thr, burstNum, burstDen float64
-	for i, cl := range classes {
-		p := math.Exp(logW[i] - logZ)
-		eListen += float64(cl.listeners) * p
-		if cl.tx {
-			pTx += p
-			thr += cl.tw * p
-			if cl.listeners >= 1 {
-				burstNum += p
-				burstDen += p * math.Exp(-float64(cl.listeners)/e.sig)
-			}
-		}
-	}
-	alpha := eListen / float64(n)
-	beta := pTx / float64(n)
-	cons := alpha*l + beta*x
-	burst := math.Inf(1)
-	if e.mode == model.Anyput {
-		burst = AnyputBurstLength(e.sig)
-	} else if burstDen > 0 {
-		burst = burstNum / burstDen
-	}
+	d := e.rs.Gibbs(h, e.node, e.sig, e.mode)
+	alpha, beta := d.Fractions()
+	cons := alpha*e.node.ListenPower + beta*e.node.TransmitPower
 	return evalResult{
 		// The scalar h stands for all n nodes' multipliers, so the dual
 		// term eta . rho is n * h * rho.
-		dual:  e.sig*logZ + float64(e.n)*h*e.node.Budget,
+		dual:  e.sig*d.LogZ() + float64(e.rs.N())*h*e.node.Budget,
 		cons:  []float64{cons},
 		alpha: []float64{alpha},
 		beta:  []float64{beta},
-		thr:   thr,
-		burst: burst,
+		thr:   d.Throughput(),
+		burst: d.AvgBurstLength(),
 	}
 }
 

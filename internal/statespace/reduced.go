@@ -1,0 +1,231 @@
+package statespace
+
+import (
+	"fmt"
+	"math"
+
+	"econcast/internal/model"
+)
+
+// ReducedSpace is the symmetry-reduced state space of a homogeneous clique.
+// In a clique of n identical nodes the Gibbs weight of a state depends only
+// on whether a transmitter is present and on how many nodes listen, so the
+// (n+2)*2^(n-1) collision-free states collapse into 2n+1 exchangeability
+// classes: (no transmitter, c listeners) for c in 0..n and (one
+// transmitter, c listeners) for c in 0..n-1. Class multiplicities are
+// binomial — C(n,c) and n*C(n-1,c) respectively — kept in log form so the
+// representation supports arbitrary n, far past the exact-enumeration
+// limit.
+type ReducedSpace struct {
+	n       int
+	lgBinom []float64 // lgBinom[c] = log C(n, c)
+	lgBm1   []float64 // lgBm1[c]  = log C(n-1, c)
+	scratch *ReducedDist
+}
+
+// EnumerateReduced builds the reduced class space for n identical nodes.
+func EnumerateReduced(n int) (*ReducedSpace, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("statespace: n=%d must be positive", n)
+	}
+	rs := &ReducedSpace{
+		n:       n,
+		lgBinom: logBinomials(n),
+		lgBm1:   logBinomials(n - 1),
+	}
+	rs.scratch = &ReducedDist{
+		space: rs,
+		logW:  make([]float64, rs.Classes()),
+		p:     make([]float64, rs.Classes()),
+	}
+	return rs, nil
+}
+
+func logBinomials(n int) []float64 {
+	out := make([]float64, n+1)
+	lgN, _ := math.Lgamma(float64(n + 1))
+	for c := 0; c <= n; c++ {
+		lgC, _ := math.Lgamma(float64(c + 1))
+		lgNC, _ := math.Lgamma(float64(n - c + 1))
+		out[c] = lgN - lgC - lgNC
+	}
+	return out
+}
+
+// N returns the number of nodes.
+func (rs *ReducedSpace) N() int { return rs.n }
+
+// Classes returns the number of exchangeability classes, 2n+1.
+func (rs *ReducedSpace) Classes() int { return 2*rs.n + 1 }
+
+// ClassState describes class i: whether a transmitter is present and the
+// listener count. Classes 0..n are the transmitter-free listener subsets;
+// classes n+1..2n have one transmitter and c = i-(n+1) listeners.
+func (rs *ReducedSpace) ClassState(i int) (tx bool, listeners int) {
+	if i <= rs.n {
+		return false, i
+	}
+	return true, i - rs.n - 1
+}
+
+// ClassSize returns the exact number of full states collapsed into class i.
+// It overflows for n beyond ~60; the analysis itself only ever uses the log
+// multiplicities, so this is for validation against full enumeration.
+func (rs *ReducedSpace) ClassSize(i int) int64 {
+	tx, c := rs.ClassState(i)
+	if !tx {
+		return binom64(rs.n, c)
+	}
+	return int64(rs.n) * binom64(rs.n-1, c)
+}
+
+// binom64 computes C(n, k) exactly in int64 arithmetic.
+func binom64(n, k int) int64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	if k > n-k {
+		k = n - k
+	}
+	out := int64(1)
+	for i := 1; i <= k; i++ {
+		out = out * int64(n-k+i) / int64(i)
+	}
+	return out
+}
+
+// classThroughput returns T_w for any state of class i under the mode.
+func (rs *ReducedSpace) classThroughput(i int, mode model.Mode) float64 {
+	tx, c := rs.ClassState(i)
+	if !tx || c == 0 {
+		return 0
+	}
+	if mode == model.Anyput {
+		return 1
+	}
+	return float64(c)
+}
+
+// ReducedDist is the Gibbs distribution of eq. (19) aggregated onto the
+// exchangeability classes: p[i] is the total probability mass of class i
+// (class multiplicity included), for a homogeneous node with a shared
+// scalar multiplier eta. The space reuses one ReducedDist across Gibbs
+// calls, so a distribution is only valid until the next Gibbs call on the
+// same space.
+type ReducedDist struct {
+	space *ReducedSpace
+	node  model.Node
+	mode  model.Mode
+	sigma float64
+	logW  []float64 // log of the un-normalized class mass
+	p     []float64 // normalized class mass
+	logZ  float64
+}
+
+// Gibbs computes the class-aggregated stationary distribution for n
+// identical nodes with per-node multiplier eta. The normalizing constant
+// equals the full space's exactly (each class contributes multiplicity
+// times the shared per-state weight), which is what the exact n<=8
+// validation pins.
+func (rs *ReducedSpace) Gibbs(eta float64, node model.Node, sigma float64, mode model.Mode) *ReducedDist {
+	if sigma <= 0 {
+		panic("statespace: sigma must be positive")
+	}
+	d := rs.scratch
+	d.node = node
+	d.mode = mode
+	d.sigma = sigma
+	n := rs.n
+	l, x := node.ListenPower, node.TransmitPower
+	inv := 1 / sigma
+	for c := 0; c <= n; c++ {
+		d.logW[c] = rs.lgBinom[c] - float64(c)*eta*l*inv
+	}
+	logN := math.Log(float64(n))
+	for c := 0; c <= n-1; c++ {
+		tw := rs.classThroughput(n+1+c, mode)
+		d.logW[n+1+c] = logN + rs.lgBm1[c] + (tw-float64(c)*eta*l-eta*x)*inv
+	}
+	d.logZ = logSumExp(d.logW)
+	for i := range d.logW {
+		d.p[i] = math.Exp(d.logW[i] - d.logZ)
+	}
+	return d
+}
+
+// LogZ returns log Z_eta, identical to the full space's normalizer.
+func (d *ReducedDist) LogZ() float64 { return d.logZ }
+
+// ClassProb returns the total probability mass of class i.
+func (d *ReducedDist) ClassProb(i int) float64 { return d.p[i] }
+
+// Throughput returns sum_w pi_w T_w under the distribution's mode.
+func (d *ReducedDist) Throughput() float64 {
+	sum := 0.0
+	for i, p := range d.p {
+		if tw := d.space.classThroughput(i, d.mode); tw > 0 {
+			sum += tw * p
+		}
+	}
+	return sum
+}
+
+// Fractions returns the per-node listen and transmit time fractions, the
+// same for every node by exchangeability: alpha = E[listeners]/n and
+// beta = P[transmitting]/n.
+func (d *ReducedDist) Fractions() (alpha, beta float64) {
+	n := d.space.n
+	var eListen, pTx float64
+	for i, p := range d.p {
+		tx, c := d.space.ClassState(i)
+		eListen += float64(c) * p
+		if tx {
+			pTx += p
+		}
+	}
+	return eListen / float64(n), pTx / float64(n)
+}
+
+// AvgBurstLength returns the analytical average burst length, eq. (34) for
+// groupput and eq. (35) for anyput.
+func (d *ReducedDist) AvgBurstLength() float64 {
+	if d.mode == model.Anyput {
+		return AnyputBurstLength(d.sigma)
+	}
+	num := 0.0
+	den := 0.0
+	for i, p := range d.p {
+		tx, c := d.space.ClassState(i)
+		if !tx || c < 1 {
+			continue
+		}
+		num += p
+		den += p * math.Exp(-float64(c)/d.sigma)
+	}
+	if den == 0 { //lint:allow floateq exact-zero denominator guard before division
+		return math.Inf(1)
+	}
+	return num / den
+}
+
+// Entropy returns the entropy of the *full* underlying distribution,
+// -sum_w pi_w log pi_w, recovered from the class masses: states within a
+// class are equiprobable, so the class contributes p*(log mult - log p)
+// with mult its multiplicity.
+func (d *ReducedDist) Entropy() float64 {
+	h := 0.0
+	for i, p := range d.p {
+		if p <= 0 {
+			continue
+		}
+		var lgMult float64
+		tx, c := d.space.ClassState(i)
+		if !tx {
+			lgMult = d.space.lgBinom[c]
+		} else {
+			lgMult = math.Log(float64(d.space.n)) + d.space.lgBm1[c]
+		}
+		h += p * (lgMult - math.Log(p))
+	}
+	return h
+}

@@ -1,0 +1,150 @@
+package statespace
+
+import (
+	"math"
+	"testing"
+
+	"econcast/internal/model"
+)
+
+// TestReducedClassSizesExact pins the combinatorial core of the symmetry
+// reduction: for every n <= 8 the class multiplicities partition the full
+// collision-free state space exactly, class by class and in total.
+func TestReducedClassSizesExact(t *testing.T) {
+	for n := 1; n <= 8; n++ {
+		rs, err := EnumerateReduced(n)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if got, want := rs.Classes(), 2*n+1; got != want {
+			t.Fatalf("n=%d: Classes()=%d, want %d", n, got, want)
+		}
+		nw := homogNetwork(n)
+		sp, err := Enumerate(nw)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		counts := make([]int64, rs.Classes())
+		for i := 0; i < sp.Len(); i++ {
+			counts[classOf(sp.State(i), n)]++
+		}
+		var total int64
+		for k := 0; k < rs.Classes(); k++ {
+			if got := rs.ClassSize(k); got != counts[k] {
+				tx, c := rs.ClassState(k)
+				t.Errorf("n=%d class (tx=%v,c=%d): ClassSize=%d, enumerated %d",
+					n, tx, c, got, counts[k])
+			}
+			total += rs.ClassSize(k)
+		}
+		if want := int64(model.NumStates(n)); total != want {
+			t.Errorf("n=%d: class sizes sum to %d, want |W|=%d", n, total, want)
+		}
+	}
+}
+
+// TestReducedGibbsMatchesFullEnumeration validates the reduced Gibbs
+// distribution against the full enumeration for n <= 8: the normalizer,
+// class masses, throughput, time fractions, burst length, and entropy must
+// all agree to floating-point accuracy.
+func TestReducedGibbsMatchesFullEnumeration(t *testing.T) {
+	node := model.Node{Budget: 0.4, ListenPower: 0.8, TransmitPower: 1.0}
+	for n := 1; n <= 8; n++ {
+		rs, err := EnumerateReduced(n)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		sp, err := Enumerate(homogNetworkWith(n, node))
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		for _, mode := range []model.Mode{model.Groupput, model.Anyput} {
+			for _, sigma := range []float64{0.25, 1, 3} {
+				for _, eta := range []float64{0, 0.7, 2.5} {
+					full := sp.Gibbs(uniform(eta, n), sigma, mode)
+					red := rs.Gibbs(eta, node, sigma, mode)
+
+					check := func(name string, got, want float64) {
+						tol := 1e-11 * math.Max(1, math.Abs(want))
+						if math.Abs(got-want) > tol {
+							t.Errorf("n=%d mode=%v sigma=%v eta=%v %s: reduced %v, full %v",
+								n, mode, sigma, eta, name, got, want)
+						}
+					}
+					check("logZ", red.LogZ(), full.LogZ())
+					check("throughput", red.Throughput(), full.Throughput())
+					check("burst", red.AvgBurstLength(), full.AvgBurstLength())
+					check("entropy", red.Entropy(), full.Entropy())
+
+					alpha, beta := red.Fractions()
+					fa, fb := full.Fractions()
+					for i := 0; i < n; i++ {
+						check("alpha", alpha, fa[i])
+						check("beta", beta, fb[i])
+					}
+
+					classMass := make([]float64, rs.Classes())
+					for i := 0; i < sp.Len(); i++ {
+						classMass[classOf(sp.State(i), n)] += full.Pi(i)
+					}
+					for k := range classMass {
+						check("classProb", red.ClassProb(k), classMass[k])
+					}
+					full.Release()
+				}
+			}
+		}
+	}
+}
+
+// TestReducedLargeN sanity-checks the representation far beyond the exact
+// limit: class masses normalize and the n->inf anyput ceiling holds.
+func TestReducedLargeN(t *testing.T) {
+	rs, err := EnumerateReduced(500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	node := model.Node{Budget: 0.4, ListenPower: 0.8, TransmitPower: 1.0}
+	d := rs.Gibbs(1.2, node, 0.5, model.Anyput)
+	sum := 0.0
+	for k := 0; k < rs.Classes(); k++ {
+		sum += d.ClassProb(k)
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("class masses sum to %v, want 1", sum)
+	}
+	if thr := d.Throughput(); thr < 0 || thr > 1 {
+		t.Fatalf("anyput throughput %v outside [0,1]", thr)
+	}
+}
+
+func classOf(s model.NetState, n int) int {
+	c := 0
+	for b := s.Listeners; b != 0; b &= b - 1 {
+		c++
+	}
+	if !s.HasTransmitter() {
+		return c
+	}
+	return n + 1 + c
+}
+
+func homogNetwork(n int) *model.Network {
+	return homogNetworkWith(n, model.Node{Budget: 0.5, ListenPower: 0.9, TransmitPower: 1.0})
+}
+
+func homogNetworkWith(n int, node model.Node) *model.Network {
+	nodes := make([]model.Node, n)
+	for i := range nodes {
+		nodes[i] = node
+	}
+	return &model.Network{Nodes: nodes}
+}
+
+func uniform(v float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = v
+	}
+	return out
+}

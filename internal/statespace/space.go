@@ -6,13 +6,22 @@
 // closed-form burstiness analysis of Appendix E (eqs. 34–35).
 //
 // For heterogeneous networks the space is enumerated exactly (practical up
-// to ~16 nodes); for homogeneous networks an aggregated representation over
-// (transmitter-present, listener-count) classes supports arbitrary N.
+// to ~16 nodes); for homogeneous networks the symmetry-reduced class
+// representation (ReducedSpace) supports arbitrary N.
+//
+// Enumerate caches per-state derived quantities — listener popcounts,
+// throughputs for both modes, and the listener occupancy masks — so the
+// Gibbs hot loop is pure table arithmetic: the per-state energy cost is a
+// single lookup into a per-listener-mask prefix table rebuilt once per
+// eta, instead of an O(N) scan over node states. The dual descent calls
+// Gibbs hundreds of times per solve, so Space also pools the Dist buffers
+// (see Dist.Release); the steady-state loop allocates nothing.
 package statespace
 
 import (
 	"fmt"
 	"math"
+	"math/bits"
 
 	"econcast/internal/model"
 )
@@ -23,6 +32,19 @@ type Space struct {
 	nw     *model.Network
 	states []model.NetState
 	index  []int // key -> state index, or -1
+
+	// Derived per-state caches, filled at Enumerate time.
+	pops []uint8      // listener popcount c_w per state
+	tws  [2][]float64 // per-state throughput T_w, indexed by model.Mode
+
+	// Scratch reused across Gibbs/Fractions calls (cold-allocated here so
+	// the hot loop allocates nothing). A Space is not safe for concurrent
+	// use; parallel sweeps enumerate one Space per cell.
+	maskCost []float64 // per listener-mask eta-weighted listen cost
+	maskMass []float64 // per listener-mask probability mass (Fractions)
+	etaL     []float64 // eta_j * L_j
+	etaX     []float64 // eta_j * X_j, shifted by one so index 0 = no transmitter
+	scratch  *Dist     // single-slot Dist pool (see Dist.Release)
 }
 
 // Enumerate builds the exact state space. It returns an error if the
@@ -36,10 +58,16 @@ func Enumerate(nw *model.Network) (*Space, error) {
 		return nil, fmt.Errorf("statespace: N=%d exceeds exact-enumeration limit %d",
 			n, model.MaxNodesExact)
 	}
+	numStates := model.NumStates(n)
 	sp := &Space{
-		nw:     nw,
-		states: make([]model.NetState, 0, model.NumStates(n)),
-		index:  make([]int, (n+1)<<uint(n)),
+		nw:       nw,
+		states:   make([]model.NetState, 0, numStates),
+		index:    make([]int, (n+1)<<uint(n)),
+		pops:     make([]uint8, 0, numStates),
+		maskCost: make([]float64, 1<<uint(n)),
+		maskMass: make([]float64, 1<<uint(n)),
+		etaL:     make([]float64, n),
+		etaX:     make([]float64, n+1),
 	}
 	for i := range sp.index {
 		sp.index[i] = -1
@@ -47,6 +75,7 @@ func Enumerate(nw *model.Network) (*Space, error) {
 	add := func(s model.NetState) {
 		sp.index[sp.key(s)] = len(sp.states)
 		sp.states = append(sp.states, s)
+		sp.pops = append(sp.pops, uint8(bits.OnesCount64(s.Listeners)))
 	}
 	full := uint64(1)<<uint(n) - 1
 	// States without a transmitter: every listener subset.
@@ -62,6 +91,20 @@ func Enumerate(nw *model.Network) (*Space, error) {
 			if sub == 0 {
 				break
 			}
+		}
+	}
+	// Cache T_w for both modes: groupput counts listeners, anyput counts
+	// whether any listener hears the (unique) transmitter.
+	sp.tws[model.Groupput] = make([]float64, len(sp.states))
+	sp.tws[model.Anyput] = make([]float64, len(sp.states))
+	for i, w := range sp.states {
+		if !w.HasTransmitter() {
+			continue
+		}
+		c := float64(sp.pops[i])
+		sp.tws[model.Groupput][i] = c
+		if c > 0 {
+			sp.tws[model.Anyput][i] = 1
 		}
 	}
 	return sp, nil
@@ -81,6 +124,9 @@ func (sp *Space) Network() *model.Network { return sp.nw }
 
 // State returns the i-th state.
 func (sp *Space) State(i int) model.NetState { return sp.states[i] }
+
+// NumListeners returns the cached listener popcount of the i-th state.
+func (sp *Space) NumListeners(i int) int { return int(sp.pops[i]) }
 
 // Index returns the index of state s, or -1 if s is not in W.
 func (sp *Space) Index(s model.NetState) int {
@@ -121,38 +167,68 @@ type Dist struct {
 }
 
 // Gibbs computes the stationary distribution (19) for multipliers eta.
+//
+// The per-state energy cost sum_j eta_j P_j(w) is assembled from two
+// caches: a per-listener-mask prefix table (rebuilt in one O(2^N) pass per
+// call — cheap next to |W| = (N+2) 2^(N-1)) and the per-node transmit
+// costs, so each of the |W| states costs O(1) instead of O(N). Buffers
+// come from the Space's Dist pool; release them with Dist.Release when the
+// distribution is no longer needed (the dual descent does) to keep the
+// steady-state loop allocation-free.
 func (sp *Space) Gibbs(eta []float64, sigma float64, mode model.Mode) *Dist {
-	if len(eta) != sp.nw.N() {
+	n := sp.nw.N()
+	if len(eta) != n {
 		panic("statespace: eta length mismatch")
 	}
 	if sigma <= 0 {
 		panic("statespace: sigma must be positive")
 	}
-	d := &Dist{
-		space: sp,
-		mode:  mode,
-		sigma: sigma,
-		logPi: make([]float64, sp.Len()),
-	}
-	for i, w := range sp.states {
-		cost := 0.0
-		for j := 0; j < sp.nw.N(); j++ {
-			switch w.StateOf(j) {
-			case model.Listen:
-				cost += eta[j] * sp.nw.Nodes[j].ListenPower
-			case model.Transmit:
-				cost += eta[j] * sp.nw.Nodes[j].TransmitPower
-			}
+	d := sp.scratch
+	if d != nil {
+		sp.scratch = nil
+	} else {
+		d = &Dist{
+			logPi: make([]float64, sp.Len()), //lint:allow hotalloc pool miss: one buffer per live Dist, reused via Release in steady state
+			pi:    make([]float64, sp.Len()), //lint:allow hotalloc pool miss: one buffer per live Dist, reused via Release in steady state
 		}
-		d.logPi[i] = (w.Throughput(mode) - cost) / sigma
+	}
+	d.space = sp
+	d.mode = mode
+	d.sigma = sigma
+
+	// Per-node eta-weighted powers; etaX is shifted so Transmitter+1
+	// indexes it directly (0 = no transmitter, zero cost).
+	sp.etaX[0] = 0
+	for j := 0; j < n; j++ {
+		sp.etaL[j] = eta[j] * sp.nw.Nodes[j].ListenPower
+		sp.etaX[j+1] = eta[j] * sp.nw.Nodes[j].TransmitPower
+	}
+	// Listener-mask cost table: one add per mask via the lowest set bit.
+	mc := sp.maskCost
+	mc[0] = 0
+	for mask := uint64(1); mask < uint64(len(mc)); mask++ {
+		lsb := mask & -mask
+		mc[mask] = mc[mask^lsb] + sp.etaL[bits.TrailingZeros64(lsb)]
+	}
+	tw := sp.tws[mode]
+	inv := 1 / sigma
+	for i, w := range sp.states {
+		d.logPi[i] = (tw[i] - mc[w.Listeners] - sp.etaX[w.Transmitter+1]) * inv
 	}
 	d.logZ = logSumExp(d.logPi)
-	d.pi = make([]float64, len(d.logPi))
 	for i := range d.logPi {
 		d.logPi[i] -= d.logZ
 		d.pi[i] = math.Exp(d.logPi[i])
 	}
 	return d
+}
+
+// Release returns the distribution's buffers to its Space for reuse by a
+// later Gibbs call. The Dist must not be used after Release. Callers that
+// keep the Dist (or hold several at once) simply never release; only the
+// hot dual-descent loop needs the pooling.
+func (d *Dist) Release() {
+	d.space.scratch = d
 }
 
 // Pi returns pi_w for state index i.
@@ -165,46 +241,45 @@ func (d *Dist) LogZ() float64 { return d.logZ }
 // Throughput returns the expected state throughput sum_w pi_w T_w under the
 // distribution's own mode.
 func (d *Dist) Throughput() float64 {
+	tw := d.space.tws[d.mode]
 	sum := 0.0
-	for i, w := range d.space.states {
-		if t := w.Throughput(d.mode); t > 0 {
-			sum += t * d.Pi(i)
+	for i, t := range tw {
+		if t > 0 {
+			sum += t * d.pi[i]
 		}
 	}
 	return sum
 }
 
 // Fractions returns alpha (listen) and beta (transmit) time fractions per
-// node, eq. (24).
+// node, eq. (24). The listener side first collapses the |W| states onto
+// their 2^N listener masks (states with different transmitters share a
+// mask), then unpacks each mask's aggregated mass once — roughly (N+2)/2
+// fewer bit scans than walking every state.
 func (d *Dist) Fractions() (alpha, beta []float64) {
 	n := d.space.nw.N()
 	alpha = make([]float64, n)
 	beta = make([]float64, n)
+	mm := d.space.maskMass
+	for i := range mm {
+		mm[i] = 0
+	}
 	for i, w := range d.space.states {
-		p := d.Pi(i)
-		if p == 0 { //lint:allow floateq zero-mass skip is an optimization; tiny mass still accumulates
-			continue
-		}
+		p := d.pi[i]
 		if w.HasTransmitter() {
 			beta[w.Transmitter] += p
 		}
-		mask := w.Listeners
-		for mask != 0 {
-			j := trailingZeros(mask)
-			alpha[j] += p
-			mask &= mask - 1
+		mm[w.Listeners] += p
+	}
+	for mask, p := range mm {
+		if p == 0 { //lint:allow floateq zero-mass skip is an optimization; tiny mass still accumulates
+			continue
+		}
+		for b := uint64(mask); b != 0; b &= b - 1 {
+			alpha[bits.TrailingZeros64(b)] += p
 		}
 	}
 	return alpha, beta
-}
-
-func trailingZeros(x uint64) int {
-	n := 0
-	for x&1 == 0 {
-		x >>= 1
-		n++
-	}
-	return n
 }
 
 // PowerConsumption returns each node's mean power draw alpha_i L_i +
@@ -233,11 +308,11 @@ func (d *Dist) AvgBurstLength() float64 {
 		if !w.HasTransmitter() {
 			continue
 		}
-		c := w.NumListeners()
+		c := int(d.space.pops[i])
 		if c < 1 {
 			continue
 		}
-		p := d.Pi(i)
+		p := d.pi[i]
 		num += p
 		den += p * math.Exp(-float64(c)/d.sigma)
 	}
