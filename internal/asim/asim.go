@@ -18,9 +18,12 @@ package asim
 
 import (
 	"errors"
+	"fmt"
 	"math"
+	"time"
 
 	"econcast/internal/econcast"
+	"econcast/internal/faults"
 	"econcast/internal/model"
 	"econcast/internal/rng"
 )
@@ -43,7 +46,37 @@ type Config struct {
 	// WarmEta and FreezeEta as in sim.Config (units of 1/Watt).
 	WarmEta   []float64
 	FreezeEta bool
+
+	// Faults injects the shared fault processes (see internal/faults).
+	// asim realizes a crash as the death of the node's goroutine — the
+	// panic-isolation path below — so restarting schedules are rejected;
+	// use internal/sim for crash/restart churn.
+	Faults *faults.Config
+
+	// Watchdog bounds how long the broker waits (wall-clock) for any
+	// single node to accept or answer a command before failing the run
+	// with a diagnostic instead of hanging. 0 means the 30s default;
+	// negative disables the watchdog. The timeout only trips on a truly
+	// stuck nodeRuntime (a livelocked or blocked goroutine) — panics are
+	// recovered and reported in virtual time, without waiting.
+	Watchdog time.Duration
+
+	// stall, when set, wedges one node's goroutine at a virtual time —
+	// the test hook that proves the watchdog converts a stuck node into
+	// an error instead of a hang.
+	stall *stallSpec
 }
+
+// stallSpec wedges node `node` forever at the first command with
+// virtual time >= at.
+type stallSpec struct {
+	node int
+	at   float64
+}
+
+// defaultWatchdog is the broker's wall-clock patience per command when
+// Config.Watchdog is zero.
+const defaultWatchdog = 30 * time.Second
 
 // Metrics are the outputs of a goroutine-based run.
 type Metrics struct {
@@ -53,8 +86,19 @@ type Metrics struct {
 	PacketsSent       int
 	PacketsDelivered  int
 	PacketsAnyDeliver int
+	LostReceptions    int       // receptions lost to the fault layer
 	Power             []float64 // per-node mean consumption over the window
 	EtaFinal          []float64 // units of 1/Watt
+
+	// Dead marks nodes whose goroutines died during the run (injected
+	// crash faults or recovered panics). Dead nodes report zero Power and
+	// EtaFinal; throughput covers the survivors. Nil when nobody died.
+	Dead []bool `json:",omitempty"`
+
+	// FaultTrace is the materialized fault schedule (nil without faults);
+	// byte-identical to the other substrates' traces for the same fault
+	// config and seed.
+	FaultTrace []faults.Event `json:",omitempty"`
 }
 
 // broker -> node commands.
@@ -85,6 +129,7 @@ const (
 	replyAction           // transition outcome: the node's new state
 	replyHold             // packet decision: continue (true) or release
 	replyFinal            // final accounting
+	replyDead             // the node goroutine panicked; sent by its recover
 )
 
 type reply struct {
@@ -119,9 +164,20 @@ func Run(cfg Config) (*Metrics, error) {
 	if cfg.WarmEta != nil && len(cfg.WarmEta) != cfg.Network.N() {
 		return nil, errors.New("asim: WarmEta length mismatch")
 	}
-	b := newBroker(cfg)
+	flt, err := faults.Compile(cfg.Faults, cfg.Network.N(), cfg.Duration, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	if flt.HasRestart() {
+		return nil, errors.New("asim: crash/restart schedules are not supported (a crash kills the node's goroutine permanently); use internal/sim for churn with restarts")
+	}
+	b := newBroker(cfg, flt)
 	b.start()
-	return b.loop(), nil
+	m := b.loop()
+	if b.err != nil {
+		return nil, b.err
+	}
+	return m, nil
 }
 
 // nodeRuntime is the goroutine-side state of one node ("firmware").
@@ -134,12 +190,38 @@ type nodeRuntime struct {
 
 	state model.State
 	last  float64 // virtual time of the last energy accrual
+
+	// Fault-layer projection (a value-type faults.NodeView derivative:
+	// node goroutines never share the *faults.Set itself).
+	drift   float64 // sleep-clock scale factor (1 = exact)
+	crashAt float64 // virtual time of this node's crash (+Inf if none)
+	stallAt float64 // test hook: wedge forever at this virtual time
 }
 
 // run is the node goroutine body: a strict request/reply servant of the
-// broker, owning all node-local state.
+// broker, owning all node-local state. Any panic — an injected crash
+// fault or a genuine firmware bug — is isolated here: the recover turns
+// it into a replyDead to the broker, which removes the node from the
+// network and keeps the run going over the survivors.
 func (n *nodeRuntime) run() {
+	defer func() {
+		if r := recover(); r != nil {
+			// The broker is blocked in ask waiting for this node's reply,
+			// so the send completes immediately. (If the broker has already
+			// aborted on a watchdog error it may never receive; the
+			// goroutine then parks here, a bounded leak on a path that
+			// already failed the run.)
+			n.out <- reply{kind: replyDead, node: n.id}
+		}
+	}()
 	for c := range n.cmd {
+		if c.now >= n.stallAt {
+			select {} // wedged: the watchdog test hook
+		}
+		if c.now >= n.crashAt {
+			n.advance(n.crashAt) // the battery accrues up to the crash
+			panic(fmt.Sprintf("asim: node %d crash fault at t=%.6f", n.id, n.crashAt))
+		}
 		switch c.kind {
 		case cmdBid:
 			n.out <- n.bid(c)
@@ -199,7 +281,13 @@ func (n *nodeRuntime) bid(c command) reply {
 			total = r.ListenToSleep + r.ListenToTransmit
 		}
 		if total > 0 {
-			transition = c.now + n.src.Exp(total)
+			dwell := n.src.Exp(total)
+			if n.state == model.Sleep {
+				// Sleep intervals run off the node's low-power clock, which
+				// the drift fault scales (active-mode timing is accurate).
+				dwell *= n.drift
+			}
+			transition = c.now + dwell
 		}
 	}
 	if nextTick < transition {
@@ -240,13 +328,27 @@ type broker struct {
 	states      []model.State
 	bids        []reply
 
+	// Fault machinery. flt is broker-owned (its loss streams advance on
+	// DropRx); dead marks nodes whose goroutines have exited; crashAt is
+	// the broker-side crash schedule, so crashes land at their exact
+	// virtual times; err aborts the run with a diagnostic.
+	flt     *faults.Set
+	dead    []bool
+	crashAt []float64
+	err     error
+
+	// Watchdog: one reusable wall-clock timer arming every channel
+	// operation in ask. wd == nil disables it.
+	wd        *time.Timer
+	wdTimeout time.Duration
+
 	met           Metrics
 	measuring     bool
 	warmupBattery []float64
 	packetTime    float64
 }
 
-func newBroker(cfg Config) *broker {
+func newBroker(cfg Config, flt *faults.Set) *broker {
 	n := cfg.Network.N()
 	// The broker keeps only its own end of each channel: send on cmds,
 	// receive on out. The bidirectional values live just long enough here
@@ -262,8 +364,25 @@ func newBroker(cfg Config) *broker {
 		states:      make([]model.State, n),
 		bids:        make([]reply, n),
 		packetTime:  cfg.PacketTime,
+		flt:         flt,
+		dead:        make([]bool, n),
+		crashAt:     make([]float64, n),
 	}
 	b.packetTime = model.DefaultIfZero(b.packetTime, 1e-3)
+	if cfg.Watchdog >= 0 {
+		b.wdTimeout = cfg.Watchdog
+		if b.wdTimeout == 0 {
+			b.wdTimeout = defaultWatchdog
+		}
+		// The watchdog measures wall-clock liveness of the node
+		// goroutines, never virtual time, so it cannot perturb results:
+		// it either never fires (healthy run, timer reset and drained
+		// around every exchange) or fails the run outright.
+		b.wd = time.NewTimer(b.wdTimeout) //lint:allow wallclock liveness watchdog only; virtual-time results never observe this timer
+		if !b.wd.Stop() {
+			<-b.wd.C
+		}
+	}
 	master := rng.New(cfg.Seed)
 	for i := 0; i < n; i++ {
 		nd := cfg.Network.Nodes[i]
@@ -281,6 +400,12 @@ func newBroker(cfg Config) *broker {
 		if cfg.FreezeEta {
 			pc.Delta = 1e-300
 		}
+		// Brownouts scale the node's harvest inside their windows; the
+		// wrapper closes over the node's value-type view, not the Set.
+		if v := flt.View(i); v.HasBrownout() {
+			budget := nd.Budget
+			pc.Harvest = func(t float64) float64 { return budget * v.HarvestScale(t) }
+		}
 		proto := econcast.NewNode(pc)
 		if cfg.WarmEta != nil {
 			p0 := math.Max(nd.ListenPower, nd.TransmitPower)
@@ -288,12 +413,21 @@ func newBroker(cfg Config) *broker {
 		}
 		ch := make(chan command)
 		b.cmds[i] = ch
+		view := flt.View(i)
+		b.crashAt[i] = view.CrashAt
+		stallAt := math.Inf(1)
+		if cfg.stall != nil && cfg.stall.node == i {
+			stallAt = cfg.stall.at
+		}
 		b.nodes[i] = &nodeRuntime{
-			id:    i,
-			proto: proto,
-			src:   master.Split(),
-			cmd:   ch,
-			out:   out,
+			id:      i,
+			proto:   proto,
+			src:     master.Split(),
+			cmd:     ch,
+			out:     out,
+			drift:   view.DriftFactor,
+			crashAt: view.CrashAt,
+			stallAt: stallAt,
 		}
 	}
 	return b
@@ -305,10 +439,68 @@ func (b *broker) start() {
 	}
 }
 
-// ask sends a command to node i and waits for its reply.
-func (b *broker) ask(i int, c command) reply {
-	b.cmds[i] <- c
-	return <-b.out
+// ask sends a command to node i and waits for its reply. It returns
+// ok=false when no usable reply arrived: the node's goroutine died (a
+// recovered panic, recorded via markDead) or the watchdog expired (the
+// run is failed via b.err). Callers must treat ok=false as "this node is
+// gone" and continue over the survivors or abort on b.err.
+func (b *broker) ask(i int, c command) (reply, bool) {
+	if b.err != nil || b.dead[i] {
+		return reply{}, false
+	}
+	if b.wd == nil {
+		b.cmds[i] <- c
+		return b.vet(<-b.out)
+	}
+	b.wd.Reset(b.wdTimeout)
+	select {
+	case b.cmds[i] <- c:
+	case <-b.wd.C:
+		b.err = fmt.Errorf("asim: watchdog: node %d did not accept command %d at t=%.6f within %v (stuck nodeRuntime)", i, c.kind, b.now, b.wdTimeout)
+		return reply{}, false
+	}
+	b.disarm()
+	b.wd.Reset(b.wdTimeout)
+	var r reply
+	select {
+	case r = <-b.out:
+	case <-b.wd.C:
+		b.err = fmt.Errorf("asim: watchdog: node %d did not answer command %d at t=%.6f within %v (stuck nodeRuntime)", i, c.kind, b.now, b.wdTimeout)
+		return reply{}, false
+	}
+	b.disarm()
+	return b.vet(r)
+}
+
+// disarm stops the watchdog timer and drains a concurrent expiry so the
+// next Reset starts clean.
+func (b *broker) disarm() {
+	if !b.wd.Stop() {
+		select {
+		case <-b.wd.C:
+		default:
+		}
+	}
+}
+
+// vet inspects a reply for the death notice a panicking node's recover
+// sends in place of its normal answer.
+func (b *broker) vet(r reply) (reply, bool) {
+	if r.kind == replyDead {
+		b.markDead(r.node)
+		return r, false
+	}
+	return r, true
+}
+
+// markDead removes a node whose goroutine has exited: it leaves the
+// bidding, is counted asleep (so it drops out of listener sets and the
+// non-capture ping estimate), and receives no further commands.
+func (b *broker) markDead(i int) {
+	b.dead[i] = true
+	b.states[i] = model.Sleep
+	b.bids[i] = reply{kind: replyBid, node: i, at: math.Inf(1)}
+	b.crashAt[i] = math.Inf(1)
 }
 
 func (b *broker) busyFor(i int) bool {
@@ -328,10 +520,16 @@ func (b *broker) otherListeners(i int) int {
 }
 
 func (b *broker) rebid(i int) {
-	b.bids[i] = b.ask(i, command{
+	if b.err != nil || b.dead[i] {
+		return
+	}
+	r, ok := b.ask(i, command{
 		kind: cmdBid, now: b.now, busy: b.busyFor(i),
 		listeners: b.otherListeners(i),
 	})
+	if ok {
+		b.bids[i] = r
+	} // else markDead already parked the bid at +Inf (or b.err is set)
 }
 
 func (b *broker) rebidAll() {
@@ -343,13 +541,15 @@ func (b *broker) rebidAll() {
 // loop is the broker's main scheduling loop.
 func (b *broker) loop() *Metrics {
 	b.rebidAll()
-	for {
-		// Earliest pending event: a node bid or the packet end.
+	for b.err == nil {
+		// Earliest pending event: a node bid, the packet end, or a
+		// scheduled crash (which outranks ties so a node dies before it
+		// acts at the same instant).
 		best := -1
 		bestAt := math.Inf(1)
 		for i := 0; i < b.n; i++ {
-			if b.states[i] == model.Transmit {
-				continue // packet-driven
+			if b.dead[i] || b.states[i] == model.Transmit {
+				continue // gone, or packet-driven
 			}
 			if b.bids[i].at < bestAt {
 				bestAt = b.bids[i].at
@@ -361,7 +561,16 @@ func (b *broker) loop() *Metrics {
 		if usePacket {
 			eventAt = b.pktEnd
 		}
-		if eventAt > b.cfg.Duration || (best < 0 && !usePacket) {
+		crash := -1
+		for i := 0; i < b.n; i++ {
+			if b.crashAt[i] <= eventAt && (crash < 0 || b.crashAt[i] < b.crashAt[crash]) {
+				crash = i
+			}
+		}
+		if crash >= 0 {
+			eventAt = b.crashAt[crash]
+		}
+		if eventAt > b.cfg.Duration || (best < 0 && !usePacket && crash < 0) {
 			break
 		}
 		b.now = eventAt
@@ -369,20 +578,29 @@ func (b *broker) loop() *Metrics {
 			b.measuring = true
 			b.snapshotBatteries()
 		}
+		if crash >= 0 {
+			b.killNode(crash)
+			continue
+		}
 		if usePacket {
 			b.finishPacket()
 			continue
 		}
 		if b.bids[best].isTick {
-			b.ask(best, command{kind: cmdTick, now: b.now})
+			if _, ok := b.ask(best, command{kind: cmdTick, now: b.now}); !ok {
+				continue // node died mid-tick (or watchdog fired)
+			}
 			b.rebid(best)
 			continue
 		}
 		// Grant the transition.
-		r := b.ask(best, command{
+		r, ok := b.ask(best, command{
 			kind: cmdFire, now: b.now, busy: b.busyFor(best),
 			listeners: b.otherListeners(best),
 		})
+		if !ok {
+			continue // node died firing (or watchdog fired)
+		}
 		prev := b.states[best]
 		b.states[best] = r.state
 		switch {
@@ -401,7 +619,42 @@ func (b *broker) loop() *Metrics {
 			}
 		}
 	}
+	if b.err != nil {
+		b.abort()
+		return nil
+	}
 	return b.finish()
+}
+
+// killNode realizes node i's scheduled crash: it pokes the node at
+// exactly its crash time, the node panics, the recover sends replyDead,
+// and ask's vet marks it dead. A crashing transmitter abandons its hold
+// — the in-flight packet dies undelivered and the medium is released.
+func (b *broker) killNode(i int) {
+	wasTx := b.transmitter == i
+	if r, ok := b.ask(i, command{kind: cmdBid, now: b.now}); ok {
+		// The node answered a command timed at its own crash — the
+		// node-side crash check and the broker schedule disagree.
+		b.err = fmt.Errorf("asim: node %d survived its scheduled crash at t=%.6f (reply kind %d)", i, b.now, r.kind)
+		return
+	}
+	if b.err != nil {
+		return // watchdog fired instead of the crash landing
+	}
+	if wasTx {
+		b.transmitter = -1
+		b.rebidAll() // unfreeze the survivors; the packet dies undelivered
+	}
+}
+
+// abort releases the surviving node goroutines after a watchdog
+// failure: closing the command channels makes their range loops return.
+// The stuck node itself cannot be released — that leak is bounded to
+// one goroutine on a path that already failed the run.
+func (b *broker) abort() {
+	for i := 0; i < b.n; i++ {
+		close(b.cmds[i])
+	}
 }
 
 // beginPacket starts a hold: captures the listener set and freezes
@@ -424,19 +677,42 @@ func (b *broker) beginPacket(tx int) {
 
 // finishPacket completes the current packet: account deliveries, ask the
 // transmitter whether it holds the channel, and unfreeze on release.
+// Receptions pass through the fault layer: a listener that died
+// mid-packet receives nothing, a silenced transmitter delivers nothing,
+// and the loss process may drop individual receptions. Fault-free, the
+// loop degenerates to success == len(b.listeners) with zero extra draws.
 func (b *broker) finishPacket() {
 	tx := b.transmitter
-	success := len(b.listeners)
+	silenced := b.flt.Silenced(tx, b.now)
+	success := 0
+	lost := 0
+	for _, j := range b.listeners {
+		if b.states[j] != model.Listen {
+			continue // died mid-packet: no reception
+		}
+		if silenced || b.flt.DropRx(j, b.now) {
+			lost++
+			continue
+		}
+		success++
+	}
 	if b.measuring {
 		b.met.PacketsSent++
 		b.met.Groupput += float64(success) * b.packetTime
 		b.met.PacketsDelivered += success
+		b.met.LostReceptions += lost
 		if success > 0 {
 			b.met.PacketsAnyDeliver++
 			b.met.Anyput += b.packetTime
 		}
 	}
-	r := b.ask(tx, command{kind: cmdPacketDone, now: b.now, count: success})
+	r, ok := b.ask(tx, command{kind: cmdPacketDone, now: b.now, count: success})
+	if !ok {
+		// The transmitter died deciding: release the medium.
+		b.transmitter = -1
+		b.rebidAll()
+		return
+	}
 	if r.cont {
 		// Hold continues: same transmitter, recapture listeners (frozen, so
 		// unchanged in a clique).
@@ -451,8 +727,13 @@ func (b *broker) finishPacket() {
 func (b *broker) snapshotBatteries() {
 	b.warmupBattery = make([]float64, b.n) //lint:allow hotalloc once per run, at the warmup boundary
 	for i := 0; i < b.n; i++ {
-		r := b.ask(i, command{kind: cmdStop, now: b.now, snapshot: true})
-		b.warmupBattery[i] = r.battery
+		if b.dead[i] {
+			continue // dead nodes report zero power; no snapshot needed
+		}
+		r, ok := b.ask(i, command{kind: cmdStop, now: b.now, snapshot: true})
+		if ok {
+			b.warmupBattery[i] = r.battery
+		}
 	}
 	// Snapshot rebids are unnecessary: cmdStop with snapshot does not
 	// change node state, and bids remain valid.
@@ -466,8 +747,15 @@ func (b *broker) finish() *Metrics {
 	b.met.Power = make([]float64, b.n)    //lint:allow hotalloc once per run, after the horizon
 	b.met.EtaFinal = make([]float64, b.n) //lint:allow hotalloc once per run, after the horizon
 	for i := 0; i < b.n; i++ {
-		r := b.ask(i, command{kind: cmdStop, now: b.cfg.Duration})
+		if b.dead[i] {
+			close(b.cmds[i]) // the goroutine has already exited
+			continue         // Power and EtaFinal stay 0 — never NaN
+		}
+		r, ok := b.ask(i, command{kind: cmdStop, now: b.cfg.Duration})
 		close(b.cmds[i])
+		if !ok {
+			continue // died on the final accounting command
+		}
 		nd := b.cfg.Network.Nodes[i]
 		start := 0.0
 		if b.warmupBattery != nil {
@@ -477,5 +765,12 @@ func (b *broker) finish() *Metrics {
 		p0 := math.Max(nd.ListenPower, nd.TransmitPower)
 		b.met.EtaFinal[i] = r.eta / p0
 	}
+	for i := 0; i < b.n; i++ {
+		if b.dead[i] {
+			b.met.Dead = b.dead
+			break
+		}
+	}
+	b.met.FaultTrace = b.flt.Trace()
 	return &b.met
 }

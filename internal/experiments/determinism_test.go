@@ -52,6 +52,31 @@ func TestSweepOutputIdenticalAcrossWorkerCounts(t *testing.T) {
 	}
 }
 
+// TestFaultedSweepsIdenticalAcrossWorkerCounts extends the byte-identity
+// bar to the experiments whose cells carry side processes beyond the
+// protocol's own draws: churn (the liveness predicate) and faults (the
+// compiled fault schedules, including per-receiver loss streams). Fault
+// streams are derived from (seed, process, node) — never from dispatch
+// order — so the worker count must remain unobservable.
+func TestFaultedSweepsIdenticalAcrossWorkerCounts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sim-backed sweep in -short mode")
+	}
+	if raceEnabled {
+		t.Skip("sim-backed sweep under -race (see TestSweepOutputIdenticalAcrossWorkerCounts)")
+	}
+	for _, id := range []string{"churn", "faults"} {
+		base := formatAll(t, id, Options{Quick: true, Seed: 1, Workers: 1})
+		for _, workers := range []int{4, 16} {
+			got := formatAll(t, id, Options{Quick: true, Seed: 1, Workers: workers})
+			if got != base {
+				t.Errorf("%s output differs between workers=1 and workers=%d\n--- workers=1 ---\n%s\n--- workers=%d ---\n%s",
+					id, workers, base, workers, got)
+			}
+		}
+	}
+}
+
 // TestSweepAggregationIdenticalAcrossWorkerCounts covers the other
 // order-sensitivity hazard: discovery feeds per-replicate cells into
 // running-mean accumulators, whose floating-point results depend on feed

@@ -47,7 +47,7 @@ func cell(t *testing.T, tb *Table, row, col int) float64 {
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"table2", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
 		"table3", "table4", "text-homog", "ablations", "discovery", "topologies",
-		"convergence", "harvesting", "churn"}
+		"convergence", "harvesting", "churn", "faults"}
 	for _, id := range want {
 		if _, ok := Lookup(id); !ok {
 			t.Errorf("missing experiment %q", id)
@@ -377,6 +377,42 @@ func TestChurnExperiment(t *testing.T) {
 	}
 	if after <= absent {
 		t.Errorf("after epoch %v did not recover above absent %v", after, absent)
+	}
+}
+
+func TestFaultsExperiment(t *testing.T) {
+	tables := runOne(t, "faults")
+	if len(tables) != 2 {
+		t.Fatalf("%d tables, want 2", len(tables))
+	}
+	sweepTb, killTb := tables[0], tables[1]
+	clean := cell(t, sweepTb, 0, 1)
+	if clean <= 0 {
+		t.Fatalf("clean groupput %v", clean)
+	}
+	for r := 1; r < len(sweepTb.Rows); r++ {
+		g := cell(t, sweepTb, r, 1)
+		if g <= 0 {
+			t.Errorf("scenario %q delivered nothing", sweepTb.Rows[r][0])
+		}
+		if ratio := cell(t, sweepTb, r, 2); ratio > 1.15 {
+			t.Errorf("scenario %q beat the clean run by %vx", sweepTb.Rows[r][0], ratio)
+		}
+	}
+	// Loss p=0.3 must degrade below p=0.1.
+	if p1, p3 := cell(t, sweepTb, 1, 1), cell(t, sweepTb, 2, 1); p3 >= p1 {
+		t.Errorf("30%% loss groupput %v not below 10%% loss %v", p3, p1)
+	}
+	if len(killTb.Rows) != 2 {
+		t.Fatalf("%d kill-half epochs", len(killTb.Rows))
+	}
+	before := cell(t, killTb, 0, 3)
+	after := cell(t, killTb, 1, 3)
+	if before <= 0 || after <= 0 {
+		t.Fatalf("kill-half epochs before=%v after=%v", before, after)
+	}
+	if after >= before {
+		t.Errorf("4 survivors (%v) should deliver less than the full clique (%v)", after, before)
 	}
 }
 

@@ -1,0 +1,99 @@
+// Cross-substrate acceptance: the same fault config and seed must
+// produce byte-identical fault traces on every execution substrate.
+// This file lives in package faults_test because it imports the three
+// substrates, which themselves import faults.
+package faults_test
+
+import (
+	"encoding/json"
+	"testing"
+
+	"econcast/internal/asim"
+	"econcast/internal/econcast"
+	"econcast/internal/faults"
+	"econcast/internal/model"
+	"econcast/internal/sim"
+	"econcast/internal/testbed"
+)
+
+// TestFaultKillHalfCrossSubstrate is the tentpole acceptance scenario:
+// kill half an 8-node clique on sim, asim, and testbed. All three runs
+// must complete with surviving throughput, and their materialized fault
+// traces must be byte-identical — the substrates realize one shared
+// schedule, they do not roll their own.
+func TestFaultKillHalfCrossSubstrate(t *testing.T) {
+	const (
+		n        = 8
+		duration = 600.0
+		warmup   = 300.0
+		killAt   = 200.0
+		seed     = 42
+	)
+	fcfg := &faults.Config{
+		Crash:    &faults.Crash{Kill: []int{0, 1, 2, 3}, KillAt: killAt},
+		Brownout: &faults.Brownout{MeanEvery: 100, MeanFor: 30},
+		Silence:  &faults.Silence{MeanEvery: 200, MeanFor: 5},
+		Loss:     &faults.Loss{P: 0.05},
+		Drift:    &faults.Drift{Max: 0.02},
+	}
+	nw := model.Homogeneous(n, 10*model.MicroWatt, 500*model.MicroWatt, 500*model.MicroWatt)
+	proto := sim.Protocol{Mode: model.Groupput, Variant: econcast.Capture, Sigma: 0.5, Delta: 0.2}
+
+	traces := map[string][]faults.Event{}
+
+	simM, err := sim.Run(sim.Config{
+		Network: nw, Protocol: proto,
+		Duration: duration, Warmup: warmup, Seed: seed, Faults: fcfg,
+	})
+	if err != nil {
+		t.Fatalf("sim: %v", err)
+	}
+	if simM.Groupput <= 0 {
+		t.Error("sim: survivors delivered nothing")
+	}
+	traces["sim"] = simM.FaultTrace
+
+	asimM, err := asim.Run(asim.Config{
+		Network: nw,
+		Mode:    model.Groupput, Variant: econcast.Capture, Sigma: 0.5, Delta: 0.2,
+		Duration: duration, Warmup: warmup, Seed: seed, Faults: fcfg,
+	})
+	if err != nil {
+		t.Fatalf("asim: %v", err)
+	}
+	if asimM.Groupput <= 0 {
+		t.Error("asim: survivors delivered nothing")
+	}
+	for i := 0; i < n; i++ {
+		if asimM.Dead[i] != (i < 4) {
+			t.Errorf("asim: Dead[%d] = %v, want %v", i, asimM.Dead[i], i < 4)
+		}
+	}
+	traces["asim"] = asimM.FaultTrace
+
+	tbM, err := testbed.Run(testbed.Config{
+		N: n, Sigma: 0.5,
+		Duration: duration, Warmup: warmup, Seed: seed, Faults: fcfg,
+	})
+	if err != nil {
+		t.Fatalf("testbed: %v", err)
+	}
+	traces["testbed"] = tbM.FaultTrace
+
+	ref, err := json.Marshal(traces["sim"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traces["sim"]) == 0 {
+		t.Fatal("sim trace is empty")
+	}
+	for _, name := range []string{"asim", "testbed"} {
+		got, err := json.Marshal(traces[name])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != string(ref) {
+			t.Errorf("%s fault trace differs from sim's:\nsim:     %s\n%s: %s", name, ref, name, got)
+		}
+	}
+}

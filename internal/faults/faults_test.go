@@ -1,0 +1,342 @@
+package faults
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+func killHalfCfg() *Config {
+	return &Config{
+		Crash:    &Crash{Kill: []int{0, 1, 2, 3}, KillAt: 40},
+		Loss:     &Loss{P: 0.1, MeanGood: 30, MeanBad: 5, PBad: 0.9},
+		Drift:    &Drift{Max: 0.01},
+		Brownout: &Brownout{MeanEvery: 50, MeanFor: 10},
+		Silence:  &Silence{MeanEvery: 80, MeanFor: 8},
+	}
+}
+
+func mustCompile(t *testing.T, cfg *Config, n int, horizon float64, seed uint64) *Set {
+	t.Helper()
+	s, err := Compile(cfg, n, horizon, seed)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	return s
+}
+
+// TestFaultTraceDeterminism pins the core reproducibility contract:
+// compiling the same (Config, n, horizon, seed) twice yields
+// byte-identical fault traces, and a different seed yields a different
+// one.
+func TestFaultTraceDeterminism(t *testing.T) {
+	a := mustCompile(t, killHalfCfg(), 8, 120, 42)
+	b := mustCompile(t, killHalfCfg(), 8, 120, 42)
+	ja, err := json.Marshal(a.Trace())
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	jb, _ := json.Marshal(b.Trace())
+	if string(ja) != string(jb) {
+		t.Fatalf("same seed produced different traces:\n%s\n%s", ja, jb)
+	}
+	c := mustCompile(t, killHalfCfg(), 8, 120, 43)
+	jc, _ := json.Marshal(c.Trace())
+	if string(ja) == string(jc) {
+		t.Fatal("different seeds produced identical traces")
+	}
+	if len(a.Trace()) == 0 {
+		t.Fatal("kill-half config produced an empty trace")
+	}
+}
+
+// TestFaultKillWindows checks the deterministic kill list: listed nodes
+// are alive before KillAt, dead from KillAt to the horizon, and the
+// others are untouched.
+func TestFaultKillWindows(t *testing.T) {
+	cfg := &Config{Crash: &Crash{Kill: []int{1, 3}, KillAt: 25}}
+	s := mustCompile(t, cfg, 5, 100, 7)
+	for _, i := range []int{1, 3} {
+		if !s.Alive(i, 24.999) {
+			t.Errorf("node %d dead before KillAt", i)
+		}
+		if s.Alive(i, 25) || s.Alive(i, 99.9) {
+			t.Errorf("node %d alive after KillAt", i)
+		}
+		if got := s.FirstCrash(i); got != 25 {
+			t.Errorf("FirstCrash(%d) = %v, want 25", i, got)
+		}
+	}
+	for _, i := range []int{0, 2, 4} {
+		if !s.Alive(i, 50) {
+			t.Errorf("unkilled node %d reported dead", i)
+		}
+		if !math.IsInf(s.FirstCrash(i), 1) {
+			t.Errorf("FirstCrash(%d) finite for unkilled node", i)
+		}
+	}
+	if s.HasRestart() {
+		t.Error("pure kill schedule reported a restart")
+	}
+}
+
+// TestFaultChurnRestarts checks that stochastic churn produces
+// alternating windows and HasRestart detects them, while MeanDown == 0
+// makes the first crash permanent.
+func TestFaultChurnRestarts(t *testing.T) {
+	s := mustCompile(t, &Config{Crash: &Crash{MeanUp: 10, MeanDown: 5}}, 4, 500, 11)
+	if !s.HasRestart() {
+		t.Fatal("churn with MeanDown > 0 produced no restart over a long horizon")
+	}
+	perm := mustCompile(t, &Config{Crash: &Crash{MeanUp: 10}}, 4, 500, 11)
+	if perm.HasRestart() {
+		t.Fatal("MeanDown == 0 schedule reported a restart")
+	}
+	for i := 0; i < 4; i++ {
+		at := perm.FirstCrash(i)
+		if math.IsInf(at, 1) {
+			continue
+		}
+		if perm.Alive(i, at+1) || perm.Alive(i, 499.9) {
+			t.Errorf("node %d came back from a permanent crash", i)
+		}
+	}
+}
+
+// TestFaultCoalesce checks that an overlap between a kill window and a
+// churn outage merges into one well-formed window.
+func TestFaultCoalesce(t *testing.T) {
+	w := coalesce([]float64{10, 20, 15, 30, 40, 50})
+	want := []float64{10, 30, 40, 50}
+	if len(w) != len(want) {
+		t.Fatalf("coalesce = %v, want %v", w, want)
+	}
+	for i := range w {
+		if w[i] != want[i] {
+			t.Fatalf("coalesce = %v, want %v", w, want)
+		}
+	}
+	// Alternating invariant survives: inside/outside queries agree.
+	if !inWindows(w, 25) || inWindows(w, 35) || !inWindows(w, 45) {
+		t.Fatal("merged windows answer queries incorrectly")
+	}
+}
+
+// TestFaultWindowBoundaries pins the half-open [start, end) semantics
+// of every window query.
+func TestFaultWindowBoundaries(t *testing.T) {
+	b := []float64{10, 20, 30, 40}
+	cases := []struct {
+		t    float64
+		want bool
+	}{
+		{9.999, false}, {10, true}, {19.999, true}, {20, false},
+		{25, false}, {30, true}, {40, false}, {100, false}, {0, false},
+	}
+	for _, c := range cases {
+		if got := inWindows(b, c.t); got != c.want {
+			t.Errorf("inWindows(%v) = %v, want %v", c.t, got, c.want)
+		}
+	}
+	if inWindows(nil, 5) {
+		t.Error("empty window list reported inside")
+	}
+}
+
+// TestFaultNilSet checks every query on a nil *Set returns the benign
+// fault-free default, and that an empty config compiles to nil.
+func TestFaultNilSet(t *testing.T) {
+	var s *Set
+	if got, err := Compile(nil, 8, 100, 1); got != nil || err != nil {
+		t.Fatalf("Compile(nil) = %v, %v", got, err)
+	}
+	if got, err := Compile(&Config{}, 8, 100, 1); got != nil || err != nil {
+		t.Fatalf("Compile(empty) = %v, %v", got, err)
+	}
+	if !s.Alive(3, 10) || s.Silenced(3, 10) || s.DropRx(3, 10) {
+		t.Error("nil Set injected a fault")
+	}
+	if s.HarvestScale(3, 10) != 1 || s.Drift(3) != 1 {
+		t.Error("nil Set scaled harvest or clock")
+	}
+	if s.Trace() != nil || s.HasRestart() || s.N() != 0 {
+		t.Error("nil Set reported schedule content")
+	}
+	if !math.IsInf(s.FirstCrash(0), 1) {
+		t.Error("nil Set reported a crash")
+	}
+	v := s.View(5)
+	if v.DriftFactor != 1 || !math.IsInf(v.CrashAt, 1) || v.HarvestScale(10) != 1 {
+		t.Errorf("nil Set View = %+v, want zero-fault view", v)
+	}
+	s.Boundaries(0, func(float64) { t.Error("nil Set emitted a boundary") })
+}
+
+// TestFaultDriftRange checks drift factors stay inside [1-Max, 1+Max]
+// and are non-degenerate across nodes.
+func TestFaultDriftRange(t *testing.T) {
+	s := mustCompile(t, &Config{Drift: &Drift{Max: 0.02}}, 16, 100, 3)
+	distinct := false
+	for i := 0; i < 16; i++ {
+		d := s.Drift(i)
+		if d < 0.98 || d > 1.02 {
+			t.Errorf("drift[%d] = %v outside [0.98, 1.02]", i, d)
+		}
+		if d != s.Drift(0) {
+			distinct = true
+		}
+	}
+	if !distinct {
+		t.Error("all 16 drift factors identical")
+	}
+}
+
+// TestFaultLossStreams checks i.i.d. loss frequency and that DropRx
+// draw sequences are reproducible across compiles.
+func TestFaultLossStreams(t *testing.T) {
+	a := mustCompile(t, &Config{Loss: &Loss{P: 0.3}}, 2, 100, 9)
+	b := mustCompile(t, &Config{Loss: &Loss{P: 0.3}}, 2, 100, 9)
+	drops := 0
+	const draws = 10000
+	for k := 0; k < draws; k++ {
+		da := a.DropRx(1, float64(k))
+		if db := b.DropRx(1, float64(k)); da != db {
+			t.Fatalf("draw %d diverged between identical compiles", k)
+		}
+		if da {
+			drops++
+		}
+	}
+	got := float64(drops) / draws
+	if got < 0.27 || got > 0.33 {
+		t.Errorf("iid loss rate %v, want ~0.3", got)
+	}
+}
+
+// TestFaultBurstLoss checks the Gilbert–Elliott overlay: inside a bad
+// window losses occur at PBad, outside at P.
+func TestFaultBurstLoss(t *testing.T) {
+	s := mustCompile(t, &Config{Loss: &Loss{P: 0, MeanGood: 50, MeanBad: 10, PBad: 1}}, 1, 1000, 21)
+	if len(s.badLoss[0]) == 0 {
+		t.Fatal("no bad-state windows over a 1000s horizon")
+	}
+	bad := s.badLoss[0][0]
+	if !s.DropRx(0, bad) {
+		t.Error("PBad=1 draw inside a bad window did not drop")
+	}
+	if len(s.badLoss[0]) >= 2 {
+		goodT := s.badLoss[0][1] + 1e-9
+		if inWindows(s.badLoss[0], goodT) {
+			t.Skip("next bad window adjacent; cannot probe good state")
+		}
+		if s.DropRx(0, goodT) {
+			t.Error("P=0 draw in the good state dropped")
+		}
+	}
+}
+
+// TestFaultBrownoutScale checks harvest scaling inside and outside
+// brownout windows, on both the Set and its NodeView projection.
+func TestFaultBrownoutScale(t *testing.T) {
+	s := mustCompile(t, &Config{Brownout: &Brownout{MeanEvery: 20, MeanFor: 10, Scale: 0.25}}, 1, 500, 5)
+	if len(s.brown[0]) == 0 {
+		t.Fatal("no brownout windows over a 500s horizon")
+	}
+	inT := s.brown[0][0]
+	v := s.View(0)
+	if got := s.HarvestScale(0, inT); got != 0.25 {
+		t.Errorf("HarvestScale in window = %v, want 0.25", got)
+	}
+	if got := v.HarvestScale(inT); got != 0.25 {
+		t.Errorf("NodeView.HarvestScale in window = %v, want 0.25", got)
+	}
+	outT := s.brown[0][0] / 2
+	if got := s.HarvestScale(0, outT); got != 1 {
+		t.Errorf("HarvestScale outside window = %v, want 1", got)
+	}
+}
+
+// TestFaultBoundaries checks Boundaries emits exactly the window edges
+// the engines must realize as events, in per-process order, excluding
+// the horizon.
+func TestFaultBoundaries(t *testing.T) {
+	cfg := &Config{Crash: &Crash{Kill: []int{0}, KillAt: 30}}
+	s := mustCompile(t, cfg, 2, 100, 1)
+	var got []float64
+	s.Boundaries(0, func(at float64) { got = append(got, at) })
+	if len(got) != 1 || got[0] != 30 {
+		t.Fatalf("Boundaries(0) = %v, want [30] (horizon edge excluded)", got)
+	}
+	got = got[:0]
+	s.Boundaries(1, func(at float64) { got = append(got, at) })
+	if len(got) != 0 {
+		t.Fatalf("Boundaries(1) = %v, want none", got)
+	}
+}
+
+// TestFaultValidation checks Compile rejects malformed process
+// parameters instead of silently producing garbage schedules.
+func TestFaultValidation(t *testing.T) {
+	bad := []*Config{
+		{Crash: &Crash{Kill: []int{5}, KillAt: 1}},                 // index out of range
+		{Crash: &Crash{Kill: []int{0}, KillAt: -1}},                // negative kill time
+		{Crash: &Crash{MeanDown: 3}},                               // down without up
+		{Loss: &Loss{P: 1.5}},                                      // probability out of range
+		{Loss: &Loss{P: 0.1, MeanGood: 10}},                        // burst missing MeanBad
+		{Drift: &Drift{Max: 1.5}},                                  // drift out of range
+		{Brownout: &Brownout{MeanEvery: 10}},                       // missing MeanFor
+		{Brownout: &Brownout{MeanEvery: 10, MeanFor: 1, Scale: 1}}, // scale not < 1
+		{Silence: &Silence{MeanFor: 5}},                            // missing MeanEvery
+	}
+	for i, cfg := range bad {
+		if _, err := Compile(cfg, 3, 100, 1); err == nil {
+			t.Errorf("case %d: Compile accepted invalid config %+v", i, cfg)
+		}
+	}
+	if _, err := Compile(killHalfCfg(), 0, 100, 1); err == nil {
+		t.Error("Compile accepted n = 0")
+	}
+	if _, err := Compile(killHalfCfg(), 8, 0, 1); err == nil {
+		t.Error("Compile accepted horizon = 0")
+	}
+}
+
+// TestFaultQueryAllocs pins the 0 allocs/op contract on every query the
+// simulator event loops call.
+func TestFaultQueryAllocs(t *testing.T) {
+	s := mustCompile(t, killHalfCfg(), 8, 120, 42)
+	v := s.View(2)
+	var sink bool
+	var fsink float64
+	allocs := testing.AllocsPerRun(1000, func() {
+		sink = s.Alive(2, 35) != s.Silenced(2, 35)
+		sink = sink != s.DropRx(2, 35)
+		fsink = s.HarvestScale(2, 35) + s.Drift(2) + v.HarvestScale(35)
+	})
+	_ = sink
+	_ = fsink
+	if allocs != 0 {
+		t.Errorf("fault queries allocate %v allocs/op, want 0", allocs)
+	}
+}
+
+// TestFaultViewMatchesSet checks the NodeView projection agrees with
+// the Set it came from on every shared query.
+func TestFaultViewMatchesSet(t *testing.T) {
+	s := mustCompile(t, killHalfCfg(), 8, 120, 42)
+	for i := 0; i < 8; i++ {
+		v := s.View(i)
+		if v.DriftFactor != s.Drift(i) {
+			t.Errorf("node %d: view drift %v != set drift %v", i, v.DriftFactor, s.Drift(i))
+		}
+		if v.CrashAt != s.FirstCrash(i) && !(math.IsInf(v.CrashAt, 1) && math.IsInf(s.FirstCrash(i), 1)) {
+			t.Errorf("node %d: view crash %v != set crash %v", i, v.CrashAt, s.FirstCrash(i))
+		}
+		for _, at := range []float64{0, 30, 60, 90, 119} {
+			if v.HarvestScale(at) != s.HarvestScale(i, at) {
+				t.Errorf("node %d t=%v: view harvest %v != set harvest %v",
+					i, at, v.HarvestScale(at), s.HarvestScale(i, at))
+			}
+		}
+	}
+}

@@ -18,6 +18,14 @@ import (
 var chanDirPkgs = map[string][]hotEntry{
 	"econcast/internal/asim": {
 		{recv: "broker", method: "loop"},
+		// ask is the loop's blocking request/reply primitive; its selects
+		// pair every channel op with the liveness watchdog timer, which is
+		// not a scheduling race: exactly one node channel is armed at a
+		// time, so the reply order is still the loop's deterministic order.
+		{recv: "broker", method: "ask"},
+		// disarm's select is the standard non-blocking drain of a stopped
+		// timer's channel; no node channel is involved.
+		{recv: "broker", method: "disarm"},
 		{recv: "nodeRuntime", method: "run"},
 	},
 	// testbed is single-goroutine today, but it is licensed for

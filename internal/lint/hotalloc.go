@@ -35,6 +35,15 @@ var hotEntries = map[string][]hotEntry{
 	"econcast/internal/statespace": {
 		{recv: "Space", method: "Gibbs"},
 	},
+	// The fault-schedule queries run once per simulator event when fault
+	// injection is on; they must not spoil the engines' 0 allocs/op.
+	"econcast/internal/faults": {
+		{recv: "Set", method: "Alive"},
+		{recv: "Set", method: "Silenced"},
+		{recv: "Set", method: "HarvestScale"},
+		{recv: "Set", method: "DropRx"},
+		{recv: "Set", method: "Drift"},
+	},
 }
 
 // HotAlloc flags allocation sites — make, append, and map literals —

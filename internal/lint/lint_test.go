@@ -102,6 +102,8 @@ func TestFixtures(t *testing.T) {
 		{"hotalloc/lp-outside-hot-pkg", filepath.Join("hotalloc", "lp"), "econcast/internal/viz", HotAlloc, true},
 		{"hotalloc/statespace-gibbs-tree", filepath.Join("hotalloc", "statespace"), "econcast/internal/statespace", HotAlloc, false},
 		{"hotalloc/statespace-outside-hot-pkg", filepath.Join("hotalloc", "statespace"), "econcast/internal/viz", HotAlloc, true},
+		{"hotalloc/faults-query-tree", filepath.Join("hotalloc", "faults"), "econcast/internal/faults", HotAlloc, false},
+		{"hotalloc/faults-outside-hot-pkg", filepath.Join("hotalloc", "faults"), "econcast/internal/viz", HotAlloc, true},
 		{"chandir", "chandir", "econcast/internal/asim", ChanDir, false},
 		{"chandir/outside-channel-pkg", "chandir", "econcast/internal/viz", ChanDir, true},
 		{"seedflow", "seedflow", "econcast/internal/experiments", SeedFlow, false},

@@ -19,6 +19,10 @@ var criticalTypes = map[string]map[string]bool{
 	"econcast/internal/rng":      {"Source": true},
 	"econcast/internal/stats":    {"Accumulator": true, "Counter": true},
 	"econcast/internal/econcast": {"Node": true},
+	// A compiled fault Set carries per-receiver loss streams that advance
+	// on DropRx: it is single-owner engine state. Goroutines get a
+	// faults.NodeView (a value) instead.
+	"econcast/internal/faults": {"Set": true},
 }
 
 // isCriticalPtr reports whether t is a pointer to a determinism-critical

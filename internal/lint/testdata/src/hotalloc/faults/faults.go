@@ -1,0 +1,65 @@
+// Package fixture exercises the hotalloc roots added for the fault
+// layer: loaded as econcast/internal/faults, everything statically
+// reachable from the Set query methods (Alive, Silenced, HarvestScale,
+// DropRx, Drift) runs once per simulator event when fault injection is
+// on and may not allocate; Compile-time schedule materialization is
+// cold.
+package fixture
+
+type Set struct {
+	down   [][]float64
+	silent [][]float64
+	brown  [][]float64
+	drift  []float64
+	scale  float64
+	hits   []int
+}
+
+// Alive is a hot query entry point.
+func (s *Set) Alive(i int, t float64) bool {
+	w := append([]float64(nil), s.down[i]...) // want hotalloc
+	return !inside(w, t)
+}
+
+// Silenced is hot and clean.
+func (s *Set) Silenced(i int, t float64) bool {
+	return inside(s.silent[i], t)
+}
+
+// HarvestScale is hot transitively through inside.
+func (s *Set) HarvestScale(i int, t float64) float64 {
+	if inside(s.brown[i], t) {
+		return s.scale
+	}
+	return 1
+}
+
+// DropRx shows the audited escape hatch for an amortized buffer.
+func (s *Set) DropRx(rx int, t float64) bool {
+	s.hits = append(s.hits, rx) //lint:allow hotalloc amortized trace buffer, reused across runs
+	return false
+}
+
+// Drift is hot and clean.
+func (s *Set) Drift(i int) float64 { return s.drift[i] }
+
+// inside is hot transitively through every window query.
+func inside(w []float64, t float64) bool {
+	seen := map[float64]bool{} // want hotalloc
+	_ = seen
+	for k := 0; k+1 < len(w); k += 2 {
+		if t >= w[k] && t < w[k+1] {
+			return true
+		}
+	}
+	return false
+}
+
+// Compile is cold: not reachable from the queries, so materializing the
+// schedules may allocate freely.
+func Compile(n int) *Set {
+	return &Set{
+		down:  make([][]float64, n),
+		drift: make([]float64, n),
+	}
+}

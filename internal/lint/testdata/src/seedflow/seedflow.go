@@ -7,7 +7,10 @@
 // econcast/internal/rng.
 package fixture
 
-import "econcast/internal/rng"
+import (
+	"econcast/internal/faults"
+	"econcast/internal/rng"
+)
 
 type cellCfg struct {
 	Sigma float64
@@ -47,6 +50,12 @@ func shifted(base uint64, i int) uint64 {
 
 func useShifted(base uint64) *rng.Source {
 	return rng.New(shifted(base, 3))
+}
+
+// faultSeed feeds arithmetic into the fault compiler's seed parameter:
+// distinct runs could collide on one fault schedule.
+func faultSeed(base uint64, i int) {
+	_, _ = faults.Compile(nil, 4, 100, base+uint64(i)) // want seedflow
 }
 
 // runNode stands in for a goroutine/cell entry point taking a seed.

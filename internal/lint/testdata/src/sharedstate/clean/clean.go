@@ -6,6 +6,7 @@
 package clean
 
 import (
+	"econcast/internal/faults"
 	"econcast/internal/rng"
 	"econcast/internal/stats"
 )
@@ -41,4 +42,14 @@ func perIteration(n int, seed uint64) {
 func handoff(seed uint64) {
 	src := rng.New(seed)
 	go func() { _ = src.Uint64() }()
+}
+
+// viewHandoff projects a fault schedule into per-node values: each
+// goroutine receives its own NodeView copy while the mutable Set stays
+// with the launcher.
+func viewHandoff(flt *faults.Set) {
+	for i := 0; i < 4; i++ {
+		v := flt.View(i)
+		go func() { _ = v.HarvestScale(0) }()
+	}
 }

@@ -7,6 +7,7 @@
 package fixture
 
 import (
+	"econcast/internal/faults"
 	"econcast/internal/rng"
 	"econcast/internal/stats"
 )
@@ -60,3 +61,12 @@ func passAndUse(seed uint64) uint64 {
 }
 
 func consume(src *rng.Source) { _ = src.Uint64() }
+
+// shareFaultSchedule hands one compiled fault schedule to two node
+// goroutines: its per-receiver loss streams advance on DropRx, so the
+// draw order would become scheduling-dependent. Goroutines take a
+// faults.NodeView value instead (see ./clean).
+func shareFaultSchedule(flt *faults.Set) {
+	go func() { flt.DropRx(0, 0) }()    // want sharedstate
+	go func() { _ = flt.Alive(0, 0) }() // want sharedstate
+}

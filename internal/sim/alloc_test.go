@@ -31,7 +31,7 @@ func steadyEngine(tb testing.TB) *engine {
 	if err := cfg.validate(); err != nil {
 		tb.Fatal(err)
 	}
-	e := newEngine(cfg)
+	e := newEngine(cfg, nil)
 	e.start()
 	for i := 0; i < 200_000; i++ {
 		if !e.step() {
@@ -87,7 +87,7 @@ func BenchmarkEventLoopNonClique(b *testing.B) {
 	if err := cfg.validate(); err != nil {
 		b.Fatal(err)
 	}
-	e := newEngine(cfg)
+	e := newEngine(cfg, nil)
 	e.start()
 	for i := 0; i < 200_000; i++ {
 		if !e.step() {

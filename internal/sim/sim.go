@@ -18,6 +18,7 @@ import (
 	"math"
 
 	"econcast/internal/econcast"
+	"econcast/internal/faults"
 	"econcast/internal/model"
 	"econcast/internal/rng"
 	"econcast/internal/stats"
@@ -101,6 +102,14 @@ type Config struct {
 	// a mobile tag out of range). Activity is sampled at multiplier ticks,
 	// so transitions take effect within one tau.
 	Churn func(node int, t float64) bool
+
+	// Faults, when non-nil, injects the shared fault processes
+	// (crash/restart, packet loss, clock drift, brownout, stuck radio)
+	// compiled deterministically from Seed over [0, Duration]. Fault
+	// schedule boundaries are realized as events through the ordinary
+	// event loop — unlike Churn's tick sampling, crashes land at their
+	// exact scheduled times. See the faults package for the catalog.
+	Faults *faults.Config
 }
 
 func (c *Config) validate() error {
@@ -142,6 +151,7 @@ type Metrics struct {
 	PacketsDelivered   int // successful per-receiver packet deliveries
 	PacketsAnyDeliver  int // packets delivered to at least one receiver
 	CollidedReceptions int // receptions lost to overlapping transmissions
+	LostReceptions     int // receptions lost to the fault layer (loss/silence)
 
 	BurstLengths stats.Accumulator // packets per receive burst
 	Latency      stats.CDF         // seconds between bursts (with sleep between)
@@ -153,6 +163,11 @@ type Metrics struct {
 	// Occupancy is the time-weighted fraction spent in each network state
 	// over the window; populated only with Config.TrackOccupancy.
 	Occupancy map[model.NetState]float64
+
+	// FaultTrace is the materialized fault schedule of the run (nil when
+	// Config.Faults is unset) — byte-identical across substrates for the
+	// same fault config and seed.
+	FaultTrace []faults.Event `json:",omitempty"`
 }
 
 // event kinds.
@@ -160,6 +175,7 @@ const (
 	evTransition = iota // node's sampled state transition
 	evPacketEnd         // end of the current unit packet
 	evTick              // multiplier / battery bookkeeping tick
+	evFault             // fault-schedule boundary (crash/brownout/silence edge)
 )
 
 type event struct {
@@ -277,6 +293,11 @@ type engine struct {
 	warmupBattery []float64 // battery levels at the start of the window
 	packetTime    float64
 
+	// flt is the compiled fault schedule (nil when no faults are
+	// configured); every query on it is nil-safe and allocation-free, so
+	// the fault-free hot path pays only a pointer check.
+	flt *faults.Set
+
 	occLast float64 // time of the last occupancy accrual
 }
 
@@ -285,12 +306,16 @@ func Run(cfg Config) (*Metrics, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	e := newEngine(cfg)
+	flt, err := faults.Compile(cfg.Faults, cfg.Network.N(), cfg.Duration, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	e := newEngine(cfg, flt)
 	e.run()
 	return e.finish(), nil
 }
 
-func newEngine(cfg Config) *engine {
+func newEngine(cfg Config, flt *faults.Set) *engine {
 	n := cfg.Network.N()
 	e := &engine{
 		cfg:        cfg,
@@ -301,6 +326,7 @@ func newEngine(cfg Config) *engine {
 		packets:    make([]packet, n),
 		logging:    cfg.EventLog != nil,
 		packetTime: cfg.Protocol.PacketTime,
+		flt:        flt,
 	}
 	// Allocated here, not lazily in accrueOccupancy: the occupancy accrual
 	// runs on every event and must stay allocation-free.
@@ -342,9 +368,20 @@ func newEngine(cfg Config) *engine {
 			// eta pinned to its warm-start value.
 			pc.Delta = 1e-300
 		}
-		if cfg.Harvest != nil {
+		// Brownouts scale the node's harvest inside their windows. The
+		// wrapper is installed only when a brownout schedule exists for
+		// this node, so brownout-free runs keep the exact constant-budget
+		// integration path bit-for-bit.
+		if v := flt.View(i); cfg.Harvest != nil {
 			node := i
-			pc.Harvest = func(t float64) float64 { return cfg.Harvest(node, t) }
+			if v.HasBrownout() {
+				pc.Harvest = func(t float64) float64 { return cfg.Harvest(node, t) * v.HarvestScale(t) }
+			} else {
+				pc.Harvest = func(t float64) float64 { return cfg.Harvest(node, t) }
+			}
+		} else if v.HasBrownout() {
+			budget := nd.Budget
+			pc.Harvest = func(t float64) float64 { return budget * v.HarvestScale(t) }
 		}
 		e.nodes[i] = nodeState{
 			proto:        econcast.NewNode(pc),
@@ -377,12 +414,19 @@ func (e *engine) run() {
 	e.drain()
 }
 
-// start seeds every node's first transition and multiplier tick.
+// start seeds every node's first transition and multiplier tick, plus
+// every fault-schedule boundary. Fault boundaries are pushed once here —
+// the steady-state loop never schedules fault events, so the fault-free
+// hot path is untouched.
 func (e *engine) start() {
 	e.tau = e.nodes[0].proto.Config().Tau
 	for i := 0; i < e.n; i++ {
 		e.scheduleTransition(i)
 		e.push(event{at: e.tau, kind: evTick, node: i})
+		node := i
+		e.flt.Boundaries(i, func(at float64) {
+			e.push(event{at: at, kind: evFault, node: node})
+		})
 	}
 }
 
@@ -419,6 +463,8 @@ func (e *engine) step() bool {
 		e.handlePacketEnd(ev.node)
 	case evTick:
 		e.handleTick(ev.node, e.tau)
+	case evFault:
+		e.handleFault(ev.node)
 	}
 	return true
 }
@@ -483,6 +529,61 @@ func (e *engine) accrue(i int) {
 // bump invalidates node i's pending transition event.
 func (e *engine) bump(i int) { e.nodes[i].version++ }
 
+// active reports whether node i participates at time t: present under
+// the churn schedule (if any) and alive under the fault schedule. Both
+// checks are nil-safe and allocation-free.
+func (e *engine) active(i int, t float64) bool {
+	if e.cfg.Churn != nil && !e.cfg.Churn(i, t) {
+		return false
+	}
+	return e.flt.Alive(i, t)
+}
+
+// handleFault realizes one fault-schedule boundary for node i: a crash
+// edge parks the node (releasing the channel mid-hold if it was
+// transmitting), while a restart or a brownout/silence edge simply
+// resamples its transition so the new regime takes effect immediately.
+func (e *engine) handleFault(i int) {
+	e.accrue(i)
+	ns := &e.nodes[i]
+	if e.flt.Alive(i, e.now) {
+		if ns.state != model.Transmit {
+			e.scheduleTransition(i)
+		}
+		return
+	}
+	// Crashed. A transmitter abandons its hold: the in-flight packet
+	// dies undelivered and the channel is released for its neighbors.
+	switch ns.state {
+	case model.Transmit:
+		p := &e.packets[i]
+		if p.active {
+			for _, j := range p.listeners {
+				e.nodes[j].collidedInPkt = false
+			}
+			p.active = false
+		}
+		e.setState(i, model.Sleep)
+		e.bump(i)
+		for _, j := range e.neighbors(i) {
+			nj := &e.nodes[j]
+			nj.busy--
+			if nj.busy == 0 && nj.state != model.Transmit {
+				e.scheduleTransition(j)
+			}
+		}
+		e.onListenSetChanged(i)
+	case model.Listen:
+		e.flushBurst(i)
+		e.setState(i, model.Sleep)
+		ns.sleptSince = true
+		e.bump(i)
+		e.onListenSetChanged(i)
+	default:
+		e.bump(i) // cancel any pending wake-up; stays down until restart
+	}
+}
+
 // estimateFor returns the transmitter-side listener estimate for count
 // successful receivers, applying the configured noise hook.
 func (e *engine) estimateFor(i, count int) float64 {
@@ -520,8 +621,8 @@ func (e *engine) scheduleTransition(i int) {
 	if e.cfg.HardBatteryFloor && ns.state == model.Sleep && ns.proto.Depleted() {
 		return // stays asleep until a tick finds the battery recovered
 	}
-	if e.cfg.Churn != nil && !e.cfg.Churn(i, e.now) {
-		return // absent: re-checked at the next tick
+	if !e.active(i, e.now) {
+		return // absent or crashed: re-checked at the next tick / restart
 	}
 	carrierFree := ns.busy == 0
 	est := 0.0
@@ -539,8 +640,15 @@ func (e *engine) scheduleTransition(i int) {
 	if total <= 0 {
 		return
 	}
+	dwell := e.src.Exp(total)
+	if ns.state == model.Sleep {
+		// Sleep intervals are timed by the node's low-power clock, which
+		// the drift fault scales; listen/transmit timing runs off the
+		// (accurate) active-mode clock, as on the testbed hardware.
+		dwell *= e.flt.Drift(i)
+	}
 	e.push(event{
-		at:      e.now + e.src.Exp(total),
+		at:      e.now + dwell,
 		kind:    evTransition,
 		node:    i,
 		version: ns.version,
@@ -683,16 +791,27 @@ func (e *engine) handlePacketEnd(i int) {
 	if !p.active || e.nodes[i].state != model.Transmit {
 		return
 	}
+	// A stuck (silenced) radio transmits carrier — neighbors still defer —
+	// but delivers nothing. Receiver-side loss draws are skipped entirely
+	// for silenced packets: no reception was attempted, so the loss
+	// streams advance only on real attempts and stay reproducible.
+	silenced := e.flt.Silenced(i, e.now)
 	success := 0
 	for _, j := range p.listeners {
 		ns := &e.nodes[j]
 		if ns.state != model.Listen {
-			// Left mid-packet (churn departure): no reception.
+			// Left mid-packet (churn departure or crash): no reception.
 			ns.collidedInPkt = false
 			continue
 		}
 		if ns.collidedInPkt {
 			ns.collidedInPkt = false
+			continue
+		}
+		if silenced || e.flt.DropRx(j, e.now) {
+			if e.measuring {
+				e.met.LostReceptions++
+			}
 			continue
 		}
 		success++
@@ -747,8 +866,8 @@ func (e *engine) handlePacketEnd(i int) {
 	est := e.estimateFor(i, success)
 	cont := e.nodes[i].proto.ContinueTransmitProb(est)
 	forced := e.cfg.HardBatteryFloor && e.nodes[i].proto.Depleted()
-	if e.cfg.Churn != nil && !e.cfg.Churn(i, e.now) {
-		forced = true // departed: release the channel now
+	if !e.active(i, e.now) {
+		forced = true // departed or crashed: release the channel now
 	}
 	if !forced && e.src.Bernoulli(cont) {
 		e.startPacket(i, p.burstLen+1, p.delivered)
@@ -785,7 +904,7 @@ func (e *engine) handleTick(i int, tau float64) {
 	e.accrue(i)
 	// Departure: an absent node abandons listening (transmitters finish
 	// their current hold first; the packet machinery owns that state).
-	if e.cfg.Churn != nil && !e.cfg.Churn(i, e.now) && e.nodes[i].state == model.Listen {
+	if !e.active(i, e.now) && e.nodes[i].state == model.Listen {
 		e.flushBurst(i)
 		e.setState(i, model.Sleep)
 		e.nodes[i].sleptSince = true
@@ -831,5 +950,6 @@ func (e *engine) finish() *Metrics {
 		e.met.EtaFinal[i] = e.nodes[i].proto.Eta() / p0
 		e.met.Battery[i] = e.nodes[i].proto.Battery()
 	}
+	e.met.FaultTrace = e.flt.Trace()
 	return &e.met
 }

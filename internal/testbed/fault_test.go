@@ -1,0 +1,193 @@
+package testbed
+
+import (
+	"testing"
+
+	"econcast/internal/faults"
+	"econcast/internal/model"
+)
+
+// TestFaultKillHalf crashes half the emulated nodes mid-run: the run must
+// complete, the survivors keep delivering, and the fault trace lands in
+// the metrics.
+func TestFaultKillHalf(t *testing.T) {
+	c := baseCfg()
+	c.N = 8
+	c.Duration, c.Warmup = 900, 400
+	c.Faults = &faults.Config{Crash: &faults.Crash{Kill: []int{0, 1, 2, 3}, KillAt: 300}}
+	m, err := Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Groupput <= 0 {
+		t.Fatalf("survivors delivered nothing: groupput = %v", m.Groupput)
+	}
+	if len(m.FaultTrace) != 4 {
+		t.Fatalf("fault trace has %d events, want 4 crash-downs", len(m.FaultTrace))
+	}
+	for _, ev := range m.FaultTrace {
+		if ev.Kind != faults.CrashDown || ev.At != 300 {
+			t.Fatalf("unexpected trace event %+v", ev)
+		}
+	}
+	// Dead nodes are parked asleep: near-zero consumption over the
+	// post-kill measurement window.
+	for i := 0; i < 4; i++ {
+		if m.Power[i] > model.MilliWatt {
+			t.Errorf("dead node %d consumed %v W over the post-kill window", i, m.Power[i])
+		}
+	}
+}
+
+// TestFaultCrashMidHold pushes crash times to offsets that routinely land
+// inside a 40 ms packet or the 8 ms ping interval: the medium must be
+// released and the survivors keep transmitting.
+func TestFaultCrashMidHold(t *testing.T) {
+	for _, killAt := range []float64{100.004, 250.0301, 400.017} {
+		c := baseCfg()
+		c.Duration, c.Warmup = 2000, 500
+		c.Faults = &faults.Config{Crash: &faults.Crash{Kill: []int{0, 1}, KillAt: killAt}}
+		m, err := Run(c)
+		if err != nil {
+			t.Fatalf("killAt=%v: %v", killAt, err)
+		}
+		if m.Groupput <= 0 {
+			t.Fatalf("killAt=%v: survivors delivered nothing", killAt)
+		}
+	}
+}
+
+// TestFaultSilenceMutesDeliveries checks a silenced transmitter occupies
+// the channel but delivers nothing and collects no pings.
+func TestFaultSilenceMutesDeliveries(t *testing.T) {
+	c := baseCfg()
+	c.Duration, c.Warmup = 300, 50
+	c.Faults = &faults.Config{Silence: &faults.Silence{MeanEvery: 1e-3, MeanFor: 1e9}}
+	m, err := Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.PacketsDelivered != 0 {
+		t.Fatalf("silenced network delivered %d packets", m.PacketsDelivered)
+	}
+	if m.PacketsSent == 0 {
+		t.Fatal("silence stopped transmissions; it should only mute them")
+	}
+	if m.PingCounts.N() > 0 && m.PingCounts.Mean() != 0 {
+		t.Fatal("silenced packets collected pings")
+	}
+}
+
+// TestFaultSharedProcessesDeterministic pins that runs under the full
+// fault mix are reproducible for a fixed seed.
+func TestFaultSharedProcessesDeterministic(t *testing.T) {
+	c := baseCfg()
+	c.Duration, c.Warmup = 400, 100
+	c.Faults = &faults.Config{
+		Crash:    &faults.Crash{Kill: []int{1}, KillAt: 200},
+		Loss:     &faults.Loss{P: 0.1},
+		Drift:    &faults.Drift{Max: 0.03},
+		Brownout: &faults.Brownout{MeanEvery: 60, MeanFor: 30},
+	}
+	a, err := Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Groupput != b.Groupput || a.PacketsSent != b.PacketsSent || a.LostPings != b.LostPings {
+		t.Fatal("faulted testbed runs with the same seed diverged")
+	}
+}
+
+// TestFaultLegacyImperfectionsMapToProcesses pins the compatibility
+// mapping: the default ClockDrift/PingLossProb imperfections now compile
+// into shared Drift/Loss fault processes, so LostPings is populated by
+// the default 2% decode-failure rate.
+func TestFaultLegacyImperfectionsMapToProcesses(t *testing.T) {
+	c := baseCfg()
+	c.Duration, c.Warmup = 1500, 200
+	m, err := Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.LostPings == 0 {
+		t.Fatal("default 2% ping loss produced no LostPings")
+	}
+	if len(m.FaultTrace) != 0 {
+		t.Fatalf("drift/loss-only run produced %d trace events, want 0", len(m.FaultTrace))
+	}
+}
+
+// TestExplicitZeroImperfectionsStick is the DefaultIfZero-trap pin: an
+// explicit zero for each imperfection must disable it rather than being
+// silently promoted to the hardware default.
+func TestExplicitZeroImperfectionsStick(t *testing.T) {
+	// Explicit(0) overhead: actual power equals virtual power exactly.
+	c := baseCfg()
+	c.Duration, c.Warmup = 300, 50
+	c.RegulatorOverhead = model.Explicit(0)
+	ideal, err := Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ideal.Power {
+		if ideal.Power[i] != ideal.VirtualPower[i] {
+			t.Fatalf("node %d: ideal-regulator actual %v != virtual %v",
+				i, ideal.Power[i], ideal.VirtualPower[i])
+		}
+	}
+	// Unset overhead: the 8% default applies and actual exceeds virtual.
+	c.RegulatorOverhead = model.Optional{}
+	lossy, err := Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exceeded := false
+	for i := range lossy.Power {
+		if lossy.Power[i] > lossy.VirtualPower[i] {
+			exceeded = true
+		}
+	}
+	if !exceeded {
+		t.Fatal("default regulator overhead had no effect on actual power")
+	}
+
+	// Explicit(0) drift and ping loss: perfect clocks and lossless pings.
+	// The run must differ from the defaulted run (1% drift, 2% loss).
+	c2 := baseCfg()
+	c2.Duration, c2.Warmup = 1500, 200
+	withDefaults, err := Run(c2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2.ClockDrift = model.Explicit(0)
+	c2.PingLossProb = model.Explicit(0)
+	perfect, err := Run(c2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if perfect.LostPings != 0 {
+		t.Fatalf("Explicit(0) ping loss still lost %d pings", perfect.LostPings)
+	}
+	if perfect.Groupput == withDefaults.Groupput && perfect.PacketsSent == withDefaults.PacketsSent {
+		t.Fatal("Explicit(0) imperfections behaved identically to the defaults — the zeros were dropped")
+	}
+}
+
+// TestOptionalSemantics pins the model.Optional contract itself.
+func TestOptionalSemantics(t *testing.T) {
+	var unset model.Optional
+	if unset.IsSet() || unset.Or(7) != 7 {
+		t.Fatal("zero Optional must resolve to the default")
+	}
+	zero := model.Explicit(0)
+	if !zero.IsSet() || zero.Or(7) != 0 {
+		t.Fatal("Explicit(0) must pin zero, not fall back to the default")
+	}
+	if model.Explicit(3.5).Or(7) != 3.5 {
+		t.Fatal("Explicit value must win over the default")
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"math"
 
 	"econcast/internal/econcast"
+	"econcast/internal/faults"
 	"econcast/internal/model"
 	"econcast/internal/rng"
 	"econcast/internal/stats"
@@ -56,10 +57,21 @@ type Config struct {
 	PingTime      float64 // 0.4 ms
 	PingInterval  float64 // 8 ms
 
-	// Imperfections.
-	ClockDrift        float64 // max relative sleep-clock error (default 1%)
-	RegulatorOverhead float64 // extra fraction of real power draw (default 8%)
-	PingLossProb      float64 // decode failure per surviving ping (default 2%)
+	// Imperfections. These are model.Optional, not plain floats with a
+	// zero sentinel: a deliberate zero (perfect clocks, no overhead,
+	// lossless pings) must stick instead of being silently promoted to
+	// the hardware default — the DefaultIfZero trap this type exists for.
+	ClockDrift        model.Optional // max relative sleep-clock error (default 1%); Explicit(0) = perfect clocks
+	RegulatorOverhead model.Optional // extra fraction of real power draw (default 8%); Explicit(0) = ideal regulator
+	PingLossProb      model.Optional // decode failure per surviving ping (default 2%); Explicit(0) = lossless
+
+	// Faults optionally adds the shared fault processes on top (see
+	// internal/faults): crash, brownout and silence windows are realized
+	// as events, and an explicit Drift/Loss process overrides the
+	// ClockDrift/PingLossProb legacy mapping. The testbed's Loss process
+	// governs ping decodes (the paper's §VIII-C imperfection); 40 ms data
+	// packets decode reliably.
+	Faults *faults.Config
 
 	// WarmEta warm-starts the multipliers (units 1/Watt).
 	WarmEta []float64
@@ -72,12 +84,30 @@ func (c Config) withDefaults() Config {
 	c.PacketTime = model.DefaultIfZero(c.PacketTime, 40e-3)
 	c.PingTime = model.DefaultIfZero(c.PingTime, 0.4e-3)
 	c.PingInterval = model.DefaultIfZero(c.PingInterval, 8e-3)
-	c.ClockDrift = model.DefaultIfZero(c.ClockDrift, 0.01)
-	c.RegulatorOverhead = model.DefaultIfZero(c.RegulatorOverhead, 0.08)
-	c.PingLossProb = model.DefaultIfZero(c.PingLossProb, 0.02)
 	c.Tau = model.DefaultIfZero(c.Tau, 50*c.PacketTime)
 	c.Delta = model.DefaultIfZero(c.Delta, 0.05)
 	return c
+}
+
+// faultConfig merges the legacy imperfection fields into the shared
+// fault-process config: the testbed's drift and ping loss are ordinary
+// fault processes now, with the ad-hoc fields kept as defaults.
+func (c Config) faultConfig() *faults.Config {
+	eff := &faults.Config{}
+	if c.Faults != nil {
+		*eff = *c.Faults
+	}
+	if eff.Drift == nil {
+		if d := c.ClockDrift.Or(0.01); d > 0 {
+			eff.Drift = &faults.Drift{Max: d}
+		}
+	}
+	if eff.Loss == nil {
+		if p := c.PingLossProb.Or(0.02); p > 0 {
+			eff.Loss = &faults.Loss{P: p}
+		}
+	}
+	return eff
 }
 
 func (c Config) validate() error {
@@ -117,7 +147,15 @@ type Metrics struct {
 	// listeners) per data packet — Table IV.
 	PingCounts stats.Counter
 
+	LostPings int // ping decodes lost to the fault-layer loss process
+
 	EtaFinal []float64 // units of 1/Watt
+
+	// FaultTrace is the materialized fault schedule (crash, brownout and
+	// silence windows; the default drift/ping-loss processes contribute
+	// no events) — byte-identical to the other substrates' traces for
+	// the same fault config and seed.
+	FaultTrace []faults.Event `json:",omitempty"`
 }
 
 // event kinds.
@@ -126,6 +164,7 @@ const (
 	evPacketEnd
 	evPingEnd
 	evTick
+	evFault // fault-schedule boundary (crash/brownout/silence edge)
 )
 
 type event struct {
@@ -171,6 +210,12 @@ type engine struct {
 	transmitter int
 	listeners   []int // receivers of the current packet
 
+	// flt is the compiled fault schedule (never nil here: the legacy
+	// drift/ping-loss defaults compile into it); regOverhead is the
+	// resolved regulator overhead fraction.
+	flt         *faults.Set
+	regOverhead float64
+
 	met           Metrics
 	measuring     bool
 	actualAtWarm  []float64
@@ -183,11 +228,17 @@ func Run(cfg Config) (*Metrics, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
+	flt, err := faults.Compile(cfg.faultConfig(), cfg.N, cfg.Duration, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
 	e := &engine{
 		cfg:         cfg,
 		src:         rng.New(cfg.Seed),
 		nodes:       make([]nodeState, cfg.N),
 		transmitter: -1,
+		flt:         flt,
+		regOverhead: cfg.RegulatorOverhead.Or(0.08),
 	}
 	for i := range e.nodes {
 		budget := cfg.Budget
@@ -205,9 +256,14 @@ func Run(cfg Config) (*Metrics, error) {
 			TransmitPower: cfg.TransmitPower,
 			PacketTime:    cfg.PacketTime,
 		}
+		// Brownouts scale this node's harvest inside their windows.
+		if v := flt.View(i); v.HasBrownout() {
+			b := budget
+			pc.Harvest = func(t float64) float64 { return b * v.HarvestScale(t) }
+		}
 		e.nodes[i] = nodeState{
 			proto: econcast.NewNode(pc),
-			drift: 1 + e.src.Uniform(-cfg.ClockDrift, cfg.ClockDrift),
+			drift: flt.Drift(i),
 		}
 		if cfg.WarmEta != nil {
 			p0 := math.Max(cfg.ListenPower, cfg.TransmitPower)
@@ -241,7 +297,7 @@ func (e *engine) spend(i int, dt float64, st model.State) {
 		nominal = e.cfg.TransmitPower
 	}
 	ns.virtual += nominal * dt
-	ns.actual += nominal * (1 + e.cfg.RegulatorOverhead) * dt
+	ns.actual += nominal * (1 + e.regOverhead) * dt
 	ns.last += dt
 }
 
@@ -260,7 +316,7 @@ func (e *engine) busyFor(i int) bool {
 func (e *engine) schedule(i int) {
 	ns := &e.nodes[i]
 	ns.version++
-	if ns.state == model.Transmit {
+	if ns.state == model.Transmit || !e.flt.Alive(i, e.now) {
 		return
 	}
 	r := ns.proto.Rates(!e.busyFor(i), 0)
@@ -289,6 +345,10 @@ func (e *engine) run() {
 	for i := range e.nodes {
 		e.schedule(i)
 		e.push(event{at: e.cfg.Tau, kind: evTick, node: i})
+		node := i
+		e.flt.Boundaries(i, func(at float64) {
+			e.push(event{at: at, kind: evFault, node: node})
+		})
 	}
 	for len(e.q) > 0 {
 		ev := heap.Pop(&e.q).(event)
@@ -313,9 +373,17 @@ func (e *engine) run() {
 			}
 			e.transition(ev.node)
 		case evPacketEnd:
+			if ev.version != e.nodes[ev.node].version {
+				continue // transmitter crashed mid-packet; medium already released
+			}
 			e.packetEnd(ev.node)
 		case evPingEnd:
+			if ev.version != e.nodes[ev.node].version {
+				continue
+			}
 			e.pingEnd(ev.node)
+		case evFault:
+			e.fault(ev.node)
 		case evTick:
 			e.accrue(ev.node)
 			if e.nodes[ev.node].state != model.Transmit {
@@ -373,7 +441,42 @@ func (e *engine) beginPacket(i int) {
 			}
 		}
 	}
-	e.push(event{at: e.now + e.cfg.PacketTime, kind: evPacketEnd, node: i})
+	e.push(event{at: e.now + e.cfg.PacketTime, kind: evPacketEnd, node: i, version: e.nodes[i].version})
+}
+
+// fault handles a fault-schedule boundary for node i: crash edges park or
+// revive the node; brownout/silence edges just force an accrual so the
+// piecewise-constant harvest integrates exactly and rates re-draw.
+func (e *engine) fault(i int) {
+	e.accrue(i)
+	ns := &e.nodes[i]
+	if !e.flt.Alive(i, e.now) {
+		switch ns.state {
+		case model.Transmit:
+			// The transmitter died mid-hold: release the medium. The
+			// version bump strands its pending packet/ping-end events.
+			ns.state = model.Sleep
+			ns.version++
+			e.transmitter = -1
+			e.listeners = e.listeners[:0]
+			for j := range e.nodes {
+				if j != i {
+					e.accrue(j)
+					e.schedule(j)
+				}
+			}
+		case model.Listen:
+			ns.state = model.Sleep
+			ns.version++
+		default:
+			ns.version++ // already asleep; just strand pending wake-ups
+		}
+		return
+	}
+	// Restart, or a brownout/silence edge on a live node.
+	if ns.state != model.Transmit {
+		e.schedule(i)
+	}
 }
 
 // packetEnd completes the data packet and opens the pinging interval.
@@ -381,13 +484,25 @@ func (e *engine) packetEnd(i int) {
 	// Charge the transmitter for the packet while still in transmit state,
 	// so the ping interval that follows is charged as listening.
 	e.accrue(i)
-	success := len(e.listeners)
+	// A muted transmitter occupies the channel but delivers nothing, and
+	// no recipient will ping; a listener that crashed mid-packet heard
+	// only a fragment.
+	success := 0
+	if e.flt.Silenced(i, e.now) {
+		e.listeners = e.listeners[:0]
+	} else {
+		for _, j := range e.listeners {
+			if e.flt.Alive(j, e.now) {
+				success++
+			}
+		}
+	}
 	if e.measuring {
 		e.met.PacketsSent++
 		e.met.PacketsDelivered += success
 		e.met.Groupput += float64(success) * e.cfg.PacketTime
 	}
-	e.push(event{at: e.now + e.cfg.PingInterval, kind: evPingEnd, node: i})
+	e.push(event{at: e.now + e.cfg.PingInterval, kind: evPingEnd, node: i, version: e.nodes[i].version})
 }
 
 // pingEnd closes the pinging interval: place each recipient's 0.4 ms ping
@@ -395,6 +510,18 @@ func (e *engine) packetEnd(i int) {
 // random decode failures, account everyone's interval energy, and let the
 // transmitter decide whether to hold the channel.
 func (e *engine) pingEnd(i int) {
+	// A recipient that crashed during the interval sends no ping and
+	// settles no interval energy here (the fault handler closed its
+	// ledger at the crash instant).
+	live := 0
+	for _, j := range e.listeners {
+		if e.flt.Alive(j, e.now) {
+			e.listeners[live] = j
+			live++
+		}
+	}
+	e.listeners = e.listeners[:live]
+
 	// Decode pings.
 	starts := make([]float64, len(e.listeners))
 	for k := range starts {
@@ -409,9 +536,16 @@ func (e *engine) pingEnd(i int) {
 				break
 			}
 		}
-		if ok && !e.src.Bernoulli(e.cfg.PingLossProb) {
-			decoded++
+		if !ok {
+			continue
 		}
+		if e.flt.DropRx(i, e.now) { // decode failure at the transmitter
+			if e.measuring {
+				e.met.LostPings++
+			}
+			continue
+		}
+		decoded++
 	}
 	if e.measuring {
 		e.met.PingCounts.Add(decoded)
@@ -440,7 +574,7 @@ func (e *engine) pingEnd(i int) {
 				e.listeners = append(e.listeners, j)
 			}
 		}
-		e.push(event{at: e.now + e.cfg.PacketTime, kind: evPacketEnd, node: i})
+		e.push(event{at: e.now + e.cfg.PacketTime, kind: evPacketEnd, node: i, version: ns.version})
 		return
 	}
 	ns.state = model.Listen
@@ -478,6 +612,7 @@ func (e *engine) finish() *Metrics {
 		e.met.VirtualPower[i] = (e.nodes[i].virtual - vStart) / window
 		e.met.EtaFinal[i] = e.nodes[i].proto.Eta() / p0
 	}
+	e.met.FaultTrace = e.flt.Trace()
 	return &e.met
 }
 
