@@ -6,8 +6,8 @@
 // Usage:
 //
 //	econlint [-list] [-only name,name] [-as importpath] [-parallel n]
-//	         [-json] [-baseline file [-write-baseline]]
-//	         [-audit-suppressions] [packages]
+//	         [-json] [-sarif] [-baseline file [-write-baseline]]
+//	         [-fix] [-diff] [-audit-suppressions] [packages]
 //
 // Patterns default to ./... and support the usual dir and dir/... forms.
 // The -as flag checks a single directory under an assumed import path,
@@ -18,6 +18,8 @@
 // GOMAXPROCS); output is byte-identical for every worker count. -json
 // replaces the text report with a JSON array of findings whose paths are
 // slash-separated and repo-relative, suitable for artifacts and diffing.
+// -sarif replaces it with a SARIF 2.1.0 log instead, which is what CI
+// uploads so findings annotate pull-request diffs.
 //
 // -baseline file compares findings against a committed snapshot and
 // fails only on NEW ones (matched line-insensitively on file, analyzer,
@@ -27,6 +29,12 @@
 // with suppressions disabled and reports every //lint:allow or
 // //lint:ordered directive that no longer matches a finding, so stale
 // exemptions cannot accumulate.
+//
+// -fix applies the machine-applicable suggested edits attached to
+// findings (non-overlapping, first finding wins) and rewrites the
+// affected files in place; -diff prints the same edits as a unified
+// diff without touching anything. Both exit 0: the edits, applied or
+// previewed, are the deliverable.
 package main
 
 import (
@@ -37,6 +45,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"sort"
 	"strings"
 
 	"econcast/internal/lint"
@@ -72,9 +81,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	asPath := fs.String("as", "", "check a single directory under this assumed import path")
 	parallel := fs.Int("parallel", 0, "worker count for loading and checking (0 = GOMAXPROCS)")
 	jsonOut := fs.Bool("json", false, "report findings as a JSON array instead of text")
+	sarifOut := fs.Bool("sarif", false, "report findings as a SARIF 2.1.0 log instead of text")
 	baseline := fs.String("baseline", "", "compare findings against this JSON baseline; fail only on new ones")
 	writeBaseline := fs.Bool("write-baseline", false, "write current findings to the -baseline file and exit")
 	audit := fs.Bool("audit-suppressions", false, "report suppression directives that no longer match any finding")
+	applyFix := fs.Bool("fix", false, "apply suggested fixes to the source files in place")
+	diffFix := fs.Bool("diff", false, "print suggested fixes as a unified diff without applying them")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -87,6 +99,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *writeBaseline && *baseline == "" {
 		fmt.Fprintln(stderr, "econlint: -write-baseline requires -baseline <file>")
+		return 2
+	}
+	if *jsonOut && *sarifOut {
+		fmt.Fprintln(stderr, "econlint: -json and -sarif are mutually exclusive")
+		return 2
+	}
+	if (*applyFix || *diffFix) && (*baseline != "" || *audit) {
+		fmt.Fprintln(stderr, "econlint: -fix/-diff cannot be combined with -baseline or -audit-suppressions")
 		return 2
 	}
 
@@ -151,6 +171,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
+	if *applyFix || *diffFix {
+		return runFixes(findings, *applyFix, stdout, stderr)
+	}
+
 	report := relativize(findings)
 
 	if *writeBaseline {
@@ -174,7 +198,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 2
 		}
 		fresh := subtractBaseline(report, known)
-		if err := emit(stdout, fresh, *jsonOut); err != nil {
+		if err := emit(stdout, fresh, outputFormat(*jsonOut, *sarifOut)); err != nil {
 			fmt.Fprintf(stderr, "econlint: %v\n", err)
 			return 2
 		}
@@ -186,7 +210,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 0
 	}
 
-	if err := emit(stdout, report, *jsonOut); err != nil {
+	if err := emit(stdout, report, outputFormat(*jsonOut, *sarifOut)); err != nil {
 		fmt.Fprintf(stderr, "econlint: %v\n", err)
 		return 2
 	}
@@ -222,12 +246,39 @@ func relativize(findings []lint.Finding) []jsonFinding {
 	return out
 }
 
-// emit writes findings as text lines or as a JSON array. The JSON form
-// is always a valid array ("[]" when clean) so consumers never special-
-// case the empty report.
-func emit(w io.Writer, findings []jsonFinding, asJSON bool) error {
-	if asJSON {
+type format int
+
+const (
+	formatText format = iota
+	formatJSON
+	formatSARIF
+)
+
+func outputFormat(jsonOut, sarifOut bool) format {
+	switch {
+	case jsonOut:
+		return formatJSON
+	case sarifOut:
+		return formatSARIF
+	}
+	return formatText
+}
+
+// emit writes findings as text lines, a JSON array, or a SARIF log. The
+// JSON form is always a valid array ("[]" when clean) and the SARIF form
+// always carries the full rule table, so consumers never special-case
+// the empty report.
+func emit(w io.Writer, findings []jsonFinding, f format) error {
+	switch f {
+	case formatJSON:
 		data, err := marshalFindings(findings)
+		if err != nil {
+			return err
+		}
+		_, err = fmt.Fprintf(w, "%s\n", data)
+		return err
+	case formatSARIF:
+		data, err := marshalSarif(findings)
 		if err != nil {
 			return err
 		}
@@ -242,6 +293,50 @@ func emit(w io.Writer, findings []jsonFinding, asJSON bool) error {
 	return nil
 }
 
+// runFixes plans the suggested edits attached to findings and either
+// applies them in place (-fix) or prints them as a unified diff (-diff).
+// Paths in the diff header are relativized like report paths; the writes
+// use the absolute paths the loader recorded.
+func runFixes(findings []lint.Finding, apply bool, stdout, stderr io.Writer) int {
+	plan, err := lint.PlanFixes(findings)
+	if err != nil {
+		fmt.Fprintf(stderr, "econlint: %v\n", err)
+		return 2
+	}
+	if apply {
+		if err := plan.WriteFixes(); err != nil {
+			fmt.Fprintf(stderr, "econlint: %v\n", err)
+			return 2
+		}
+		fmt.Fprintf(stderr, "econlint: applied %d fix(es) across %d file(s), %d skipped\n",
+			plan.Applied, len(plan.Contents), plan.Skipped)
+		return 0
+	}
+	cwd, _ := os.Getwd()
+	files := make([]string, 0, len(plan.Contents))
+	for path := range plan.Contents {
+		files = append(files, path)
+	}
+	sort.Strings(files)
+	for _, path := range files {
+		old, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(stderr, "econlint: %v\n", err)
+			return 2
+		}
+		label := path
+		if cwd != "" {
+			if rel, err := filepath.Rel(cwd, path); err == nil && !strings.HasPrefix(rel, "..") {
+				label = filepath.ToSlash(rel)
+			}
+		}
+		fmt.Fprint(stdout, lint.UnifiedDiff(label, old, plan.Contents[path]))
+	}
+	fmt.Fprintf(stderr, "econlint: %d fix(es) across %d file(s) available, %d skipped (dry run)\n",
+		plan.Applied, len(plan.Contents), plan.Skipped)
+	return 0
+}
+
 func marshalFindings(findings []jsonFinding) ([]byte, error) {
 	if findings == nil {
 		findings = []jsonFinding{}
@@ -252,11 +347,14 @@ func marshalFindings(findings []jsonFinding) ([]byte, error) {
 func readBaseline(path string) ([]jsonFinding, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return nil, err
+		if os.IsNotExist(err) {
+			return nil, fmt.Errorf("baseline %s not found; run with -baseline %s -write-baseline to create it", path, path)
+		}
+		return nil, fmt.Errorf("baseline %s: %v", path, err)
 	}
 	var findings []jsonFinding
 	if err := json.Unmarshal(data, &findings); err != nil {
-		return nil, fmt.Errorf("baseline %s: %v", path, err)
+		return nil, fmt.Errorf("baseline %s is corrupt (%v); re-run with -write-baseline to regenerate it", path, err)
 	}
 	return findings, nil
 }

@@ -1,0 +1,230 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"econcast/internal/lint"
+)
+
+const floateqFixture = "../../internal/lint/testdata/src/floateq"
+
+// TestSarifReport pins the -sarif wire format: a valid SARIF 2.1.0 log
+// whose rule table lists the full analyzer suite and whose results carry
+// repo-relative locations under %SRCROOT%.
+func TestSarifReport(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-sarif", "-as", experimentsPath, seedflowFixture}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; stderr:\n%s", code, errb.String())
+	}
+	var log sarifLog
+	if err := json.Unmarshal(out.Bytes(), &log); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, out.String())
+	}
+	if log.Version != "2.1.0" || !strings.Contains(log.Schema, "sarif-schema-2.1.0") {
+		t.Errorf("log version/schema = %q / %q", log.Version, log.Schema)
+	}
+	if len(log.Runs) != 1 {
+		t.Fatalf("runs = %d, want 1", len(log.Runs))
+	}
+	r := log.Runs[0]
+	if r.Tool.Driver.Name != "econlint" {
+		t.Errorf("driver name = %q", r.Tool.Driver.Name)
+	}
+	if len(r.Tool.Driver.Rules) != len(lint.All()) {
+		t.Errorf("rule table has %d entries, want %d (the full suite)", len(r.Tool.Driver.Rules), len(lint.All()))
+	}
+	if len(r.Results) == 0 {
+		t.Fatal("expected seedflow results")
+	}
+	for _, res := range r.Results {
+		if res.RuleID != "seedflow" || res.Level != "warning" || res.Message.Text == "" {
+			t.Errorf("malformed result: %+v", res)
+		}
+		if len(res.Locations) != 1 {
+			t.Fatalf("result has %d locations, want 1", len(res.Locations))
+		}
+		loc := res.Locations[0].PhysicalLocation
+		if loc.ArtifactLocation.URIBaseID != "%SRCROOT%" || strings.Contains(loc.ArtifactLocation.URI, "\\") {
+			t.Errorf("malformed artifact location: %+v", loc.ArtifactLocation)
+		}
+		if loc.Region.StartLine <= 0 || loc.Region.StartColumn <= 0 {
+			t.Errorf("malformed region: %+v", loc.Region)
+		}
+	}
+}
+
+// TestSarifCleanKeepsRules pins that a clean run still emits the rule
+// table and an empty (non-null) results array.
+func TestSarifCleanKeepsRules(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-sarif", "../../internal/rng"}, &out, &errb); code != 0 {
+		t.Fatalf("exit = %d; stderr:\n%s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), `"rules"`) || !strings.Contains(out.String(), `"results": []`) {
+		t.Errorf("clean SARIF log malformed:\n%s", out.String())
+	}
+}
+
+// TestSarifParallelByteIdentical extends the determinism contract to the
+// SARIF form: byte-identical at -parallel 1, 4, and 16.
+func TestSarifParallelByteIdentical(t *testing.T) {
+	render := func(workers string) (string, int) {
+		var out, errb bytes.Buffer
+		code := run([]string{"-sarif", "-parallel", workers, "-as", experimentsPath, seedflowFixture}, &out, &errb)
+		return out.String(), code
+	}
+	seq, code := render("1")
+	if code != 1 {
+		t.Fatalf("sequential exit = %d, want 1", code)
+	}
+	for _, workers := range []string{"4", "16"} {
+		if got, code := render(workers); code != 1 || got != seq {
+			t.Errorf("-parallel %s SARIF differs from sequential (exit %d)", workers, code)
+		}
+	}
+}
+
+func TestSarifJSONMutuallyExclusive(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-json", "-sarif"}, &out, &errb); code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "mutually exclusive") {
+		t.Errorf("stderr missing conflict message:\n%s", errb.String())
+	}
+}
+
+// TestBaselineFriendlyErrors pins that a missing or corrupt baseline
+// produces an actionable message pointing at -write-baseline, not a raw
+// os or JSON error.
+func TestBaselineFriendlyErrors(t *testing.T) {
+	missing := filepath.Join(t.TempDir(), "no-such.json")
+	var out, errb bytes.Buffer
+	if code := run([]string{"-baseline", missing, "../../internal/rng"}, &out, &errb); code != 2 {
+		t.Fatalf("missing-baseline exit = %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "not found") || !strings.Contains(errb.String(), "-write-baseline") {
+		t.Errorf("missing-baseline message not actionable:\n%s", errb.String())
+	}
+
+	corrupt := filepath.Join(t.TempDir(), "corrupt.json")
+	if err := os.WriteFile(corrupt, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-baseline", corrupt, "../../internal/rng"}, &out, &errb); code != 2 {
+		t.Fatalf("corrupt-baseline exit = %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "corrupt") || !strings.Contains(errb.String(), "-write-baseline") {
+		t.Errorf("corrupt-baseline message not actionable:\n%s", errb.String())
+	}
+}
+
+func TestFixFlagConflicts(t *testing.T) {
+	for _, args := range [][]string{
+		{"-fix", "-baseline", "x.json"},
+		{"-diff", "-baseline", "x.json"},
+		{"-fix", "-audit-suppressions"},
+		{"-diff", "-audit-suppressions"},
+	} {
+		var out, errb bytes.Buffer
+		if code := run(args, &out, &errb); code != 2 {
+			t.Errorf("run(%v) exit = %d, want 2", args, code)
+		}
+	}
+}
+
+// copyFixtureDir copies the top-level .go files of src into a temp dir.
+func copyFixtureDir(t *testing.T, src string) string {
+	t.Helper()
+	dst := t.TempDir()
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dst, e.Name()), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dst
+}
+
+// TestFixAndDiffEndToEnd drives the full CLI autofix loop on a fixture
+// copy: -diff previews without touching the tree, -fix rewrites it, and
+// a final plain run exits clean.
+func TestFixAndDiffEndToEnd(t *testing.T) {
+	dir := copyFixtureDir(t, floateqFixture)
+	before := snapshotDir(t, dir)
+
+	var out, errb bytes.Buffer
+	code := run([]string{"-diff", "-only", "floateq", "-as", "econcast/internal/lp", dir}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("-diff exit = %d; stderr:\n%s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "+++ ") || !strings.Contains(out.String(), "stats.ApproxEqual(") {
+		t.Errorf("-diff preview missing rewrite:\n%s", out.String())
+	}
+	if !strings.Contains(errb.String(), "dry run") {
+		t.Errorf("-diff summary missing:\n%s", errb.String())
+	}
+	if got := snapshotDir(t, dir); got != before {
+		t.Error("-diff modified the tree")
+	}
+
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-fix", "-only", "floateq", "-as", "econcast/internal/lp", dir}, &out, &errb); code != 0 {
+		t.Fatalf("-fix exit = %d; stderr:\n%s", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "applied") {
+		t.Errorf("-fix summary missing:\n%s", errb.String())
+	}
+	if got := snapshotDir(t, dir); got == before {
+		t.Error("-fix left the tree unchanged")
+	}
+
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-only", "floateq", "-as", "econcast/internal/lp", dir}, &out, &errb); code != 0 {
+		t.Errorf("post-fix lint exit = %d, want clean; stdout:\n%s", code, out.String())
+	}
+}
+
+// snapshotDir concatenates the contents of every file in dir, for
+// before/after comparisons.
+func snapshotDir(t *testing.T, dir string) string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	for _, e := range entries {
+		f, err := os.Open(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sb.WriteString(e.Name() + "\x00")
+		if _, err := io.Copy(&sb, f); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+	}
+	return sb.String()
+}

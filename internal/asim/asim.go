@@ -181,6 +181,8 @@ func Run(cfg Config) (*Metrics, error) {
 }
 
 // nodeRuntime is the goroutine-side state of one node ("firmware").
+//
+//lint:owner asim-node firmware state lives in the node goroutine; the broker speaks over cmd/out only
 type nodeRuntime struct {
 	id    int
 	proto *econcast.Node
@@ -314,6 +316,8 @@ func (n *nodeRuntime) fire(c command) {
 }
 
 // broker owns the virtual clock and the radio medium.
+//
+//lint:owner asim-broker the broker goroutine owns the clock and the medium
 type broker struct {
 	cfg   Config
 	n     int

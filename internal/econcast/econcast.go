@@ -118,6 +118,8 @@ type Rates struct {
 // Node is the per-node EconCast state machine: the Lagrange multiplier,
 // the virtual battery, and the rate laws. It is not safe for concurrent
 // use; each host goroutine owns one Node.
+//
+//lint:owner goroutine each host goroutine owns one Node
 type Node struct {
 	cfg Config
 	p0  float64 // power scale max(L, X); eta is per this scale

@@ -167,6 +167,8 @@ const (
 // a Set single-goroutine property of whichever engine owns it (econlint's
 // sharedstate analyzer enforces that a *Set never crosses goroutines —
 // hand goroutines a NodeView instead).
+//
+//lint:owner goroutine loss streams advance on DropRx; hand goroutines a NodeView
 type Set struct {
 	n       int
 	horizon float64

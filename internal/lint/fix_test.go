@@ -1,0 +1,183 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// copyFixture copies the top-level .go files of testdata/src/<dir> into
+// a fresh temp dir, so fixes can be applied without touching the checked-
+// in fixtures.
+func copyFixture(t *testing.T, dir string) string {
+	t.Helper()
+	src := filepath.Join("testdata", "src", dir)
+	dst := t.TempDir()
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dst, e.Name()), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dst
+}
+
+// TestFixRoundTrip pins the autofix contract for every fix-carrying
+// analyzer: applying the suggested fixes to a fixture copy yields a
+// package that still type-checks and re-lints clean. Rewrite fixes
+// (ApproxEqual wrapping, channel directions) must resolve the finding
+// outright; suppression stubs must parse as live directives even on
+// lines that already carry a trailing comment.
+func TestFixRoundTrip(t *testing.T) {
+	cases := []struct {
+		name     string
+		dir      string
+		as       string
+		analyzer *Analyzer
+		// wantFixed are substrings the rewritten sources must contain —
+		// the rewrite fixes, as opposed to suppression fallbacks.
+		wantFixed []string
+	}{
+		{"floateq", "floateq", "econcast/internal/lp", FloatEq,
+			[]string{"stats.ApproxEqual(a, b, 1e-9)", "!stats.ApproxEqual(xs[0], xs[1], 1e-9)"}},
+		{"chandir", "chandir", "econcast/internal/asim", ChanDir,
+			[]string{"c chan<- message", "<-chan message"}},
+		{"unitflow", "unitflow", "econcast/internal/sim", UnitFlow, nil},
+		{"shardown", "shardown", "econcast/internal/asim", ShardOwn, nil},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tmp := copyFixture(t, tc.dir)
+			loader, err := NewLoader(".")
+			if err != nil {
+				t.Fatal(err)
+			}
+			pkg, err := loader.LoadDirAs(tmp, tc.as)
+			if err != nil {
+				t.Fatal(err)
+			}
+			findings := Check([]*Package{pkg}, []*Analyzer{tc.analyzer})
+			if len(findings) == 0 {
+				t.Fatal("fixture produced no findings")
+			}
+			for _, f := range findings {
+				if len(f.Fixes) == 0 {
+					t.Errorf("finding carries no fix: %s", f)
+				}
+			}
+			plan, err := PlanFixes(findings)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if plan.Applied != len(findings) || plan.Skipped != 0 {
+				t.Errorf("planned %d/%d fixes (%d skipped), want all", plan.Applied, len(findings), plan.Skipped)
+			}
+			if err := plan.WriteFixes(); err != nil {
+				t.Fatal(err)
+			}
+
+			var all strings.Builder
+			for _, data := range plan.Contents {
+				all.Write(data)
+			}
+			for _, want := range tc.wantFixed {
+				if !strings.Contains(all.String(), want) {
+					t.Errorf("rewritten sources missing %q", want)
+				}
+			}
+
+			// Fresh loader: the fixed package must type-check and re-lint
+			// clean. A wrong rewrite (bad channel direction, broken call)
+			// fails here as a type error.
+			reload, err := NewLoader(".")
+			if err != nil {
+				t.Fatal(err)
+			}
+			fixed, err := reload.LoadDirAs(tmp, tc.as)
+			if err != nil {
+				t.Fatalf("fixed fixture no longer type-checks: %v", err)
+			}
+			for _, f := range Check([]*Package{fixed}, []*Analyzer{tc.analyzer}) {
+				t.Errorf("finding survives -fix: %s", f)
+			}
+		})
+	}
+}
+
+// TestPlanFixesOverlap pins conflict resolution: when two fixes want the
+// same bytes, the first finding in sorted order wins and the loser is
+// counted, not silently dropped.
+func TestPlanFixesOverlap(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "x.txt")
+	if err := os.WriteFile(path, []byte("abcdef\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	findings := []Finding{
+		{Fixes: []Fix{{Edits: []TextEdit{{File: path, Start: 1, End: 3, New: "BC"}}}}},
+		{Fixes: []Fix{{Edits: []TextEdit{{File: path, Start: 2, End: 4, New: "XX"}}}}},
+		{Fixes: []Fix{{Edits: []TextEdit{{File: path, Start: 4, End: 5, New: "E"}}}}},
+	}
+	plan, err := PlanFixes(findings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Applied != 2 || plan.Skipped != 1 {
+		t.Fatalf("Applied=%d Skipped=%d, want 2/1", plan.Applied, plan.Skipped)
+	}
+	if got := string(plan.Contents[path]); got != "aBCdEf\n" {
+		t.Fatalf("contents = %q, want %q", got, "aBCdEf\n")
+	}
+}
+
+// TestPlanFixesInsertConflict pins that two insertions at the same
+// offset conflict (their order would be ambiguous) while insertions at
+// different offsets compose.
+func TestPlanFixesInsertConflict(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "x.txt")
+	if err := os.WriteFile(path, []byte("ab\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	findings := []Finding{
+		{Fixes: []Fix{{Edits: []TextEdit{{File: path, Start: 1, End: 1, New: "X"}}}}},
+		{Fixes: []Fix{{Edits: []TextEdit{{File: path, Start: 1, End: 1, New: "Y"}}}}},
+		{Fixes: []Fix{{Edits: []TextEdit{{File: path, Start: 2, End: 2, New: "Z"}}}}},
+	}
+	plan, err := PlanFixes(findings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Applied != 2 || plan.Skipped != 1 {
+		t.Fatalf("Applied=%d Skipped=%d, want 2/1", plan.Applied, plan.Skipped)
+	}
+	if got := string(plan.Contents[path]); got != "aXbZ\n" {
+		t.Fatalf("contents = %q, want %q", got, "aXbZ\n")
+	}
+}
+
+// TestUnifiedDiff pins the diff shape: correct hunk headers, context
+// capping, and the empty string for identical inputs.
+func TestUnifiedDiff(t *testing.T) {
+	old := []byte("a\nb\nc\nd\ne\nf\ng\n")
+	new := []byte("a\nb\nc\nD\ne\nf\ng\n")
+	got := UnifiedDiff("x.go", old, new)
+	want := "--- x.go\n+++ x.go\n@@ -1,7 +1,7 @@\n a\n b\n c\n-d\n+D\n e\n f\n g\n"
+	if got != want {
+		t.Errorf("UnifiedDiff =\n%q\nwant\n%q", got, want)
+	}
+	if d := UnifiedDiff("x.go", old, old); d != "" {
+		t.Errorf("identical inputs produced a diff:\n%s", d)
+	}
+}

@@ -66,11 +66,14 @@ import (
 	"econcast/internal/sweep"
 )
 
-// Finding is one analyzer report.
+// Finding is one analyzer report. Fixes, when non-empty, carries
+// machine-applicable edits that resolve the finding (see ApplyFixes);
+// they do not participate in sorting, rendering, or baseline identity.
 type Finding struct {
 	Pos      token.Position
 	Analyzer string
 	Message  string
+	Fixes    []Fix
 }
 
 // String renders the canonical "file:line: [name] message" form.
@@ -94,6 +97,11 @@ type Pass struct {
 	Pkg      *types.Package
 	Info     *types.Info
 
+	// Owners is the module-wide //lint:owner annotation table, collected
+	// incrementally by the Loader as packages (including dependencies)
+	// are type-checked. May be nil for hand-built passes.
+	Owners *Owners
+
 	findings *[]Finding
 }
 
@@ -106,9 +114,23 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
+// ReportfFix records a finding at pos carrying a suggested fix. A nil
+// fix degrades to Reportf.
+func (p *Pass) ReportfFix(pos token.Pos, fix *Fix, format string, args ...any) {
+	f := Finding{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	}
+	if fix != nil {
+		f.Fixes = []Fix{*fix}
+	}
+	*p.findings = append(*p.findings, f)
+}
+
 // All returns the full analyzer suite in reporting order.
 func All() []*Analyzer {
-	return []*Analyzer{MapRange, WallClock, FloatEq, RawGoroutine, ErrDrop, HotAlloc, ChanDir, SeedFlow, SharedState}
+	return []*Analyzer{MapRange, WallClock, FloatEq, RawGoroutine, ErrDrop, HotAlloc, ChanDir, SeedFlow, SharedState, UnitFlow, ShardOwn}
 }
 
 // ByName returns the named analyzer, or nil.
@@ -178,6 +200,7 @@ func rawFindings(pkg *Package, analyzers []*Analyzer) []Finding {
 			Files:    pkg.Files,
 			Pkg:      pkg.Types,
 			Info:     pkg.Info,
+			Owners:   pkg.Owners,
 			findings: &raw,
 		}
 		a.Run(pass)
@@ -287,35 +310,67 @@ type Directive struct {
 	Text       string   // the raw comment text
 }
 
-// directives scans the files' comments for //lint: directives. A
-// directive trailing code covers exactly its own line; a standalone
-// directive (nothing but the comment on its line) additionally covers
-// the next line.
+// directiveContent is the parsed payload of one //lint: comment,
+// independent of where it sits in the source.
+type directiveContent struct {
+	Kind   string   // "allow", "ordered", "owner", "handoff", or "" for non-directives
+	Names  []string // allow: analyzer names; ordered: the maprange alias
+	Domain string   // owner/handoff: the ownership domain
+}
+
+// parseDirective parses a raw comment text ("//lint:allow floateq why")
+// into its directive content. Comments that are not //lint: directives,
+// and directives with an empty payload, parse to the zero content. The
+// grammar is shared by the suppression table, the suppression audit, and
+// the ownership-annotation scan, and is fuzzed by FuzzParseDirectives.
+func parseDirective(text string) directiveContent {
+	body, ok := strings.CutPrefix(text, "//lint:")
+	if !ok {
+		return directiveContent{}
+	}
+	switch {
+	case body == "ordered" || strings.HasPrefix(body, "ordered "):
+		return directiveContent{Kind: "ordered", Names: []string{MapRange.Name}}
+	case strings.HasPrefix(body, "allow "):
+		list, _, _ := strings.Cut(strings.TrimPrefix(body, "allow "), " ")
+		var names []string
+		for _, n := range strings.Split(list, ",") {
+			if n = strings.TrimSpace(n); n != "" {
+				names = append(names, n)
+			}
+		}
+		if len(names) == 0 {
+			return directiveContent{}
+		}
+		return directiveContent{Kind: "allow", Names: names}
+	case strings.HasPrefix(body, "owner "), strings.HasPrefix(body, "handoff "):
+		kind, rest, _ := strings.Cut(body, " ")
+		domain := strings.TrimSpace(rest)
+		if i := strings.IndexByte(domain, ' '); i >= 0 {
+			domain = domain[:i] // anything after the domain is a free-form reason
+		}
+		if domain == "" {
+			return directiveContent{}
+		}
+		return directiveContent{Kind: kind, Domain: domain}
+	}
+	return directiveContent{}
+}
+
+// directives scans the files' comments for suppression directives
+// (//lint:allow, //lint:ordered). A directive trailing code covers
+// exactly its own line; a standalone directive (nothing but the comment
+// on its line) additionally covers the next line. Ownership annotations
+// (//lint:owner, //lint:handoff) are not suppressions and are collected
+// separately (see Owners).
 func directives(fset *token.FileSet, files []*ast.File) []Directive {
 	var ds []Directive
 	for _, f := range files {
 		var code map[int]bool // lazily built per file
 		for _, group := range f.Comments {
 			for _, c := range group.List {
-				text, ok := strings.CutPrefix(c.Text, "//lint:")
-				if !ok {
-					continue
-				}
-				var names []string
-				switch {
-				case text == "ordered" || strings.HasPrefix(text, "ordered "):
-					names = []string{MapRange.Name}
-				case strings.HasPrefix(text, "allow "):
-					list, _, _ := strings.Cut(strings.TrimPrefix(text, "allow "), " ")
-					for _, n := range strings.Split(list, ",") {
-						if n = strings.TrimSpace(n); n != "" {
-							names = append(names, n)
-						}
-					}
-				default:
-					continue
-				}
-				if len(names) == 0 {
+				d := parseDirective(c.Text)
+				if d.Kind != "allow" && d.Kind != "ordered" {
 					continue
 				}
 				if code == nil {
@@ -324,7 +379,7 @@ func directives(fset *token.FileSet, files []*ast.File) []Directive {
 				pos := fset.Position(c.Pos())
 				ds = append(ds, Directive{
 					Pos:        pos,
-					Names:      names,
+					Names:      d.Names,
 					Standalone: !code[pos.Line],
 					Text:       c.Text,
 				})

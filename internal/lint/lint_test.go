@@ -110,6 +110,10 @@ func TestFixtures(t *testing.T) {
 		{"seedflow/inside-rng", filepath.Join("seedflow", "exempt"), "econcast/internal/rng", SeedFlow, true},
 		{"sharedstate", "sharedstate", "econcast/internal/asim", SharedState, false},
 		{"sharedstate/clean-handoffs", filepath.Join("sharedstate", "clean"), "econcast/internal/asim", SharedState, true},
+		{"unitflow", "unitflow", "econcast/internal/sim", UnitFlow, false},
+		{"unitflow/outside-registry-pkg", "unitflow", "econcast/internal/viz", UnitFlow, true},
+		{"shardown", "shardown", "econcast/internal/asim", ShardOwn, false},
+		{"shardown/clean-engine", filepath.Join("shardown", "clean"), "econcast/internal/asim", ShardOwn, true},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -24,6 +24,12 @@ type Package struct {
 	Files []*ast.File
 	Types *types.Package
 	Info  *types.Info
+
+	// Owners is the Loader's module-wide ownership-annotation table,
+	// shared by every package the Loader produced. Annotations from
+	// dependency packages are visible because dependencies are loaded
+	// (and scanned) through the same Loader before analysis begins.
+	Owners *Owners
 }
 
 // Loader parses and type-checks packages of the enclosing module using
@@ -51,6 +57,7 @@ type Loader struct {
 	mu      sync.Mutex
 	pkgs    map[string]*Package // memoized module-internal packages
 	loading map[string]bool     // import-cycle guard
+	owners  *Owners             // //lint:owner and //lint:handoff annotations
 }
 
 // NewLoader returns a Loader for the module enclosing dir.
@@ -72,6 +79,7 @@ func NewLoader(dir string) (*Loader, error) {
 		std:       importer.ForCompiler(fset, "source", nil),
 		pkgs:      make(map[string]*Package),
 		loading:   make(map[string]bool),
+		owners:    newOwners(),
 	}, nil
 }
 
@@ -197,8 +205,12 @@ func (l *Loader) loadDir(dir, asPath string, files []*ast.File) (*Package, error
 	if err != nil {
 		return nil, fmt.Errorf("lint: type-checking %s: %w", asPath, err)
 	}
-	pkg := &Package{Path: asPath, Dir: dir, Fset: l.Fset, Files: files, Types: tpkg, Info: info}
+	pkg := &Package{Path: asPath, Dir: dir, Fset: l.Fset, Files: files, Types: tpkg, Info: info, Owners: l.owners}
 	l.pkgs[asPath] = pkg
+	// Collect ownership annotations while l.mu is held, so by the time
+	// analysis reads the table every loaded package — dependencies
+	// included — has contributed its annotations.
+	l.owners.scanPackage(pkg)
 	return pkg, nil
 }
 

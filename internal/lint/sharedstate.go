@@ -7,27 +7,22 @@ import (
 	"sort"
 )
 
-// criticalTypes names the mutable determinism-critical types: one of
-// these consumed from two goroutines makes the draw/accumulation order
-// scheduling-dependent, which is deterministic-but-wrong in exactly the
-// way `go test -race` cannot catch (every access may still be
-// happens-before ordered through the broker protocol, yet the stream is
-// shared). Each goroutine must own its own: rng.Source streams are split
-// per goroutine (rng.Source.Split), accumulators are merged after the
-// sweep barrier.
-var criticalTypes = map[string]map[string]bool{
-	"econcast/internal/rng":      {"Source": true},
-	"econcast/internal/stats":    {"Accumulator": true, "Counter": true},
-	"econcast/internal/econcast": {"Node": true},
-	// A compiled fault Set carries per-receiver loss streams that advance
-	// on DropRx: it is single-owner engine state. Goroutines get a
-	// faults.NodeView (a value) instead.
-	"econcast/internal/faults": {"Set": true},
-}
+// Determinism-critical types are the ones annotated with the reserved
+// per-instance ownership domain (`//lint:owner goroutine` on the type
+// declaration; see Owners): one of these consumed from two goroutines
+// makes the draw/accumulation order scheduling-dependent, which is
+// deterministic-but-wrong in exactly the way `go test -race` cannot
+// catch (every access may still be happens-before ordered through the
+// broker protocol, yet the stream is shared). Each goroutine must own
+// its own: rng.Source streams are split per goroutine
+// (rng.Source.Split), accumulators are merged after the sweep barrier.
+// The set used to be a hardcoded list here; it now lives with the type
+// declarations themselves, so new single-owner types opt in at the
+// point of definition.
 
 // isCriticalPtr reports whether t is a pointer to a determinism-critical
-// named type.
-func isCriticalPtr(t types.Type) bool {
+// (instance-owned) named type.
+func isCriticalPtr(p *Pass, t types.Type) bool {
 	if t == nil {
 		return false
 	}
@@ -35,15 +30,7 @@ func isCriticalPtr(t types.Type) bool {
 	if !ok {
 		return false
 	}
-	named, ok := ptr.Elem().(*types.Named)
-	if !ok {
-		return false
-	}
-	obj := named.Obj()
-	if obj.Pkg() == nil {
-		return false
-	}
-	return criticalTypes[obj.Pkg().Path()][obj.Name()]
+	return p.Owners.anyDomain(ptr.Elem()) == InstanceOwned
 }
 
 // SharedState flags determinism-critical pointers shared across
@@ -128,7 +115,7 @@ func checkGoCaptures(p *Pass, fd *ast.FuncDecl) {
 			if !ok {
 				return true
 			}
-			if v, ok := p.Info.Uses[id].(*types.Var); ok && !v.IsField() && isCriticalPtr(v.Type()) {
+			if v, ok := p.Info.Uses[id].(*types.Var); ok && !v.IsField() && isCriticalPtr(p, v.Type()) {
 				if _, dup := handed[v]; !dup {
 					handed[v] = id
 				}
@@ -212,7 +199,7 @@ func checkStore(p *Pass, fd *ast.FuncDecl, crossing map[*types.Named]bool, inLoo
 			return // fresh call results and literals are per-instance
 		}
 		v, ok := p.Info.Uses[id].(*types.Var)
-		if !ok || v.IsField() || !isCriticalPtr(v.Type()) {
+		if !ok || v.IsField() || !isCriticalPtr(p, v.Type()) {
 			return
 		}
 		loop := inLoop(id.Pos())

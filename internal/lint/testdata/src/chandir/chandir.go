@@ -36,6 +36,12 @@ func (b *broker) loop() {
 	}
 }
 
+// drain only ever receives from out, so the suggested fix can prove the
+// <-chan role from usage.
+func (h *hub) drain() message {
+	return <-h.out
+}
+
 // poll selects outside the licensed loops.
 func (h *hub) poll() {
 	select { // want chandir

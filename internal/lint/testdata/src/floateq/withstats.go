@@ -1,0 +1,23 @@
+// This file imports the stats helpers, so floateq's suggested fix can
+// rewrite exact comparisons into stats.ApproxEqual calls instead of
+// falling back to a suppression stub (fix selection is per-file: the
+// sibling file without the import keeps the fallback).
+package fixture
+
+import "econcast/internal/stats"
+
+// converged is the fixable violation: the suggested edit wraps the
+// operands where they sit.
+func converged(a, b float64) bool {
+	return a == b // want floateq
+}
+
+// stillApart exercises the negated rewrite for !=.
+func stillApart(xs []float64) bool {
+	return xs[0] != xs[1] // want floateq
+}
+
+// withinTol is the repaired form the fixes converge to.
+func withinTol(a, b float64) bool {
+	return stats.ApproxEqual(a, b, 1e-9)
+}

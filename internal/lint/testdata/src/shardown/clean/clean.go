@@ -1,0 +1,64 @@
+// Package asim is the shardown wantNone fixture: the sanctioned
+// engine shape. Domain-less setup constructs the owned values, the
+// establishing launch hands each node to its goroutine, and the two
+// domains speak only over channels afterwards.
+package asim
+
+//lint:owner fix-node firmware state owned by the node goroutine
+type nodeRt struct {
+	id  int
+	cmd <-chan int
+	out chan<- int
+}
+
+func (n *nodeRt) run() {
+	for c := range n.cmd {
+		n.out <- c + n.id
+	}
+}
+
+//lint:owner fix-broker the broker goroutine owns the clock and medium
+type medium struct {
+	nodes []*nodeRt
+	cmds  []chan<- int
+	out   <-chan int
+	clock float64
+}
+
+// newMedium is setup code: no domain, unrestricted construction.
+func newMedium(n int) *medium {
+	out := make(chan int)
+	m := &medium{nodes: make([]*nodeRt, n), cmds: make([]chan<- int, n), out: out}
+	for i := range m.nodes {
+		ch := make(chan int)
+		m.cmds[i] = ch
+		m.nodes[i] = &nodeRt{id: i, cmd: ch, out: out}
+	}
+	return m
+}
+
+// start performs the establishing launches.
+func (m *medium) start() {
+	for _, n := range m.nodes {
+		go n.run()
+	}
+}
+
+// loop owns the medium and talks to nodes over channels only.
+func (m *medium) loop(rounds int) int {
+	sum := 0
+	for r := 0; r < rounds; r++ {
+		for i := range m.cmds {
+			m.cmds[i] <- r
+			sum += <-m.out
+		}
+		m.clock++
+	}
+	return sum
+}
+
+func run(n, rounds int) int {
+	m := newMedium(n)
+	m.start()
+	return m.loop(rounds)
+}

@@ -1,0 +1,78 @@
+// Package asim is a shardown fixture: two role domains (fix-broker
+// owns the medium, fix-node owns firmware state) with every illegal
+// access path seeded — cross-domain field reads, method calls, call-
+// argument escapes, and goroutine captures — next to the legal ones:
+// the establishing launch, licensed handoffs, and domain-less setup.
+package asim
+
+//lint:owner fix-node firmware state owned by the node goroutine
+type nodeRt struct {
+	id    int
+	state int
+}
+
+func (n *nodeRt) run()  {}
+func (n *nodeRt) step() {}
+
+//lint:owner fix-broker the broker goroutine owns the clock and medium
+type medium struct {
+	nodes []*nodeRt
+	clock float64
+}
+
+// deliver is a licensed boundary: any domain may hand a node through
+// it.
+//
+//lint:handoff fix-node conservative sync boundary for the fixture
+func deliver(n *nodeRt) { n.state++ }
+
+// inspect carries no license: passing a node here from another domain
+// is an escape.
+func inspect(n *nodeRt) int { return n.state }
+
+// start performs the establishing launches: `go n.run()` hands each
+// node to the goroutine that will own it. Legal.
+func (m *medium) start() {
+	for _, n := range m.nodes {
+		go n.run()
+	}
+}
+
+// poke reaches into node-owned state from the broker domain.
+func (m *medium) poke() {
+	m.nodes[0].state = 1 // want shardown
+}
+
+// tick calls a node method from the broker domain without a license.
+func (m *medium) tick() {
+	m.nodes[0].step() // want shardown
+}
+
+// handUnlicensed escapes a node into an unlicensed callee; the
+// licensed variant next to it is fine.
+func (m *medium) handUnlicensed() {
+	_ = inspect(m.nodes[0]) // want shardown
+	deliver(m.nodes[0])
+}
+
+// peek reads broker-owned state from the node domain.
+func (n *nodeRt) peek(m *medium) float64 {
+	return m.clock // want shardown
+}
+
+// sync is licensed for the broker domain, so the same read is legal.
+//
+//lint:handoff fix-broker reads the clock at a sync point
+func (n *nodeRt) sync(m *medium) float64 {
+	return m.clock
+}
+
+// leak captures an owned node in an anonymous goroutine — not an
+// establishing launch, so ownership is violated even from domain-less
+// setup code.
+func leak(n *nodeRt, done chan struct{}) {
+	go func() {
+		n.step() // want shardown
+		close(done)
+	}()
+}

@@ -16,6 +16,8 @@ import (
 
 // Source is a deterministic pseudo-random number generator. It is not safe
 // for concurrent use; derive one Source per goroutine with Split.
+//
+//lint:owner goroutine each goroutine owns its own stream, derived with Split
 type Source struct {
 	s [4]uint64
 }

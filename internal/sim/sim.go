@@ -36,6 +36,20 @@ type Protocol struct {
 	PacketTime float64 // seconds (default 1 ms)
 }
 
+// TicksToSeconds converts a count of multiplier intervals into
+// simulated seconds under p's tick length. It (and its inverse) is the
+// sanctioned tick/second boundary: econlint's unitflow analyzer flags
+// arithmetic that mixes the two dimensions directly.
+func (p Protocol) TicksToSeconds(ticks float64) float64 {
+	return ticks * p.Tau //lint:allow unitflow the conversion boundary itself: tick·(s per tick) yields s
+}
+
+// SecondsToTicks converts simulated seconds into a (fractional) count
+// of multiplier intervals. Inverse of TicksToSeconds.
+func (p Protocol) SecondsToTicks(t float64) float64 {
+	return t / p.Tau
+}
+
 // Config describes one simulation run.
 type Config struct {
 	Network  *model.Network
@@ -270,6 +284,7 @@ type packet struct {
 	delivered bool  // some packet of this hold was received by someone
 }
 
+//lint:owner sim-engine the event-loop goroutine owns all engine state
 type engine struct {
 	cfg   Config
 	n     int

@@ -12,6 +12,8 @@ import (
 
 // Accumulator computes mean and variance online using Welford's algorithm.
 // The zero value is ready to use.
+//
+//lint:owner goroutine single-owner state; merge per-goroutine accumulators after the barrier
 type Accumulator struct {
 	n    int
 	mean float64
@@ -235,6 +237,8 @@ func (h *Histogram) Fraction(i int) float64 {
 
 // Counter tallies non-negative integer outcomes (e.g. "number of pings
 // received"), used for the paper's Table IV. The zero value is ready to use.
+//
+//lint:owner goroutine single-owner state; merge per-goroutine counters after the barrier
 type Counter struct {
 	counts []int
 	total  int

@@ -199,6 +199,7 @@ type nodeState struct {
 	virtual float64 // nominal energy consumed (J)
 }
 
+//lint:owner testbed-engine the testbed event loop owns all engine state
 type engine struct {
 	cfg   Config
 	src   *rng.Source
