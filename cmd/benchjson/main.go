@@ -24,13 +24,21 @@ import (
 
 // Result is one parsed benchmark line.
 type Result struct {
-	Name        string  `json:"name"`
-	Package     string  `json:"package,omitempty"`
-	Iterations  int64   `json:"iterations"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
-	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
-	HasMemStats bool    `json:"has_mem_stats"`
+	Name       string  `json:"name"`
+	Package    string  `json:"package,omitempty"`
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	// No omitempty on the allocation columns: an explicit 0 is the
+	// allocation-free gate's evidence, not an absent measurement —
+	// HasMemStats distinguishes "measured 0" from "not measured".
+	BytesPerOp  int64 `json:"bytes_per_op"`
+	AllocsPerOp int64 `json:"allocs_per_op"`
+	HasMemStats bool  `json:"has_mem_stats"`
+
+	// Metrics holds custom b.ReportMetric columns ("events/s": 1.2e6)
+	// keyed by their unit string, so throughput-style results survive the
+	// conversion alongside the standard time and allocation columns.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 func main() {
@@ -105,17 +113,23 @@ func parse(r io.Reader) ([]Result, error) {
 			NsPerOp:    ns,
 		}
 		for i := 4; i+1 < len(fields); i += 2 {
-			v, err := strconv.ParseInt(fields[i], 10, 64)
+			v, err := strconv.ParseFloat(fields[i], 64)
 			if err != nil {
 				continue
 			}
-			switch fields[i+1] {
+			switch unit := fields[i+1]; unit {
 			case "B/op":
-				res.BytesPerOp = v
+				res.BytesPerOp = int64(v)
 				res.HasMemStats = true
 			case "allocs/op":
-				res.AllocsPerOp = v
+				res.AllocsPerOp = int64(v)
 				res.HasMemStats = true
+			default:
+				// A custom b.ReportMetric column; keep it under its unit.
+				if res.Metrics == nil {
+					res.Metrics = map[string]float64{}
+				}
+				res.Metrics[unit] = v
 			}
 		}
 		results = append(results, res)

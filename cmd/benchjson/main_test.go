@@ -18,6 +18,9 @@ BenchmarkFig6-8   	       1	1234567890 ns/op
 --- BENCH: BenchmarkFig6-8
     bench_test.go:12: note line, not a result
 ok  	econcast	2.345s
+pkg: econcast/internal/sim
+BenchmarkScaleGrid/n=100k/workers=4-8   	       1	19410859407 ns/op	   1087851 events/s
+ok  	econcast/internal/sim	19.5s
 `
 
 func TestParse(t *testing.T) {
@@ -25,8 +28,8 @@ func TestParse(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(results) != 3 {
-		t.Fatalf("parsed %d results, want 3: %+v", len(results), results)
+	if len(results) != 4 {
+		t.Fatalf("parsed %d results, want 4: %+v", len(results), results)
 	}
 	ev := results[0]
 	if ev.Name != "BenchmarkEventLoop" || ev.Package != "econcast/internal/sim" {
@@ -44,6 +47,16 @@ func TestParse(t *testing.T) {
 	}
 	if fig.HasMemStats {
 		t.Errorf("no -benchmem columns, yet HasMemStats: %+v", fig)
+	}
+	scale := results[3]
+	if scale.Name != "BenchmarkScaleGrid/n=100k/workers=4" {
+		t.Errorf("subbenchmark name wrong: %+v", scale)
+	}
+	if scale.Metrics["events/s"] != 1087851 {
+		t.Errorf("custom metric not captured: %+v", scale)
+	}
+	if scale.HasMemStats {
+		t.Errorf("custom metric misread as mem stats: %+v", scale)
 	}
 }
 

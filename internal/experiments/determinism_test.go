@@ -77,6 +77,28 @@ func TestFaultedSweepsIdenticalAcrossWorkerCounts(t *testing.T) {
 	}
 }
 
+// TestScaleSweepIdenticalAcrossWorkerCounts pins the sharded engine's
+// contract through the sweep layer: the scale experiment fans sharded
+// multi-thousand-node sims out as sweep cells, and its deterministic
+// table must be byte-identical at workers 1, 4, and 16 — the engine's
+// shard count and the pool's worker count are both unobservable.
+func TestScaleSweepIdenticalAcrossWorkerCounts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sim-backed sweep in -short mode")
+	}
+	if raceEnabled {
+		t.Skip("sim-backed sweep under -race (see TestSweepOutputIdenticalAcrossWorkerCounts)")
+	}
+	base := formatAll(t, "scale", Options{Quick: true, Seed: 1, Workers: 1})
+	for _, workers := range []int{4, 16} {
+		got := formatAll(t, "scale", Options{Quick: true, Seed: 1, Workers: workers})
+		if got != base {
+			t.Errorf("scale output differs between workers=1 and workers=%d\n--- workers=1 ---\n%s\n--- workers=%d ---\n%s",
+				workers, base, workers, got)
+		}
+	}
+}
+
 // TestSweepAggregationIdenticalAcrossWorkerCounts covers the other
 // order-sensitivity hazard: discovery feeds per-replicate cells into
 // running-mean accumulators, whose floating-point results depend on feed

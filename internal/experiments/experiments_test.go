@@ -47,7 +47,7 @@ func cell(t *testing.T, tb *Table, row, col int) float64 {
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"table2", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
 		"table3", "table4", "text-homog", "ablations", "discovery", "topologies",
-		"convergence", "harvesting", "churn", "faults"}
+		"convergence", "harvesting", "churn", "faults", "scale"}
 	for _, id := range want {
 		if _, ok := Lookup(id); !ok {
 			t.Errorf("missing experiment %q", id)
@@ -318,6 +318,38 @@ func TestTopologiesExperiment(t *testing.T) {
 		if sim := cell(t, tb, r, 4); sim <= 0 || sim > exact+1e-9 {
 			t.Errorf("%s: sim %v outside (0, exact]", tb.Rows[r][0], sim)
 		}
+	}
+}
+
+func TestScaleExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-thousand-node sims in -short mode")
+	}
+	if raceEnabled {
+		t.Skip("multi-thousand-node sims under -race (the CI smoke step covers the sharded engine under race)")
+	}
+	tb := runOne(t, "scale")[0]
+	if len(tb.Rows) != 4 {
+		t.Fatalf("%d scale rows in quick mode, want 4", len(tb.Rows))
+	}
+	for r := range tb.Rows {
+		if shards := cell(t, tb, r, 2); shards < 2 {
+			t.Errorf("row %d: %v shards — the sharded engine did not run", r, shards)
+		}
+		if events := cell(t, tb, r, 3); events <= 0 {
+			t.Errorf("row %d: no events dispatched", r)
+		}
+		// Aggregate groupput: spatial reuse lets concurrent deliveries sum
+		// far past 1, but it cannot exceed one delivery per node-second.
+		if g, n := cell(t, tb, r, 5), cell(t, tb, r, 1); g <= 0 || g > n {
+			t.Errorf("row %d: aggregate groupput %v outside (0, N=%v]", r, g, n)
+		}
+	}
+	// Event counts must grow with N within each family (rows are ordered
+	// small-to-large per family and horizons shrink only 10x while N grows
+	// 10x at matched density).
+	if e1, e2 := cell(t, tb, 0, 3), cell(t, tb, 1, 3); e2 <= e1 {
+		t.Errorf("grid events did not grow with N: %v -> %v", e1, e2)
 	}
 }
 

@@ -23,6 +23,11 @@ type hotEntry struct {
 var hotEntries = map[string][]hotEntry{
 	"econcast/internal/sim": {
 		{recv: "engine", method: "run"},
+		// The sharded engine's per-event path: the coordinator's round
+		// driver (shard pick, lookahead bound, heap repair) and the shard
+		// drain loop, from which dispatch and every handler are reachable.
+		{recv: "coordinator", method: "step"},
+		{recv: "shardRuntime", method: "run"},
 	},
 	"econcast/internal/asim": {
 		{recv: "broker", method: "loop"},

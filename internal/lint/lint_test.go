@@ -104,6 +104,8 @@ func TestFixtures(t *testing.T) {
 		{"hotalloc/statespace-outside-hot-pkg", filepath.Join("hotalloc", "statespace"), "econcast/internal/viz", HotAlloc, true},
 		{"hotalloc/faults-query-tree", filepath.Join("hotalloc", "faults"), "econcast/internal/faults", HotAlloc, false},
 		{"hotalloc/faults-outside-hot-pkg", filepath.Join("hotalloc", "faults"), "econcast/internal/viz", HotAlloc, true},
+		{"hotalloc/shard-coordinator-tree", filepath.Join("hotalloc", "shard"), "econcast/internal/sim", HotAlloc, false},
+		{"hotalloc/shard-outside-hot-pkg", filepath.Join("hotalloc", "shard"), "econcast/internal/viz", HotAlloc, true},
 		{"chandir", "chandir", "econcast/internal/asim", ChanDir, false},
 		{"chandir/outside-channel-pkg", "chandir", "econcast/internal/viz", ChanDir, true},
 		{"seedflow", "seedflow", "econcast/internal/experiments", SeedFlow, false},

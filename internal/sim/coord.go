@@ -1,0 +1,838 @@
+// Sharded spatial-interference engine. For non-clique topologies the
+// coordinator partitions nodes into spatial shards (internal/topology's
+// Partition), gives each shard its own event heap, and keeps all node
+// state in flat structure-of-arrays slices so the per-event working set
+// is dense. Dispatch order is the global (time, seq) order of the
+// single-queue engine: the coordinator maintains an indexed min-heap
+// over shard queue heads and lets the leading shard drain a run of
+// events conservatively bounded by the earliest event of any other
+// shard (the lookahead bound), resynchronizing whenever an event pushes
+// across a shard boundary. Because the dispatch order and the single
+// shared RNG stream are exactly those of the single-queue engine,
+// results are byte-identical by construction — for any shard count, and
+// at any sweep worker count above it.
+//
+// The performance win is spatial: the single-queue engine's
+// hidden-terminal collision scan walks every node's packet slot on each
+// transmission start (O(N)); the coordinator inverts the listener
+// relation into a per-node counter (listeningTo), so a start checks
+// only its own neighbors — O(degree) regardless of N — and each shard's
+// event heap stays small enough that heap churn is cache-resident.
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"econcast/internal/econcast"
+	"econcast/internal/faults"
+	"econcast/internal/model"
+	"econcast/internal/rng"
+	"econcast/internal/topology"
+)
+
+// coordinator is the sharded engine: SoA node state plus the shard
+// scheduling structures. Exactly one goroutine drives it.
+//
+//lint:owner sim-engine the event-loop goroutine owns all coordinator state
+type coordinator struct {
+	cfg  Config
+	n    int
+	topo *topology.Topology
+	part *topology.Partition
+	src  *rng.Source
+	flt  *faults.Set
+
+	now     float64
+	seq     uint64
+	tau     float64
+	horizon float64 // cfg.Duration, copied next to the other hot scalars
+
+	shards  []shardRuntime
+	shardOf []int32 // node -> owning shard (copied flat for the push path)
+
+	// order is an indexed binary min-heap of shard ids keyed by each
+	// shard's earliest event (at, seq); pos[s] is shard s's position in
+	// order, -1 while its queue is empty or while it is the detached
+	// current shard. The draining shard is removed from the heap for the
+	// duration of its batch, so the heap stays fully valid and every
+	// cross-shard push can repair its target's position immediately.
+	order   []int32
+	pos     []int32
+	current int32 // shard being drained; pushes elsewhere set crossed
+	crossed bool
+	done    bool // horizon reached
+
+	// batchLimit caps events per drain batch; 0 means unlimited. The
+	// benchmarks set 1 so ns/op measures exactly one event through the
+	// full dispatch path.
+	batchLimit int
+
+	// SoA node state: one flat slice per field of the single-queue
+	// engine's nodeState, indexed by node.
+	protos        []econcast.Node // contiguous protocol state slab
+	state         []model.State
+	version       []uint64
+	busy          []int32
+	lastUpdate    []float64
+	burstCount    []int32
+	lastBurstEnd  []float64
+	hasBurst      []bool
+	sleptSince    []bool
+	collidedInPkt []bool
+
+	// Per-transmitter packet slots, SoA like the node state. Listener
+	// slices keep their capacity across holds, so starting a packet never
+	// allocates in steady state.
+	pktActive    []bool
+	pktListeners [][]int
+	pktBurstLen  []int
+	pktDelivered []bool
+
+	// nbr[i] is node i's neighbor set (precomputed, sorted).
+	nbr [][]int
+
+	// listeningTo[j] counts the in-flight packets whose listener list
+	// holds j (a node frozen in Listen can be captured by several
+	// overlapping packets). It inverts the pktListeners relation, so the
+	// hidden-terminal check at transmission start is one counter load per
+	// neighbor instead of a scan over every nearby in-flight packet.
+	listeningTo []int32
+
+	// headAt/headSeq cache each shard's earliest-event key. shardLess
+	// reads these two dense arrays (hot in cache at any shard count)
+	// instead of chasing into per-shard queue storage; fix refreshes a
+	// shard's entry whenever its head may have changed.
+	headAt  []float64
+	headSeq []uint64
+
+	logging    bool
+	packetTime float64
+
+	// onDispatch, when non-nil, observes every dispatched event in order
+	// (test instrumentation; nil in production runs).
+	onDispatch func(event)
+
+	met           Metrics
+	measuring     bool
+	warmupBattery []float64
+	occLast       float64
+}
+
+func newCoordinator(cfg Config, flt *faults.Set, shards int) *coordinator {
+	n := cfg.Network.N()
+	c := &coordinator{
+		cfg:        cfg,
+		n:          n,
+		horizon:    cfg.Duration,
+		topo:       cfg.Topology,
+		part:       topology.NewPartition(cfg.Topology, shards),
+		src:        rng.New(cfg.Seed),
+		flt:        flt,
+		logging:    cfg.EventLog != nil,
+		packetTime: model.DefaultIfZero(cfg.Protocol.PacketTime, 1e-3),
+
+		protos:        make([]econcast.Node, n),
+		state:         make([]model.State, n),
+		version:       make([]uint64, n),
+		busy:          make([]int32, n),
+		lastUpdate:    make([]float64, n),
+		burstCount:    make([]int32, n),
+		lastBurstEnd:  make([]float64, n),
+		hasBurst:      make([]bool, n),
+		sleptSince:    make([]bool, n),
+		collidedInPkt: make([]bool, n),
+
+		pktActive:    make([]bool, n),
+		pktListeners: make([][]int, n),
+		pktBurstLen:  make([]int, n),
+		pktDelivered: make([]bool, n),
+
+		nbr:         make([][]int, n),
+		listeningTo: make([]int32, n),
+		shardOf:     make([]int32, n),
+	}
+	if cfg.TrackOccupancy {
+		c.met.Occupancy = make(map[model.NetState]float64)
+	}
+	ns := c.part.Shards()
+	c.shards = make([]shardRuntime, ns)
+	for s := range c.shards {
+		c.shards[s].id = int32(s)
+	}
+	c.order = make([]int32, 0, ns)
+	c.pos = make([]int32, ns)
+	c.headAt = make([]float64, ns)
+	c.headSeq = make([]uint64, ns)
+	for s := range c.pos {
+		c.pos[s] = -1
+	}
+	c.current = -1
+	for i := 0; i < n; i++ {
+		c.nbr[i] = c.topo.Neighbors(i)
+		c.shardOf[i] = int32(c.part.ShardOf(i))
+	}
+	for i := 0; i < n; i++ {
+		nd := cfg.Network.Nodes[i]
+		pc := econcast.Config{
+			Mode:               cfg.Protocol.Mode,
+			Variant:            cfg.Protocol.Variant,
+			Sigma:              cfg.Protocol.Sigma,
+			Delta:              cfg.Protocol.Delta,
+			Tau:                cfg.Protocol.Tau,
+			Budget:             nd.Budget,
+			ListenPower:        nd.ListenPower,
+			TransmitPower:      nd.TransmitPower,
+			PacketTime:         cfg.Protocol.PacketTime,
+			InitialBattery:     cfg.InitialBattery,
+			ClampBatteryAtZero: cfg.HardBatteryFloor,
+		}
+		if cfg.FreezeEta {
+			// A vanishing step makes the eq. (17) updates no-ops, keeping
+			// eta pinned to its warm-start value.
+			pc.Delta = 1e-300
+		}
+		// Same brownout/harvest wrapper selection as the single-queue
+		// engine: the exact constant-budget path is kept bit-for-bit when
+		// neither a profile nor a brownout schedule exists.
+		if v := flt.View(i); cfg.Harvest != nil {
+			node := i
+			if v.HasBrownout() {
+				pc.Harvest = func(t float64) float64 { return cfg.Harvest(node, t) * v.HarvestScale(t) }
+			} else {
+				pc.Harvest = func(t float64) float64 { return cfg.Harvest(node, t) }
+			}
+		} else if v.HasBrownout() {
+			budget := nd.Budget
+			pc.Harvest = func(t float64) float64 { return budget * v.HarvestScale(t) }
+		}
+		c.protos[i] = *econcast.NewNode(pc)
+		c.state[i] = model.Sleep
+		c.lastBurstEnd[i] = -1
+		if cfg.WarmEta != nil {
+			p0 := math.Max(nd.ListenPower, nd.TransmitPower)
+			c.protos[i].SetEta(cfg.WarmEta[i] * p0)
+		}
+	}
+	return c
+}
+
+func (c *coordinator) run() {
+	c.start()
+	for c.step() {
+	}
+	c.drain()
+}
+
+// start mirrors engine.start: every node's first transition and
+// multiplier tick plus all fault boundaries, seeded in node order so
+// sequence numbers and RNG draws line up with the single-queue engine.
+func (c *coordinator) start() {
+	c.tau = c.protos[0].Config().Tau
+	for i := 0; i < c.n; i++ {
+		c.scheduleTransition(i)
+		c.push(event{at: c.tau, kind: evTick, node: i})
+		node := i
+		c.flt.Boundaries(i, func(at float64) {
+			c.push(event{at: at, kind: evFault, node: node})
+		})
+	}
+	c.crossed = false
+}
+
+// step runs one coordinator round: pick the shard owning the globally
+// earliest event, detach it from the heap, let it drain up to the
+// conservative lookahead bound (the earliest event of any other shard —
+// the root of the remaining heap), and re-attach it. It returns false
+// once every queue is empty or the horizon was reached.
+func (c *coordinator) step() bool {
+	if c.done || len(c.order) == 0 {
+		return false
+	}
+	s := c.order[0]
+	// Detach s for the duration of its batch: its head changes with every
+	// pop and push, and the eager cross-shard fixes in push are only sound
+	// against a heap that is valid everywhere. A stale s left at the root
+	// would let a pushed-to shard rise to the root from the other subtree
+	// without ever being compared against the true minimum of the
+	// remaining shards.
+	last := len(c.order) - 1
+	c.orderSwap(0, last)
+	c.order = c.order[:last]
+	c.pos[s] = -1
+	if last > 0 {
+		c.siftDown(0)
+	}
+	boundAt := math.Inf(1)
+	boundSeq := uint64(0)
+	if len(c.order) > 0 {
+		b := c.order[0]
+		boundAt, boundSeq = c.headAt[b], c.headSeq[b]
+	}
+	c.shards[s].run(c, boundAt, boundSeq)
+	c.fix(s) // re-attach; a no-op if the batch drained the queue
+	return !c.done
+}
+
+// drain performs the final energy (and occupancy) accrual to the horizon.
+func (c *coordinator) drain() {
+	if c.cfg.TrackOccupancy && c.measuring {
+		c.accrueOccupancy(c.cfg.Duration)
+	}
+	c.now = c.cfg.Duration
+	for i := 0; i < c.n; i++ {
+		c.accrue(i)
+	}
+}
+
+// dispatch realizes one event, mirroring the body of engine.step after
+// its horizon check.
+func (c *coordinator) dispatch(ev event) {
+	if c.onDispatch != nil {
+		c.onDispatch(ev)
+	}
+	c.met.Events++
+	if c.cfg.TrackOccupancy && c.measuring {
+		c.accrueOccupancy(ev.at)
+	}
+	c.now = ev.at
+	if !c.measuring && c.now >= c.cfg.Warmup {
+		c.measuring = true
+		c.occLast = c.now
+		c.warmupBattery = make([]float64, c.n) //lint:allow hotalloc once per run, at the warmup boundary
+		for i := 0; i < c.n; i++ {
+			c.accrue(i)
+			c.warmupBattery[i] = c.protos[i].Battery()
+		}
+	}
+	switch ev.kind {
+	case evTransition:
+		if ev.version == c.version[ev.node] {
+			c.handleTransition(ev.node)
+		} // else stale: dropped
+	case evPacketEnd:
+		c.handlePacketEnd(ev.node)
+	case evTick:
+		c.handleTick(ev.node, c.tau)
+	case evFault:
+		c.handleFault(ev.node)
+	}
+}
+
+// push routes an event to its node's shard, assigning the global
+// sequence number. A push into a foreign shard invalidates the current
+// drain batch's lookahead bound and repairs that shard's heap position
+// eagerly. With the draining shard detached (see step), the heap holds
+// no stale entries, so each single-position fix restores full validity
+// before the next comparison — repairing several stale positions one at
+// a time would not (a sift-up displaces clean ancestors down into
+// subtrees still holding stale nodes).
+func (c *coordinator) push(ev event) {
+	ev.seq = c.seq
+	c.seq++
+	s := c.shardOf[ev.node]
+	c.shards[s].queue.push(ev)
+	if s != c.current {
+		c.crossed = true
+		c.fix(s)
+	}
+}
+
+// shardLess orders shards by their earliest event, read from the dense
+// head-key cache (refreshed by fix).
+func (c *coordinator) shardLess(a, b int32) bool {
+	if c.headAt[a] != c.headAt[b] { //lint:allow floateq exact tie detection so equal-time events fall through to the seq tiebreak
+		return c.headAt[a] < c.headAt[b]
+	}
+	return c.headSeq[a] < c.headSeq[b]
+}
+
+// fix restores shard s's position in the indexed heap after its queue
+// head changed (or the queue emptied or became non-empty), refreshing
+// its cached head key first. Sound only when every other heap entry is
+// clean — guaranteed because the draining shard is detached and every
+// cross-shard push fixes its target immediately.
+func (c *coordinator) fix(s int32) {
+	i := c.pos[s]
+	if len(c.shards[s].queue) == 0 {
+		if i < 0 {
+			return
+		}
+		last := len(c.order) - 1
+		c.orderSwap(int(i), last)
+		c.order = c.order[:last]
+		c.pos[s] = -1
+		if int(i) < last {
+			c.fixPos(int(i))
+		}
+		return
+	}
+	head := &c.shards[s].queue[0]
+	c.headAt[s], c.headSeq[s] = head.at, head.seq
+	if i < 0 {
+		c.pos[s] = int32(len(c.order))
+		c.order = append(c.order, s) //lint:allow hotalloc capacity reaches the shard count and stays
+		c.siftUp(len(c.order) - 1)
+		return
+	}
+	c.fixPos(int(i))
+}
+
+// fixPos re-heaps the element at position i: sift up, and only if it
+// did not rise, sift down (container/heap's Fix discipline).
+func (c *coordinator) fixPos(i int) {
+	s := c.order[i]
+	c.siftUp(i)
+	if c.pos[s] == int32(i) {
+		c.siftDown(i)
+	}
+}
+
+func (c *coordinator) orderSwap(i, j int) {
+	c.order[i], c.order[j] = c.order[j], c.order[i]
+	c.pos[c.order[i]] = int32(i)
+	c.pos[c.order[j]] = int32(j)
+}
+
+func (c *coordinator) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !c.shardLess(c.order[i], c.order[parent]) {
+			return
+		}
+		c.orderSwap(i, parent)
+		i = parent
+	}
+}
+
+func (c *coordinator) siftDown(i int) {
+	n := len(c.order)
+	for {
+		child := 2*i + 1
+		if child >= n {
+			return
+		}
+		if r := child + 1; r < n && c.shardLess(c.order[r], c.order[child]) {
+			child = r
+		}
+		if !c.shardLess(c.order[child], c.order[i]) {
+			return
+		}
+		c.orderSwap(i, child)
+		i = child
+	}
+}
+
+// ---- handlers: exact ports of the engine handlers onto SoA state ----
+
+func (c *coordinator) accrue(i int) {
+	if dt := c.now - c.lastUpdate[i]; dt > 0 {
+		c.protos[i].Advance(dt, c.state[i])
+		c.lastUpdate[i] = c.now
+	}
+}
+
+func (c *coordinator) bump(i int) { c.version[i]++ }
+
+func (c *coordinator) active(i int, t float64) bool {
+	if c.cfg.Churn != nil && !c.cfg.Churn(i, t) {
+		return false
+	}
+	return c.flt.Alive(i, t)
+}
+
+func (c *coordinator) currentNetState() model.NetState {
+	s := model.NetState{Transmitter: model.NoTransmitter}
+	for i := 0; i < c.n; i++ {
+		switch c.state[i] {
+		case model.Transmit:
+			s.Transmitter = i
+		case model.Listen:
+			s.Listeners |= 1 << uint(i)
+		}
+	}
+	return s
+}
+
+func (c *coordinator) accrueOccupancy(until float64) {
+	if until > c.cfg.Duration {
+		until = c.cfg.Duration
+	}
+	dt := until - c.occLast
+	if dt <= 0 {
+		return
+	}
+	c.met.Occupancy[c.currentNetState()] += dt
+	c.occLast = until
+}
+
+func (c *coordinator) setState(i int, st model.State) {
+	c.accrue(i)
+	if c.logging {
+		c.logf("%.6f node %d: %v -> %v", c.now, i, c.state[i], st)
+	}
+	c.state[i] = st
+}
+
+// logf writes one trace line; hot-path callers gate on c.logging (see
+// engine.logf for why).
+func (c *coordinator) logf(format string, args ...any) {
+	if c.cfg.EventLog != nil {
+		fmt.Fprintf(c.cfg.EventLog, format+"\n", args...)
+	}
+}
+
+func (c *coordinator) estimateFor(i, count int) float64 {
+	if c.cfg.EstimateListeners != nil {
+		count = c.cfg.EstimateListeners(count, c.src)
+		if count < 0 {
+			count = 0
+		}
+	}
+	return c.protos[i].Estimate(count)
+}
+
+func (c *coordinator) listenEstimate(i int) float64 {
+	count := 0
+	for _, j := range c.nbr[i] {
+		if c.state[j] == model.Listen {
+			count++
+		}
+	}
+	return c.estimateFor(i, count)
+}
+
+func (c *coordinator) scheduleTransition(i int) {
+	c.bump(i)
+	if c.state[i] == model.Transmit {
+		return
+	}
+	if c.cfg.HardBatteryFloor && c.state[i] == model.Sleep && c.protos[i].Depleted() {
+		return // stays asleep until a tick finds the battery recovered
+	}
+	if !c.active(i, c.now) {
+		return // absent or crashed: re-checked at the next tick / restart
+	}
+	carrierFree := c.busy[i] == 0
+	est := 0.0
+	if c.cfg.Protocol.Variant == econcast.NonCapture && c.state[i] == model.Listen {
+		est = c.listenEstimate(i)
+	}
+	r := c.protos[i].Rates(carrierFree, est)
+	var total float64
+	switch c.state[i] {
+	case model.Sleep:
+		total = r.SleepToListen
+	case model.Listen:
+		total = r.ListenToSleep + r.ListenToTransmit
+	}
+	if total <= 0 {
+		return
+	}
+	dwell := c.src.Exp(total)
+	if c.state[i] == model.Sleep {
+		// Sleep intervals run off the drift-scaled low-power clock, as in
+		// the single-queue engine.
+		dwell *= c.flt.Drift(i)
+	}
+	c.push(event{
+		at:      c.now + dwell,
+		kind:    evTransition,
+		node:    i,
+		version: c.version[i],
+	})
+}
+
+func (c *coordinator) handleTransition(i int) {
+	c.accrue(i)
+	switch c.state[i] {
+	case model.Sleep:
+		c.setState(i, model.Listen)
+		c.onListenSetChanged(i)
+		c.scheduleTransition(i)
+	case model.Listen:
+		carrierFree := c.busy[i] == 0
+		est := 0.0
+		if c.cfg.Protocol.Variant == econcast.NonCapture {
+			est = c.listenEstimate(i)
+		}
+		r := c.protos[i].Rates(carrierFree, est)
+		total := r.ListenToSleep + r.ListenToTransmit
+		if total <= 0 {
+			return
+		}
+		if c.src.Float64()*total < r.ListenToTransmit {
+			c.startTransmission(i)
+		} else {
+			c.flushBurst(i)
+			c.setState(i, model.Sleep)
+			c.sleptSince[i] = true
+			c.onListenSetChanged(i)
+			c.scheduleTransition(i)
+		}
+	}
+}
+
+func (c *coordinator) onListenSetChanged(i int) {
+	if c.cfg.Protocol.Variant != econcast.NonCapture {
+		return
+	}
+	for _, j := range c.nbr[i] {
+		if c.state[j] == model.Listen {
+			c.scheduleTransition(j)
+		}
+	}
+}
+
+func (c *coordinator) startTransmission(i int) {
+	if c.busy[i] != 0 {
+		// Carrier sensing (the A(t) gate) must make this unreachable.
+		panic(fmt.Sprintf("sim: node %d transmitting into a busy channel", i))
+	}
+	c.flushBurst(i)
+	c.setState(i, model.Transmit)
+	c.bump(i) // no timer while transmitting
+	c.onListenSetChanged(i)
+	// Occupy the channel: each neighbor gains one transmitting neighbor.
+	// Hidden-terminal collisions ride the same pass: a neighbor j sitting
+	// in any in-flight packet's listener list (listeningTo[j] > 0) now
+	// hears two transmitters, so its reception is collided. Marking the
+	// node rather than the (packet, node) pair matches the engine's
+	// global scan — collidedInPkt is per-node there too — and the
+	// listeningTo inversion makes the check one counter load instead of
+	// walking every nearby packet's listeners.
+	for _, j := range c.nbr[i] {
+		c.busy[j]++
+		if c.busy[j] == 1 && c.state[j] != model.Transmit {
+			// Channel became busy for j: freeze by resampling (rates -> 0).
+			c.scheduleTransition(j)
+		}
+		if c.listeningTo[j] > 0 && !c.collidedInPkt[j] {
+			c.collidedInPkt[j] = true
+			if c.measuring {
+				c.met.CollidedReceptions++
+			}
+		}
+	}
+	c.startPacket(i, 0, false)
+}
+
+func (c *coordinator) startPacket(i, burstLen int, delivered bool) {
+	c.pktActive[i] = true
+	c.pktBurstLen[i] = burstLen
+	c.pktDelivered[i] = delivered
+	listeners := c.pktListeners[i][:0]
+	for _, j := range c.nbr[i] {
+		if c.state[j] == model.Listen {
+			listeners = append(listeners, j) //lint:allow hotalloc reuses the slot's capacity; grows at most deg times per run
+			c.listeningTo[j]++
+			c.collidedInPkt[j] = c.busy[j] > 1
+			if c.collidedInPkt[j] && c.measuring {
+				c.met.CollidedReceptions++
+			}
+		}
+	}
+	c.pktListeners[i] = listeners
+	if c.logging {
+		c.logf("%.6f node %d: packet %d of hold, %d listeners",
+			c.now, i, burstLen+1, len(listeners))
+	}
+	c.push(event{at: c.now + c.packetTime, kind: evPacketEnd, node: i})
+}
+
+func (c *coordinator) handlePacketEnd(i int) {
+	if !c.pktActive[i] || c.state[i] != model.Transmit {
+		return
+	}
+	// A stuck (silenced) radio transmits carrier but delivers nothing;
+	// receiver-side loss draws are skipped for silenced packets (see the
+	// engine's handler).
+	silenced := c.flt.Silenced(i, c.now)
+	success := 0
+	for _, j := range c.pktListeners[i] {
+		c.listeningTo[j]-- // this packet is over; balances startPacket
+		if c.state[j] != model.Listen {
+			// Left mid-packet (churn departure or crash): no reception.
+			c.collidedInPkt[j] = false
+			continue
+		}
+		if c.collidedInPkt[j] {
+			c.collidedInPkt[j] = false
+			continue
+		}
+		if silenced || c.flt.DropRx(j, c.now) {
+			if c.measuring {
+				c.met.LostReceptions++
+			}
+			continue
+		}
+		success++
+		c.burstCount[j]++
+		if c.cfg.OnDeliver != nil {
+			c.cfg.OnDeliver(i, j, c.now)
+		}
+		if c.measuring {
+			c.met.PacketsDelivered++
+			// Burst/latency bookkeeping: first packet of a receive burst.
+			if c.burstCount[j] == 1 && c.hasBurst[j] && c.sleptSince[j] {
+				c.met.Latency.Add(c.now - c.packetTime - c.lastBurstEnd[j])
+			}
+			c.sleptSince[j] = false
+		}
+		c.lastBurstEnd[j] = c.now
+		c.hasBurst[j] = true
+	}
+	if c.measuring {
+		c.met.PacketsSent++
+		c.met.Groupput += float64(success) * c.packetTime
+		if success > 0 {
+			c.met.PacketsAnyDeliver++
+			c.met.Anyput += c.packetTime
+		}
+	}
+	if success > 0 {
+		c.pktDelivered[i] = true
+	}
+	// The slot stays readable for the remainder of this handler;
+	// startPacket reclaims it on a hold.
+	c.pktActive[i] = false
+
+	// A physically depleted listener is forced to sleep to recharge.
+	if c.cfg.HardBatteryFloor {
+		for _, j := range c.pktListeners[i] {
+			c.accrue(j)
+			if c.state[j] == model.Listen && c.protos[j].Depleted() {
+				c.flushBurst(j)
+				c.setState(j, model.Sleep)
+				c.sleptSince[j] = true
+				c.bump(j)
+				c.onListenSetChanged(j)
+			}
+		}
+	}
+
+	// Decide whether to hold the channel (EconCast-C) or release; a
+	// depleted transmitter must release regardless.
+	c.accrue(i)
+	est := c.estimateFor(i, success)
+	cont := c.protos[i].ContinueTransmitProb(est)
+	forced := c.cfg.HardBatteryFloor && c.protos[i].Depleted()
+	if !c.active(i, c.now) {
+		forced = true // departed or crashed: release the channel now
+	}
+	if !forced && c.src.Bernoulli(cont) {
+		c.startPacket(i, c.pktBurstLen[i]+1, c.pktDelivered[i])
+		return
+	}
+	// Hold complete: record its length if it reached any receiver.
+	if c.pktDelivered[i] && c.measuring {
+		c.met.BurstLengths.Add(float64(c.pktBurstLen[i] + 1))
+	}
+	// Release: transmitter returns to listen (Fig. 1), neighbors unfreeze.
+	c.setState(i, model.Listen)
+	c.scheduleTransition(i)
+	for _, j := range c.nbr[i] {
+		c.busy[j]--
+		if c.busy[j] == 0 && c.state[j] != model.Transmit {
+			c.scheduleTransition(j)
+		}
+	}
+	c.onListenSetChanged(i)
+}
+
+func (c *coordinator) flushBurst(i int) {
+	c.burstCount[i] = 0
+}
+
+func (c *coordinator) handleTick(i int, tau float64) {
+	c.accrue(i)
+	// Departure: an absent node abandons listening (transmitters finish
+	// their current hold first; the packet machinery owns that state).
+	if !c.active(i, c.now) && c.state[i] == model.Listen {
+		c.flushBurst(i)
+		c.setState(i, model.Sleep)
+		c.sleptSince[i] = true
+		c.bump(i)
+		c.onListenSetChanged(i)
+	}
+	if c.cfg.OnTick != nil {
+		nd := c.cfg.Network.Nodes[i]
+		p0 := math.Max(nd.ListenPower, nd.TransmitPower)
+		c.cfg.OnTick(i, c.now, c.protos[i].Eta()/p0)
+	}
+	if c.state[i] != model.Transmit {
+		c.scheduleTransition(i)
+	}
+	c.push(event{at: c.now + tau, kind: evTick, node: i})
+}
+
+func (c *coordinator) handleFault(i int) {
+	c.accrue(i)
+	if c.flt.Alive(i, c.now) {
+		if c.state[i] != model.Transmit {
+			c.scheduleTransition(i)
+		}
+		return
+	}
+	// Crashed. A transmitter abandons its hold: the in-flight packet
+	// dies undelivered and the channel is released for its neighbors.
+	switch c.state[i] {
+	case model.Transmit:
+		if c.pktActive[i] {
+			for _, j := range c.pktListeners[i] {
+				c.listeningTo[j]--
+				c.collidedInPkt[j] = false
+			}
+			c.pktActive[i] = false
+		}
+		c.setState(i, model.Sleep)
+		c.bump(i)
+		for _, j := range c.nbr[i] {
+			c.busy[j]--
+			if c.busy[j] == 0 && c.state[j] != model.Transmit {
+				c.scheduleTransition(j)
+			}
+		}
+		c.onListenSetChanged(i)
+	case model.Listen:
+		c.flushBurst(i)
+		c.setState(i, model.Sleep)
+		c.sleptSince[i] = true
+		c.bump(i)
+		c.onListenSetChanged(i)
+	default:
+		c.bump(i) // cancel any pending wake-up; stays down until restart
+	}
+}
+
+// finish assembles the metrics, mirroring engine.finish.
+func (c *coordinator) finish() *Metrics {
+	window := c.cfg.Duration - c.cfg.Warmup
+	c.met.Window = window
+	c.met.Groupput /= window
+	c.met.Anyput /= window
+	// Order audit: each occupancy entry is scaled independently at its own
+	// key — no cross-key accumulation — so iteration order cannot affect
+	// the result (econlint's maprange proves this shape order-insensitive).
+	for s := range c.met.Occupancy {
+		c.met.Occupancy[s] /= window
+	}
+	c.met.Power = make([]float64, c.n)
+	c.met.EtaFinal = make([]float64, c.n)
+	c.met.Battery = make([]float64, c.n)
+	for i := 0; i < c.n; i++ {
+		nd := c.cfg.Network.Nodes[i]
+		// Mean consumption over the window: harvest - net battery gain.
+		start := c.cfg.InitialBattery
+		if c.warmupBattery != nil {
+			start = c.warmupBattery[i]
+		}
+		gained := c.protos[i].Battery() - start
+		c.met.Power[i] = nd.Budget - gained/window
+		p0 := math.Max(nd.ListenPower, nd.TransmitPower)
+		c.met.EtaFinal[i] = c.protos[i].Eta() / p0
+		c.met.Battery[i] = c.protos[i].Battery()
+	}
+	c.met.FaultTrace = c.flt.Trace()
+	return &c.met
+}

@@ -1,0 +1,48 @@
+// shardRuntime is one spatial shard of the sharded engine: the event
+// heap for the nodes the shard owns. All mutation happens on the
+// coordinator's event-loop goroutine; shards partition data, not control.
+package sim
+
+//lint:owner sim-engine the coordinator's event-loop goroutine owns all shard state
+type shardRuntime struct {
+	id    int32
+	queue eventQueue
+}
+
+// run drains this shard's queue while its head event stays strictly
+// earlier (in the global (at, seq) order) than the earliest event of any
+// other shard — the conservative lookahead bound computed by the
+// coordinator. The first event is dispatched unconditionally: the
+// coordinator only calls run on the shard holding the global minimum.
+// The drain stops early when a dispatched event pushes into a foreign
+// shard (the bound may no longer be conservative), when the batch limit
+// is reached, or at the horizon.
+func (s *shardRuntime) run(c *coordinator, boundAt float64, boundSeq uint64) {
+	dispatched := 0
+	for len(s.queue) > 0 {
+		head := &s.queue[0]
+		if dispatched > 0 {
+			if head.at > boundAt {
+				return
+			}
+			if head.at == boundAt && head.seq > boundSeq { //lint:allow floateq exact tie detection so equal-time events fall back to the seq order
+				return
+			}
+		}
+		if head.at > c.horizon {
+			c.done = true
+			return
+		}
+		ev := s.queue.pop()
+		c.crossed = false
+		c.current = s.id
+		c.dispatch(ev)
+		dispatched++
+		if c.crossed {
+			return
+		}
+		if c.batchLimit > 0 && dispatched >= c.batchLimit {
+			return
+		}
+	}
+}

@@ -117,6 +117,17 @@ type Config struct {
 	// so transitions take effect within one tau.
 	Churn func(node int, t float64) bool
 
+	// Shards controls the sharded spatial-interference engine used for
+	// non-clique topologies: 0 auto-selects (sharding kicks in at
+	// autoShardMinN nodes), 1 forces the single-queue engine, and >= 2
+	// forces a sharded run with about that many shards. The two engines —
+	// and every shard count — produce byte-identical results: the sharded
+	// coordinator dispatches events in the same global (time, seq) order
+	// and consumes the same RNG stream; shards reorganize data, not
+	// control flow. Cliques (a single interference domain) always run on
+	// the single-queue engine.
+	Shards int
+
 	// Faults, when non-nil, injects the shared fault processes
 	// (crash/restart, packet loss, clock drift, brownout, stuck radio)
 	// compiled deterministically from Seed over [0, Duration]. Fault
@@ -152,7 +163,46 @@ func (c *Config) validate() error {
 	if !(c.Protocol.Sigma > 0) {
 		return errors.New("sim: sigma must be positive")
 	}
+	if c.Shards < 0 {
+		return errors.New("sim: shards must be non-negative")
+	}
 	return nil
+}
+
+// Sharding auto-selection: non-clique topologies at or above
+// autoShardMinN nodes run on the sharded engine with about
+// autoShardNodes nodes per shard. With the collision scan inverted to
+// O(degree) (see coord.go), per-event cost no longer grows with shard
+// size, and what remains is the cross-shard machinery: smaller shards
+// mean more boundary crossings and a deeper coordinator heap. Measured
+// on 100x100 and 316x316 grids, throughput rises through 128, 256, and
+// 512 nodes per shard and flattens near 1000, so auto-selection
+// targets that plateau.
+const (
+	autoShardMinN  = 4096
+	autoShardNodes = 1024
+)
+
+// shardPlan resolves the Shards setting to an effective shard count;
+// 1 means the single-queue engine.
+func (c *Config) shardPlan() int {
+	if c.Topology == nil || c.Shards == 1 {
+		return 1
+	}
+	if c.Topology.IsClique() {
+		return 1
+	}
+	n := c.Topology.N()
+	if c.Shards >= 2 {
+		if c.Shards > n {
+			return n
+		}
+		return c.Shards
+	}
+	if n >= autoShardMinN {
+		return n / autoShardNodes
+	}
+	return 1
 }
 
 // Metrics are the outputs of a run, measured over (Warmup, Duration].
@@ -160,6 +210,11 @@ type Metrics struct {
 	Window   float64 // measured seconds
 	Groupput float64 // fraction of time spent on per-receiver delivery
 	Anyput   float64 // fraction of time spent on >=1-receiver delivery
+
+	// Events counts discrete events dispatched over the whole run
+	// (including warmup); identical across the single-queue and sharded
+	// engines, and the denominator of the events/sec scale benchmarks.
+	Events int
 
 	PacketsSent        int // packets transmitted
 	PacketsDelivered   int // successful per-receiver packet deliveries
@@ -325,6 +380,11 @@ func Run(cfg Config) (*Metrics, error) {
 	if err != nil {
 		return nil, err
 	}
+	if shards := cfg.shardPlan(); shards > 1 {
+		c := newCoordinator(cfg, flt, shards)
+		c.run()
+		return c.finish(), nil
+	}
 	e := newEngine(cfg, flt)
 	e.run()
 	return e.finish(), nil
@@ -456,6 +516,7 @@ func (e *engine) step() bool {
 	if ev.at > e.cfg.Duration {
 		return false
 	}
+	e.met.Events++
 	if e.cfg.TrackOccupancy && e.measuring {
 		e.accrueOccupancy(ev.at)
 	}

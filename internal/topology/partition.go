@@ -1,0 +1,221 @@
+// Spatial interference sharding: a Partition splits a topology's nodes
+// into shards such that most interference is shard-local, so a sharded
+// simulation engine can keep per-shard event queues and node state and
+// touch a neighboring shard only at the frontier.
+//
+// The partitioning rule follows the constructor's spatial structure:
+// grids are tiled into rectangular blocks, random-geometric graphs into
+// unit-square cells, rings into contiguous arcs; cliques (one
+// interference domain by definition) stay a single shard, and custom
+// topologies fall back to contiguous index ranges. The partition is a
+// pure function of (topology, target) — worker counts and scheduling
+// never influence it — so everything downstream stays deterministic.
+package topology
+
+import (
+	"math"
+	"math/bits"
+
+	"econcast/internal/sweep"
+)
+
+// Partition assigns every node of a topology to one of Shards() spatial
+// interference shards and precomputes, per node, the bitset of shards its
+// closed neighborhood {i} ∪ N(i) touches. A node whose mask has a single
+// bit is interior: no event it generates can be observed outside its own
+// shard.
+type Partition struct {
+	topo      *Topology
+	shards    int
+	maskWords int       // ceil(shards / 64)
+	shardOf   []int32   // node -> shard
+	members   [][]int32 // shard -> member nodes, ascending
+	masks     []uint64  // node-major, maskWords words per node
+	interior  []bool    // node -> closed neighborhood within one shard
+}
+
+// NewPartition partitions t into about target shards (at least 1, at most
+// one shard per node). Cliques are always a single shard: every node
+// interferes with every other, so there is no spatial structure to
+// exploit. The result depends only on (t, target).
+func NewPartition(t *Topology, target int) *Partition {
+	n := t.N()
+	if target < 1 {
+		target = 1
+	}
+	if target > n {
+		target = n
+	}
+	if target > 1 && t.IsClique() {
+		target = 1
+	}
+	p := &Partition{topo: t, shardOf: make([]int32, n)}
+	p.assign(target)
+	p.compact()
+	p.maskWords = (p.shards + 63) / 64
+	p.buildMasks()
+	return p
+}
+
+// assign writes raw (possibly sparse) shard ids into shardOf according to
+// the topology's layout.
+func (p *Partition) assign(target int) {
+	t := p.topo
+	n := t.N()
+	if target == 1 {
+		return // all zeros
+	}
+	switch t.layout {
+	case layoutGrid:
+		// Tile the rows x cols grid into br x bc blocks with br*bc ~ target,
+		// keeping blocks roughly square so frontiers stay short.
+		br := int(math.Round(math.Sqrt(float64(target) * float64(t.rows) / float64(t.cols))))
+		br = clamp(br, 1, t.rows)
+		bc := clamp((target+br-1)/br, 1, t.cols)
+		for i := 0; i < n; i++ {
+			r, c := i/t.cols, i%t.cols
+			p.shardOf[i] = int32((r*br/t.rows)*bc + c*bc/t.cols)
+		}
+	case layoutSpatial:
+		// Tile the unit square into k x k cells; empty cells are compacted
+		// away afterwards.
+		k := int(math.Ceil(math.Sqrt(float64(target))))
+		cellOf := func(v float64) int {
+			c := int(v * float64(k))
+			return clamp(c, 0, k-1)
+		}
+		for i := 0; i < n; i++ {
+			p.shardOf[i] = int32(cellOf(t.py[i])*k + cellOf(t.px[i]))
+		}
+	default:
+		// Rings and arbitrary topologies: contiguous index ranges (for a
+		// ring these are exactly the contiguous arcs of the cycle).
+		for i := 0; i < n; i++ {
+			p.shardOf[i] = int32(i * target / n)
+		}
+	}
+}
+
+// compact renumbers raw shard ids densely in ascending raw order, drops
+// empty shards, and builds the member lists.
+func (p *Partition) compact() {
+	maxRaw := int32(0)
+	for _, s := range p.shardOf {
+		if s > maxRaw {
+			maxRaw = s
+		}
+	}
+	remap := make([]int32, maxRaw+1)
+	for i := range remap {
+		remap[i] = -1
+	}
+	for _, s := range p.shardOf {
+		remap[s] = 0
+	}
+	next := int32(0)
+	for raw, seen := range remap {
+		if seen == 0 {
+			remap[raw] = next
+			next++
+		}
+	}
+	p.shards = int(next)
+	p.members = make([][]int32, p.shards)
+	counts := make([]int32, p.shards)
+	for i, s := range p.shardOf {
+		p.shardOf[i] = remap[s]
+		counts[p.shardOf[i]]++
+	}
+	for s := range p.members {
+		p.members[s] = make([]int32, 0, counts[s])
+	}
+	for i, s := range p.shardOf {
+		p.members[s] = append(p.members[s], int32(i))
+	}
+}
+
+// buildMasks computes every node's shard-neighborhood bitset. Each
+// shard's members form one independent unit of work, scheduled as a
+// sweep cell: cells only read the (now immutable) assignment and return
+// their mask block, so the result is byte-identical at any worker count.
+func (p *Partition) buildMasks() {
+	n := p.topo.N()
+	w := p.maskWords
+	p.masks = make([]uint64, n*w)
+	p.interior = make([]bool, n)
+	blocks, err := sweep.Map(0, p.members, func(_ int, members []int32) ([]uint64, error) {
+		block := make([]uint64, len(members)*w)
+		for mi, node := range members {
+			mask := block[mi*w : (mi+1)*w]
+			own := p.shardOf[node]
+			mask[own>>6] |= 1 << uint(own&63)
+			for _, j := range p.topo.neighbors[node] {
+				s := p.shardOf[j]
+				mask[s>>6] |= 1 << uint(s&63)
+			}
+		}
+		return block, nil
+	})
+	if err != nil {
+		// Cells cannot fail; only a cell panic reaches here.
+		panic(err)
+	}
+	for s, members := range p.members {
+		block := blocks[s]
+		for mi, node := range members {
+			copy(p.masks[int(node)*w:], block[mi*w:(mi+1)*w])
+			p.interior[node] = popcount(block[mi*w:(mi+1)*w]) == 1
+		}
+	}
+}
+
+func popcount(words []uint64) int {
+	total := 0
+	for _, word := range words {
+		total += bits.OnesCount64(word)
+	}
+	return total
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// N returns the number of nodes partitioned.
+func (p *Partition) N() int { return p.topo.N() }
+
+// Shards returns the number of (non-empty) shards.
+func (p *Partition) Shards() int { return p.shards }
+
+// ShardOf returns the shard owning node i.
+func (p *Partition) ShardOf(i int) int { return int(p.shardOf[i]) }
+
+// Members returns shard s's member nodes in ascending order. The
+// returned slice must not be modified.
+func (p *Partition) Members(s int) []int32 { return p.members[s] }
+
+// MaskWords returns the number of uint64 words in each node's shard
+// mask.
+func (p *Partition) MaskWords() int { return p.maskWords }
+
+// Mask returns node i's shard-neighborhood bitset: bit s is set iff some
+// node of {i} ∪ N(i) lives in shard s. The returned slice aliases the
+// partition's storage and must not be modified; the accessor is
+// allocation-free so simulation hot loops can call it per event.
+func (p *Partition) Mask(i int) []uint64 {
+	return p.masks[i*p.maskWords : (i+1)*p.maskWords]
+}
+
+// MaskSpan returns how many shards node i's closed neighborhood touches.
+func (p *Partition) MaskSpan(i int) int { return popcount(p.Mask(i)) }
+
+// Interior reports whether node i's closed neighborhood lies entirely
+// within its own shard: events at interior nodes never cross a shard
+// boundary.
+func (p *Partition) Interior(i int) bool { return p.interior[i] }

@@ -1,0 +1,169 @@
+package topology
+
+import (
+	"reflect"
+	"testing"
+
+	"econcast/internal/rng"
+)
+
+// checkPartitionInvariants verifies the structural contract every
+// partition must satisfy, against a brute-force recomputation of the
+// masks from the adjacency lists.
+func checkPartitionInvariants(t *testing.T, topo *Topology, p *Partition) {
+	t.Helper()
+	n := topo.N()
+	seen := make([]bool, n)
+	for s := 0; s < p.Shards(); s++ {
+		members := p.Members(s)
+		if len(members) == 0 {
+			t.Fatalf("shard %d is empty after compaction", s)
+		}
+		prev := int32(-1)
+		for _, m := range members {
+			if m <= prev {
+				t.Fatalf("shard %d members not ascending: %v", s, members)
+			}
+			prev = m
+			if p.ShardOf(int(m)) != s {
+				t.Fatalf("node %d in Members(%d) but ShardOf says %d", m, s, p.ShardOf(int(m)))
+			}
+			if seen[m] {
+				t.Fatalf("node %d in two shards", m)
+			}
+			seen[m] = true
+		}
+	}
+	for i := 0; i < n; i++ {
+		if !seen[i] {
+			t.Fatalf("node %d unassigned", i)
+		}
+		// Brute-force mask: shards of {i} ∪ N(i).
+		want := make([]uint64, p.MaskWords())
+		set := func(s int) { want[s>>6] |= 1 << uint(s&63) }
+		set(p.ShardOf(i))
+		span := map[int]bool{p.ShardOf(i): true}
+		for _, j := range topo.Neighbors(i) {
+			set(p.ShardOf(j))
+			span[p.ShardOf(j)] = true
+		}
+		if got := p.Mask(i); !reflect.DeepEqual(got, want) {
+			t.Fatalf("node %d mask = %v, want %v", i, got, want)
+		}
+		if p.MaskSpan(i) != len(span) {
+			t.Fatalf("node %d span = %d, want %d", i, p.MaskSpan(i), len(span))
+		}
+		if p.Interior(i) != (len(span) == 1) {
+			t.Fatalf("node %d interior = %v, span %d", i, p.Interior(i), len(span))
+		}
+	}
+}
+
+func TestPartitionFamilies(t *testing.T) {
+	cases := []struct {
+		name   string
+		topo   *Topology
+		target int
+	}{
+		{"grid-4", Grid(6, 6), 4},
+		{"grid-9", Grid(9, 7), 9},
+		{"grid-1node-shards", Grid(4, 4), 16},
+		{"ring-arcs", Ring(17), 5},
+		{"ring-all-singleton", Ring(9), 9},
+		{"rgg", RandomGeometric(60, 0.25, rng.New(3)), 8},
+		{"star-fallback", Star(12), 3},
+		{"line-fallback", Line(11), 4},
+		{"custom-fallback", func() *Topology { c := New(10); c.AddEdge(0, 9); c.AddEdge(3, 4); return c }(), 3},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := NewPartition(tc.topo, tc.target)
+			if p.N() != tc.topo.N() {
+				t.Fatalf("N = %d, want %d", p.N(), tc.topo.N())
+			}
+			if p.Shards() < 1 || p.Shards() > tc.topo.N() {
+				t.Fatalf("shard count %d out of range", p.Shards())
+			}
+			checkPartitionInvariants(t, tc.topo, p)
+		})
+	}
+}
+
+func TestPartitionCliqueSingleShard(t *testing.T) {
+	p := NewPartition(Clique(12), 6)
+	if p.Shards() != 1 {
+		t.Fatalf("clique partitioned into %d shards, want 1", p.Shards())
+	}
+	for i := 0; i < 12; i++ {
+		if !p.Interior(i) {
+			t.Fatalf("clique node %d not interior under the single shard", i)
+		}
+	}
+}
+
+// TestPartitionRingArcsContiguous pins the ring rule: shards are
+// contiguous arcs, so every node's closed neighborhood spans at most
+// three shards and singleton shards span exactly three.
+func TestPartitionRingArcsContiguous(t *testing.T) {
+	ring := Ring(12)
+	p := NewPartition(ring, 4)
+	for s := 0; s < p.Shards(); s++ {
+		m := p.Members(s)
+		for k := 1; k < len(m); k++ {
+			if m[k] != m[k-1]+1 {
+				t.Fatalf("shard %d not a contiguous arc: %v", s, m)
+			}
+		}
+	}
+	all := NewPartition(ring, 12)
+	if all.Shards() != 12 {
+		t.Fatalf("singleton partition has %d shards", all.Shards())
+	}
+	for i := 0; i < 12; i++ {
+		if all.MaskSpan(i) != 3 {
+			t.Fatalf("singleton ring node %d spans %d shards, want 3", i, all.MaskSpan(i))
+		}
+	}
+}
+
+// TestPartitionGridInteriorMajority checks the point of spatial tiling:
+// at moderate shard sizes most nodes are interior.
+func TestPartitionGridInteriorMajority(t *testing.T) {
+	g := Grid(32, 32)
+	p := NewPartition(g, 16) // 8x8 blocks
+	interior := 0
+	for i := 0; i < g.N(); i++ {
+		if p.Interior(i) {
+			interior++
+		}
+	}
+	if frac := float64(interior) / float64(g.N()); frac < 0.5 {
+		t.Fatalf("only %.0f%% of grid nodes interior, want a majority", 100*frac)
+	}
+}
+
+// TestPartitionDeterministic pins that the partition is a pure function
+// of (topology, target): two constructions agree exactly, including the
+// sweep-built masks.
+func TestPartitionDeterministic(t *testing.T) {
+	a := NewPartition(Grid(10, 13), 7)
+	b := NewPartition(Grid(10, 13), 7)
+	if !reflect.DeepEqual(a.masks, b.masks) || !reflect.DeepEqual(a.shardOf, b.shardOf) {
+		t.Fatal("partition not deterministic")
+	}
+}
+
+// TestPartitionMaskSpansManyShards pins the 3+-shard mask case the
+// sharded engine's frontier handling must cover: with 1x1 grid blocks an
+// interior grid node's closed neighborhood touches 5 shards.
+func TestPartitionMaskSpansManyShards(t *testing.T) {
+	g := Grid(5, 5)
+	p := NewPartition(g, 25)
+	if p.Shards() != 25 {
+		t.Fatalf("got %d shards, want 25", p.Shards())
+	}
+	center := 2*5 + 2
+	if span := p.MaskSpan(center); span != 5 {
+		t.Fatalf("center node spans %d shards, want 5", span)
+	}
+}

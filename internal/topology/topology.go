@@ -13,12 +13,36 @@ import (
 	"econcast/internal/rng"
 )
 
+// layout records how a topology was constructed, when the constructor
+// carries spatial structure the shard partitioner can exploit. Custom
+// (AddEdge-built) topologies have no layout and fall back to contiguous
+// index-range partitioning.
+type layout uint8
+
+const (
+	layoutNone    layout = iota
+	layoutGrid           // rows x cols 4-neighbor grid; node i at (i/cols, i%cols)
+	layoutSpatial        // unit-square coordinates in px/py (random geometric)
+	layoutRing           // cycle in index order
+)
+
+// adjMatrixMaxN bounds the dense adjacency matrix: above this size the
+// n^2 bool matrix (16 MB at 4096 nodes, 10 GB at 100k) is not built and
+// Adjacent binary-searches the sorted neighbor list instead — O(log deg),
+// and deg is small for every large topology family (grid, RGG, ring).
+var adjMatrixMaxN = 4096
+
 // Topology is an undirected communication graph over N nodes.
 type Topology struct {
 	n         int
 	neighbors [][]int  // sorted adjacency lists
-	adj       [][]bool // adjacency matrix for O(1) queries
+	adj       [][]bool // adjacency matrix for O(1) queries; nil above adjMatrixMaxN
 	name      string
+
+	layout layout
+	rows   int // layoutGrid: grid dimensions
+	cols   int
+	px, py []float64 // layoutSpatial: unit-square coordinates
 }
 
 // New returns an empty (edge-free) topology over n nodes. It panics if
@@ -30,11 +54,13 @@ func New(n int) *Topology {
 	t := &Topology{
 		n:         n,
 		neighbors: make([][]int, n),
-		adj:       make([][]bool, n),
 		name:      fmt.Sprintf("custom(%d)", n),
 	}
-	for i := range t.adj {
-		t.adj[i] = make([]bool, n)
+	if n <= adjMatrixMaxN {
+		t.adj = make([][]bool, n)
+		for i := range t.adj {
+			t.adj[i] = make([]bool, n)
+		}
 	}
 	return t
 }
@@ -48,11 +74,13 @@ func (t *Topology) Name() string { return t.name }
 // AddEdge connects i and j bidirectionally. Self-loops and duplicate edges
 // are ignored.
 func (t *Topology) AddEdge(i, j int) {
-	if i == j || t.adj[i][j] {
+	if i == j || t.Adjacent(i, j) {
 		return
 	}
-	t.adj[i][j] = true
-	t.adj[j][i] = true
+	if t.adj != nil {
+		t.adj[i][j] = true
+		t.adj[j][i] = true
+	}
 	t.insertNeighbor(i, j)
 	t.insertNeighbor(j, i)
 }
@@ -77,7 +105,22 @@ func (t *Topology) insertNeighbor(i, j int) {
 func (t *Topology) Neighbors(i int) []int { return t.neighbors[i] }
 
 // Adjacent reports whether i and j are within communication range.
-func (t *Topology) Adjacent(i, j int) bool { return t.adj[i][j] }
+func (t *Topology) Adjacent(i, j int) bool {
+	if t.adj != nil {
+		return t.adj[i][j]
+	}
+	ns := t.neighbors[i]
+	lo, hi := 0, len(ns)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if ns[mid] < j {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(ns) && ns[lo] == j
+}
 
 // Degree returns the number of neighbors of node i.
 func (t *Topology) Degree(i int) int { return len(t.neighbors[i]) }
@@ -157,6 +200,8 @@ func Grid(rows, cols int) *Topology {
 		}
 	}
 	t.name = fmt.Sprintf("grid(%dx%d)", rows, cols)
+	t.layout = layoutGrid
+	t.rows, t.cols = rows, cols
 	return t
 }
 
@@ -178,6 +223,7 @@ func Ring(n int) *Topology {
 		t.AddEdge(i, (i+1)%n)
 	}
 	t.name = fmt.Sprintf("ring(%d)", n)
+	t.layout = layoutRing
 	return t
 }
 
@@ -203,6 +249,13 @@ func Line(n int) *Topology {
 
 // RandomGeometric places n nodes uniformly in the unit square and connects
 // pairs within the given radius. Deterministic for a given source.
+//
+// Edges are found with a grid-bucket spatial index (cell width >= radius,
+// so candidates for node i all sit in the 3x3 cells around it) instead of
+// the O(n^2) all-pairs scan; construction is O(n * candidates), which
+// keeps 100k-node topologies buildable in well under a second. The edge
+// set — and therefore the Topology, whose neighbor lists are kept sorted
+// on insertion — is identical to the all-pairs computation.
 func RandomGeometric(n int, radius float64, src *rng.Source) *Topology {
 	t := New(n)
 	xs := make([]float64, n)
@@ -211,15 +264,53 @@ func RandomGeometric(n int, radius float64, src *rng.Source) *Topology {
 		xs[i] = src.Float64()
 		ys[i] = src.Float64()
 	}
-	r2 := radius * radius
-	for i := 0; i < n; i++ {
-		for j := i + 1; j < n; j++ {
-			dx, dy := xs[i]-xs[j], ys[i]-ys[j]
-			if dx*dx+dy*dy <= r2 {
-				t.AddEdge(i, j)
-			}
+	cells := 1
+	if radius > 0 && radius < 1 {
+		cells = int(1 / radius) // cell width 1/cells >= radius
+		// More cells than ~n buys nothing and a tiny radius must not
+		// explode the bucket grid; shrinking the count only widens cells,
+		// preserving the 3x3 coverage invariant.
+		if max := int(math.Sqrt(float64(n))) + 1; cells > max {
+			cells = max
 		}
 	}
+	cellOf := func(v float64) int {
+		c := int(v * float64(cells))
+		if c < 0 {
+			c = 0
+		}
+		if c >= cells {
+			c = cells - 1
+		}
+		return c
+	}
+	buckets := make([][]int, cells*cells)
+	r2 := radius * radius
+	for i := 0; i < n; i++ {
+		cx, cy := cellOf(xs[i]), cellOf(ys[i])
+		// Every earlier node within the radius lives in one of the 3x3
+		// neighboring cells, so each unordered pair is examined exactly
+		// once (when its higher-indexed endpoint is inserted).
+		for by := cy - 1; by <= cy+1; by++ {
+			if by < 0 || by >= cells {
+				continue
+			}
+			for bx := cx - 1; bx <= cx+1; bx++ {
+				if bx < 0 || bx >= cells {
+					continue
+				}
+				for _, j := range buckets[by*cells+bx] {
+					dx, dy := xs[i]-xs[j], ys[i]-ys[j]
+					if dx*dx+dy*dy <= r2 {
+						t.AddEdge(i, j)
+					}
+				}
+			}
+		}
+		buckets[cy*cells+cx] = append(buckets[cy*cells+cx], i)
+	}
 	t.name = fmt.Sprintf("rgg(%d,r=%.2f)", n, radius)
+	t.layout = layoutSpatial
+	t.px, t.py = xs, ys
 	return t
 }
