@@ -7,7 +7,7 @@
 //
 //	econlint [-list] [-only name,name] [-as importpath] [-parallel n]
 //	         [-json] [-sarif] [-baseline file [-write-baseline]]
-//	         [-fix] [-diff] [-audit-suppressions] [packages]
+//	         [-fix] [-diff [-check]] [-audit-suppressions] [packages]
 //
 // Patterns default to ./... and support the usual dir and dir/... forms.
 // The -as flag checks a single directory under an assumed import path,
@@ -28,13 +28,17 @@
 // -audit-suppressions inverts the gate: it runs the full analyzer suite
 // with suppressions disabled and reports every //lint:allow or
 // //lint:ordered directive that no longer matches a finding, so stale
-// exemptions cannot accumulate.
+// exemptions cannot accumulate — and every directive still carrying the
+// generated "TODO: justify" stub, so the suppression autofix cannot
+// become a permanent exemption without a human writing the reason.
 //
 // -fix applies the machine-applicable suggested edits attached to
 // findings (non-overlapping, first finding wins) and rewrites the
 // affected files in place; -diff prints the same edits as a unified
-// diff without touching anything. Both exit 0: the edits, applied or
-// previewed, are the deliverable.
+// diff without touching anything. Both exit 0 by default: the edits,
+// applied or previewed, are the deliverable. -check turns -diff into a
+// gate that exits 1 while any suggested fix is outstanding, which is
+// how CI refuses mechanical debt that `econlint -fix` would clear.
 package main
 
 import (
@@ -87,6 +91,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	audit := fs.Bool("audit-suppressions", false, "report suppression directives that no longer match any finding")
 	applyFix := fs.Bool("fix", false, "apply suggested fixes to the source files in place")
 	diffFix := fs.Bool("diff", false, "print suggested fixes as a unified diff without applying them")
+	check := fs.Bool("check", false, "with -diff: exit 1 while any suggested fix is outstanding")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -107,6 +112,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if (*applyFix || *diffFix) && (*baseline != "" || *audit) {
 		fmt.Fprintln(stderr, "econlint: -fix/-diff cannot be combined with -baseline or -audit-suppressions")
+		return 2
+	}
+	if *check && !*diffFix {
+		fmt.Fprintln(stderr, "econlint: -check requires -diff")
 		return 2
 	}
 
@@ -172,7 +181,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	if *applyFix || *diffFix {
-		return runFixes(findings, *applyFix, stdout, stderr)
+		return runFixes(findings, *applyFix, *check, stdout, stderr)
 	}
 
 	report := relativize(findings)
@@ -296,8 +305,9 @@ func emit(w io.Writer, findings []jsonFinding, f format) error {
 // runFixes plans the suggested edits attached to findings and either
 // applies them in place (-fix) or prints them as a unified diff (-diff).
 // Paths in the diff header are relativized like report paths; the writes
-// use the absolute paths the loader recorded.
-func runFixes(findings []lint.Finding, apply bool, stdout, stderr io.Writer) int {
+// use the absolute paths the loader recorded. In check mode the dry run
+// becomes a gate: outstanding fixes exit 1.
+func runFixes(findings []lint.Finding, apply, check bool, stdout, stderr io.Writer) int {
 	plan, err := lint.PlanFixes(findings)
 	if err != nil {
 		fmt.Fprintf(stderr, "econlint: %v\n", err)
@@ -334,6 +344,10 @@ func runFixes(findings []lint.Finding, apply bool, stdout, stderr io.Writer) int
 	}
 	fmt.Fprintf(stderr, "econlint: %d fix(es) across %d file(s) available, %d skipped (dry run)\n",
 		plan.Applied, len(plan.Contents), plan.Skipped)
+	if check && plan.Applied > 0 {
+		fmt.Fprintln(stderr, "econlint: outstanding suggested fixes; run `econlint -fix` and fill in the justifications")
+		return 1
+	}
 	return 0
 }
 

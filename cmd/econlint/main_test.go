@@ -162,9 +162,11 @@ func TestWriteBaselineRequiresPath(t *testing.T) {
 }
 
 // TestAuditSuppressions pins -audit-suppressions: the fixture carries
-// live wallclock directives and one stale floateq directive; exactly the
-// stale one is reported. A package whose directives all hold back real
-// findings audits clean.
+// live wallclock directives, one stale floateq directive, and one live
+// directive still wearing the generated "TODO: justify" stub; exactly
+// the stale one and the unjustified one are reported. A package whose
+// directives all hold back real findings with written reasons audits
+// clean.
 func TestAuditSuppressions(t *testing.T) {
 	var out, errb bytes.Buffer
 	code := run([]string{"-audit-suppressions", "-as", simPath, auditFixture}, &out, &errb)
@@ -174,6 +176,9 @@ func TestAuditSuppressions(t *testing.T) {
 	if !strings.Contains(out.String(), "[stale-suppression]") || !strings.Contains(out.String(), "floateq") {
 		t.Errorf("stale floateq directive not reported:\n%s", out.String())
 	}
+	if !strings.Contains(out.String(), "[unjustified-suppression]") || !strings.Contains(out.String(), "TODO: justify") {
+		t.Errorf("unjustified stub directive not reported:\n%s", out.String())
+	}
 	if strings.Contains(out.String(), "wallclock fixture") {
 		t.Errorf("live wallclock directives must not be reported:\n%s", out.String())
 	}
@@ -182,6 +187,36 @@ func TestAuditSuppressions(t *testing.T) {
 	errb.Reset()
 	if code := run([]string{"-audit-suppressions", "../../internal/..."}, &out, &errb); code != 0 {
 		t.Fatalf("repo audit exit = %d; stdout:\n%s stderr:\n%s", code, out.String(), errb.String())
+	}
+}
+
+// TestCheckMode pins -diff -check as a CI gate: a fixture with
+// machine-applicable fixes exits 1 and still prints the diff, a clean
+// package exits 0, and -check without -diff is a usage error.
+func TestCheckMode(t *testing.T) {
+	chandirFixture := "../../internal/lint/testdata/src/chandir"
+	var out, errb bytes.Buffer
+	code := run([]string{"-diff", "-check", "-as", "econcast/internal/asim", chandirFixture}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; stdout:\n%s stderr:\n%s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "+++ ") {
+		t.Errorf("-diff -check must still print the diff:\n%s", out.String())
+	}
+	if !strings.Contains(errb.String(), "outstanding suggested fixes") {
+		t.Errorf("stderr missing the check-mode verdict:\n%s", errb.String())
+	}
+
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-diff", "-check", "../../internal/rng"}, &out, &errb); code != 0 {
+		t.Fatalf("clean -diff -check exit = %d; stderr:\n%s", code, errb.String())
+	}
+
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-check", "../../internal/rng"}, &out, &errb); code != 2 {
+		t.Fatalf("-check without -diff exit = %d, want 2", code)
 	}
 }
 

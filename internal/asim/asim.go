@@ -206,7 +206,7 @@ type nodeRuntime struct {
 // it into a replyDead to the broker, which removes the node from the
 // network and keeps the run going over the survivors.
 func (n *nodeRuntime) run() {
-	defer func() {
+	defer func() { //lint:allow hotalloc one recover closure per node goroutine at spawn, not per event
 		if r := recover(); r != nil {
 			// The broker is blocked in ask waiting for this node's reply,
 			// so the send completes immediately. (If the broker has already
@@ -460,7 +460,7 @@ func (b *broker) ask(i int, c command) (reply, bool) {
 	select {
 	case b.cmds[i] <- c:
 	case <-b.wd.C:
-		b.err = fmt.Errorf("asim: watchdog: node %d did not accept command %d at t=%.6f within %v (stuck nodeRuntime)", i, c.kind, b.now, b.wdTimeout)
+		b.err = fmt.Errorf("asim: watchdog: node %d did not accept command %d at t=%.6f within %v (stuck nodeRuntime)", i, c.kind, b.now, b.wdTimeout) //lint:allow hotalloc terminal watchdog error path; the run aborts here
 		return reply{}, false
 	}
 	b.disarm()
@@ -469,7 +469,7 @@ func (b *broker) ask(i int, c command) (reply, bool) {
 	select {
 	case r = <-b.out:
 	case <-b.wd.C:
-		b.err = fmt.Errorf("asim: watchdog: node %d did not answer command %d at t=%.6f within %v (stuck nodeRuntime)", i, c.kind, b.now, b.wdTimeout)
+		b.err = fmt.Errorf("asim: watchdog: node %d did not answer command %d at t=%.6f within %v (stuck nodeRuntime)", i, c.kind, b.now, b.wdTimeout) //lint:allow hotalloc terminal watchdog error path; the run aborts here
 		return reply{}, false
 	}
 	b.disarm()
@@ -639,7 +639,7 @@ func (b *broker) killNode(i int) {
 	if r, ok := b.ask(i, command{kind: cmdBid, now: b.now}); ok {
 		// The node answered a command timed at its own crash — the
 		// node-side crash check and the broker schedule disagree.
-		b.err = fmt.Errorf("asim: node %d survived its scheduled crash at t=%.6f (reply kind %d)", i, b.now, r.kind)
+		b.err = fmt.Errorf("asim: node %d survived its scheduled crash at t=%.6f (reply kind %d)", i, b.now, r.kind) //lint:allow hotalloc terminal consistency-check error path; the run aborts here
 		return
 	}
 	if b.err != nil {

@@ -181,3 +181,56 @@ func TestUnifiedDiff(t *testing.T) {
 		t.Errorf("identical inputs produced a diff:\n%s", d)
 	}
 }
+
+// TestHoistFix pins hotalloc's mechanical hoist rewrite: the one
+// hoistable make in the flow fixture moves above its loop and the
+// in-loop statement becomes a reslice, and the rewritten package still
+// type-checks. (The hoisted make itself stays a hot-path finding — the
+// fix removes the per-iteration allocation, not the per-call one — so
+// this is not a round-trip-clean case.)
+func TestHoistFix(t *testing.T) {
+	tmp := copyFixture(t, filepath.Join("hotalloc", "flow"))
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.LoadDirAs(tmp, "econcast/internal/sim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var withFix []Finding
+	for _, f := range Check([]*Package{pkg}, []*Analyzer{HotAlloc}) {
+		if len(f.Fixes) > 0 {
+			withFix = append(withFix, f)
+		}
+	}
+	if len(withFix) != 1 {
+		t.Fatalf("want exactly one fix-carrying finding, got %d: %v", len(withFix), withFix)
+	}
+	plan, err := PlanFixes(withFix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Applied != 1 || plan.Skipped != 0 {
+		t.Fatalf("planned %d applied / %d skipped, want 1/0", plan.Applied, plan.Skipped)
+	}
+	if err := plan.WriteFixes(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(tmp, "flow.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := string(data)
+	hoisted := "scratch := make([]byte, 0, 64)\n\tfor i := 0; i < n; i++ {\n\t\tscratch = scratch[:0]"
+	if !strings.Contains(src, hoisted) {
+		t.Errorf("rewritten source missing hoisted shape:\n%s", src)
+	}
+	reload, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reload.LoadDirAs(tmp, "econcast/internal/sim"); err != nil {
+		t.Fatalf("hoisted fixture no longer type-checks: %v", err)
+	}
+}

@@ -1,0 +1,121 @@
+package flow
+
+// DomTree is the dominator tree of a Graph, computed by the
+// Cooper–Harvey–Kennedy iterative algorithm ("A Simple, Fast Dominance
+// Algorithm") over the reverse postorder of the reachable blocks.
+//
+// Termination: idom entries only move upward in the (finite) postorder
+// ranking on each pass and the intersect walk strictly decreases its
+// arguments' rankings, so the fixpoint is reached in at most
+// O(blocks) passes — in practice two for the reducible graphs Go's
+// structured statements produce.
+type DomTree struct {
+	idom map[*Block]*Block // immediate dominator; entry maps to itself
+	po   map[*Block]int    // postorder number of each reachable block
+}
+
+// Dominators computes the dominator tree of g rooted at Entry.
+// Unreachable blocks have no dominators (Dominates reports false for
+// them against every other block).
+func (g *Graph) Dominators() *DomTree {
+	rpo := g.reversePostorder()
+	d := &DomTree{
+		idom: make(map[*Block]*Block, len(rpo)),
+		po:   make(map[*Block]int, len(rpo)),
+	}
+	for i, b := range rpo {
+		d.po[b] = len(rpo) - 1 - i
+	}
+	d.idom[g.Entry] = g.Entry
+
+	for changed := true; changed; {
+		changed = false
+		for _, b := range rpo {
+			if b == g.Entry {
+				continue
+			}
+			var newIdom *Block
+			for _, p := range b.Preds {
+				if _, ok := d.idom[p]; !ok {
+					continue // predecessor not yet processed (or unreachable)
+				}
+				if newIdom == nil {
+					newIdom = p
+				} else {
+					newIdom = d.intersect(p, newIdom)
+				}
+			}
+			if newIdom != nil && d.idom[b] != newIdom {
+				d.idom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+	return d
+}
+
+// intersect walks the two blocks' dominator chains to their common
+// ancestor (finger algorithm on postorder numbers).
+func (d *DomTree) intersect(a, b *Block) *Block {
+	for a != b {
+		for d.po[a] < d.po[b] {
+			a = d.idom[a]
+		}
+		for d.po[b] < d.po[a] {
+			b = d.idom[b]
+		}
+	}
+	return a
+}
+
+// Idom returns b's immediate dominator, or nil for the entry block and
+// for unreachable blocks.
+func (d *DomTree) Idom(b *Block) *Block {
+	i, ok := d.idom[b]
+	if !ok || i == b {
+		return nil
+	}
+	return i
+}
+
+// Dominates reports whether a dominates b (reflexively: every block
+// dominates itself). Unreachable blocks are dominated by nothing and
+// dominate nothing but themselves.
+func (d *DomTree) Dominates(a, b *Block) bool {
+	if a == b {
+		return true
+	}
+	for {
+		i, ok := d.idom[b]
+		if !ok || i == b {
+			return false
+		}
+		if i == a {
+			return true
+		}
+		b = i
+	}
+}
+
+// reversePostorder returns the reachable blocks in reverse postorder of
+// a depth-first walk from Entry following Succs in order. The walk is
+// fully deterministic: edge order is creation order.
+func (g *Graph) reversePostorder() []*Block {
+	seen := make(map[*Block]bool, len(g.Blocks))
+	var post []*Block
+	var walk func(b *Block)
+	walk = func(b *Block) {
+		seen[b] = true
+		for _, s := range b.Succs {
+			if !seen[s] {
+				walk(s)
+			}
+		}
+		post = append(post, b)
+	}
+	walk(g.Entry)
+	for i, j := 0, len(post)-1; i < j; i, j = i+1, j-1 {
+		post[i], post[j] = post[j], post[i]
+	}
+	return post
+}

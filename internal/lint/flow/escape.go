@@ -1,0 +1,192 @@
+package flow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// EscapeClass is the two-point escape lattice: a value either provably
+// stays local to the analyzed region or may escape it. The analysis
+// only ever moves a variable up the lattice (Local ⊑ Escapes), and each
+// use is classified exactly once, so it terminates in a single walk.
+type EscapeClass int
+
+const (
+	// Local: every use of the variable inside the region is a
+	// non-aliasing read or write (indexing, length/capacity, self-append,
+	// self-reslice, range, comparison). The value's backing store
+	// cannot be reached from outside the region afterwards.
+	Local EscapeClass = iota
+	// Escapes: some use may publish the value beyond the region — it
+	// is returned, passed to a call, stored into another variable or
+	// structure, captured by a closure, sent on a channel, or has its
+	// address taken.
+	Escapes
+)
+
+// Escape is the classification of one variable within a region.
+type Escape struct {
+	Class EscapeClass
+	// Reason describes the first escaping use (AST order), "" if Local.
+	Reason string
+	// Pos is the position of that use.
+	Pos token.Pos
+}
+
+// EscapesRegion classifies how v is used within region (typically a
+// loop body): Local if the region provably keeps v's value to itself,
+// Escapes at the first use that may publish it. The analysis is
+// syntactic and conservative: any use shape it does not recognize as
+// safe counts as an escape.
+func EscapesRegion(info *types.Info, region ast.Node, v *types.Var) Escape {
+	res := Escape{Class: Local}
+	// parents[n] is n's syntactic parent within region.
+	parents := make(map[ast.Node]ast.Node)
+	var stack []ast.Node
+	ast.Inspect(region, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return false
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+
+	escape := func(pos token.Pos, reason string) {
+		if res.Class == Escapes {
+			return // first escaping use wins
+		}
+		res = Escape{Class: Escapes, Reason: reason, Pos: pos}
+	}
+
+	ast.Inspect(region, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if u, ok := info.Uses[id].(*types.Var); !ok || u != v {
+			return true
+		}
+		classifyUse(info, parents, id, escape)
+		return true
+	})
+	return res
+}
+
+// classifyUse decides whether one identifier use of the tracked
+// variable is aliasing. The safe shapes are exactly the ones a reusable
+// buffer needs: index reads/writes, len/cap/copy/delete/clear, ranging,
+// comparisons, self-append, and self-reslice.
+func classifyUse(info *types.Info, parents map[ast.Node]ast.Node, id *ast.Ident, escape func(token.Pos, string)) {
+	// Closure capture: any enclosing FuncLit between the use and the
+	// region root publishes the variable.
+	for a := parents[id]; a != nil; a = parents[a] {
+		if _, ok := a.(*ast.FuncLit); ok {
+			escape(id.Pos(), "captured by a function literal")
+			return
+		}
+	}
+
+	parent := parents[id]
+	switch p := parent.(type) {
+	case *ast.AssignStmt:
+		for _, lhs := range p.Lhs {
+			if ast.Unparen(lhs) == id {
+				return // write target: not a read of the value at all
+			}
+		}
+		// RHS use: safe only when the value flows back into itself
+		// (x = x[:0], x = append(x, ...)) — handled below via the
+		// expression cases; a bare `y = x` aliases.
+		escape(id.Pos(), "aliased by assignment")
+	case *ast.IndexExpr:
+		if p.X == id {
+			// x[i]: reading or writing an element. &x[i] is the
+			// aliasing shape, caught by the UnaryExpr parent of p.
+			if u, ok := parents[p].(*ast.UnaryExpr); ok && u.Op == token.AND {
+				escape(id.Pos(), "element address taken")
+			}
+			return
+		}
+		// x used as the index of another expression: a plain read.
+	case *ast.SliceExpr:
+		if p.X == id {
+			// x[a:b] aliases unless assigned straight back to x.
+			if as, ok := parents[p].(*ast.AssignStmt); ok && len(as.Lhs) == 1 && len(as.Rhs) == 1 && as.Rhs[0] == p {
+				if lhs, ok := ast.Unparen(as.Lhs[0]).(*ast.Ident); ok && info.Uses[lhs] != nil && info.Uses[lhs] == info.Uses[id] {
+					return // x = x[low:high]: reuse in place
+				}
+			}
+			escape(id.Pos(), "resliced into another value")
+			return
+		}
+	case *ast.CallExpr:
+		if classifyCallUse(info, parents, p, id, escape) {
+			return
+		}
+		escape(id.Pos(), "passed to a call")
+	case *ast.RangeStmt:
+		if p.X == id {
+			return // ranging reads elements by copy
+		}
+		escape(id.Pos(), "used outside a recognized-safe shape")
+	case *ast.BinaryExpr:
+		// Comparisons and arithmetic read the header/value, no alias.
+		return
+	case *ast.UnaryExpr:
+		if p.Op == token.AND {
+			escape(id.Pos(), "address taken")
+			return
+		}
+	case *ast.ReturnStmt:
+		escape(id.Pos(), "returned")
+	case *ast.SendStmt:
+		escape(id.Pos(), "sent on a channel")
+	case *ast.KeyValueExpr, *ast.CompositeLit:
+		escape(id.Pos(), "stored in a composite literal")
+	case *ast.SelectorExpr:
+		return // x.field / x.method: reads through the value
+	case *ast.IncDecStmt, *ast.StarExpr, *ast.ParenExpr, *ast.ExprStmt, *ast.IfStmt, *ast.ForStmt, *ast.SwitchStmt, *ast.CaseClause, *ast.TypeAssertExpr:
+		return
+	default:
+		escape(id.Pos(), "used outside a recognized-safe shape")
+	}
+}
+
+// classifyCallUse reports whether a call argument use of id is one of
+// the safe builtin shapes: len/cap/copy/delete/clear, or append whose
+// result is assigned straight back to the same variable.
+func classifyCallUse(info *types.Info, parents map[ast.Node]ast.Node, call *ast.CallExpr, id *ast.Ident, escape func(token.Pos, string)) bool {
+	fid, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	bi, ok := info.Uses[fid].(*types.Builtin)
+	if !ok {
+		return false
+	}
+	switch bi.Name() {
+	case "len", "cap", "copy", "delete", "clear":
+		return true
+	case "append":
+		if len(call.Args) > 0 && ast.Unparen(call.Args[0]) == id {
+			// append(x, ...) is safe only as x = append(x, ...).
+			if as, ok := parents[call].(*ast.AssignStmt); ok && len(as.Lhs) == 1 && len(as.Rhs) == 1 && as.Rhs[0] == call {
+				if lhs, ok := ast.Unparen(as.Lhs[0]).(*ast.Ident); ok && info.Uses[lhs] != nil && info.Uses[lhs] == info.Uses[id] {
+					return true
+				}
+			}
+			escape(id.Pos(), "appended into another value")
+			return true
+		}
+		// x as an appended element: the element value escapes into the
+		// destination slice.
+		escape(id.Pos(), "appended as an element")
+		return true
+	}
+	return false
+}

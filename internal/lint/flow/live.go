@@ -1,0 +1,176 @@
+package flow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Live holds the liveness solution for one Graph: which variables may
+// still be read on some path from each block boundary. It is the
+// standard backward union fixpoint over upward-exposed uses; the
+// in-sets grow monotonically within a finite lattice, so it terminates.
+type Live struct {
+	g    *Graph
+	vars []*types.Var // variable universe, in first-appearance order
+	idx  map[*types.Var]int
+	in   []bitset // per block
+	out  []bitset
+}
+
+// Liveness computes variable liveness over g. Uses inside nested
+// function literals count as uses at the literal's site (a capture
+// keeps the variable live), which over-approximates — the safe
+// direction for every consumer in the suite.
+func Liveness(g *Graph, info *types.Info) *Live {
+	l := &Live{g: g, idx: make(map[*types.Var]int)}
+	intern := func(v *types.Var) int {
+		if i, ok := l.idx[v]; ok {
+			return i
+		}
+		i := len(l.vars)
+		l.vars = append(l.vars, v)
+		l.idx[v] = i
+		return i
+	}
+
+	// First pass: intern every variable so the bitset width is known.
+	type blockSets struct{ use, def []int }
+	events := make([]blockSets, len(g.Blocks))
+	for _, b := range g.Blocks {
+		var bs blockSets
+		seenDef := make(map[*types.Var]bool)
+		for _, n := range b.Nodes {
+			// Uses first: an upward-exposed use is one not preceded by
+			// a def of the same variable in this block. Within one
+			// statement the RHS reads before the LHS writes.
+			for _, v := range usesOfNode(info, n) {
+				if !seenDef[v] {
+					bs.use = append(bs.use, intern(v))
+				}
+			}
+			for _, d := range defsOfNode(info, n) {
+				seenDef[d.Obj] = true
+				bs.def = append(bs.def, intern(d.Obj))
+			}
+		}
+		events[b.Index] = bs
+	}
+
+	nbits := len(l.vars)
+	use := make([]bitset, len(g.Blocks))
+	def := make([]bitset, len(g.Blocks))
+	l.in = make([]bitset, len(g.Blocks))
+	l.out = make([]bitset, len(g.Blocks))
+	for i := range use {
+		use[i] = newBitset(nbits)
+		def[i] = newBitset(nbits)
+		l.in[i] = newBitset(nbits)
+		l.out[i] = newBitset(nbits)
+		for _, u := range events[i].use {
+			use[i].set(u)
+		}
+		for _, d := range events[i].def {
+			def[i].set(d)
+		}
+	}
+
+	// Backward fixpoint in postorder (reverse of the RPO walk) for fast
+	// convergence.
+	rpo := g.reversePostorder()
+	tmp := newBitset(nbits)
+	for changed := true; changed; {
+		changed = false
+		for i := len(rpo) - 1; i >= 0; i-- {
+			b := rpo[i]
+			bi := b.Index
+			l.out[bi].zero()
+			for _, s := range b.Succs {
+				l.out[bi].or(l.in[s.Index])
+			}
+			tmp.copyFrom(l.out[bi])
+			tmp.andNot(def[bi])
+			tmp.or(use[bi])
+			if !tmp.equal(l.in[bi]) {
+				l.in[bi].copyFrom(tmp)
+				changed = true
+			}
+		}
+	}
+	return l
+}
+
+// LiveOut reports whether v may be read after b exits.
+func (l *Live) LiveOut(b *Block, v *types.Var) bool {
+	i, ok := l.idx[v]
+	return ok && l.out[b.Index].get(i)
+}
+
+// LiveIn reports whether v may be read from b's entry onward.
+func (l *Live) LiveIn(b *Block, v *types.Var) bool {
+	i, ok := l.idx[v]
+	return ok && l.in[b.Index].get(i)
+}
+
+// usesOfNode collects the variables read by one graph node, in source
+// order. Identifiers on the left of plain assignments are writes, not
+// reads; everything else that resolves to a variable counts, including
+// captures inside nested function literals.
+func usesOfNode(info *types.Info, n ast.Node) []*types.Var {
+	writes := make(map[*ast.Ident]bool)
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		// Plain `=`/`:=` writes its identifier targets without reading
+		// them; `x op= y` reads x too, so it stays a use.
+		if n.Tok == token.ASSIGN || n.Tok == token.DEFINE {
+			for _, lhs := range n.Lhs {
+				if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+					writes[id] = true
+				}
+			}
+		}
+	case *ast.RangeStmt:
+		if id, ok := n.Key.(*ast.Ident); ok {
+			writes[id] = true
+		}
+		if id, ok := n.Value.(*ast.Ident); ok {
+			writes[id] = true
+		}
+	case *ast.CaseClause:
+		// Recorded in switch headers for their case expressions only;
+		// the body statements are separate graph nodes.
+		var vs []*types.Var
+		for _, e := range n.List {
+			vs = append(vs, usesOfExpr(info, e)...)
+		}
+		return vs
+	}
+	var vs []*types.Var
+	ast.Inspect(n, func(m ast.Node) bool {
+		id, ok := m.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if writes[id] {
+			return true
+		}
+		if v, ok := info.Uses[id].(*types.Var); ok && !v.IsField() {
+			vs = append(vs, v)
+		}
+		return true
+	})
+	return vs
+}
+
+func usesOfExpr(info *types.Info, e ast.Expr) []*types.Var {
+	var vs []*types.Var
+	ast.Inspect(e, func(m ast.Node) bool {
+		if id, ok := m.(*ast.Ident); ok {
+			if v, ok := info.Uses[id].(*types.Var); ok && !v.IsField() {
+				vs = append(vs, v)
+			}
+		}
+		return true
+	})
+	return vs
+}

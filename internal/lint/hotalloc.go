@@ -1,8 +1,14 @@
 package lint
 
 import (
+	"bytes"
 	"go/ast"
+	"go/printer"
+	"go/token"
 	"go/types"
+	"strings"
+
+	"econcast/internal/lint/flow"
 )
 
 // hotEntry names one event-loop entry point: a method on a receiver type
@@ -51,14 +57,19 @@ var hotEntries = map[string][]hotEntry{
 	},
 }
 
-// HotAlloc flags allocation sites — make, append, and map literals —
-// inside the simulators' event-loop call trees. The event loops are
-// required to be allocation-free in steady state (see
-// internal/sim/alloc_test.go); an allocation that is genuinely one-time
-// or amortized earns a per-line `//lint:allow hotalloc <reason>`.
+// HotAlloc flags allocation sites inside the simulators' event-loop call
+// trees: make, append, and map literals (as before), plus — now that the
+// analysis is flow-sensitive over internal/lint/flow — capturing
+// function literals, values boxed into empty interfaces at call sites,
+// and loop-invariant makes that provably do not escape their iteration,
+// which earn a "hoistable" finding with a machine-applicable fix for the
+// make([]T, 0, cap) shape. The event loops are required to be
+// allocation-free in steady state (see internal/sim/alloc_test.go); an
+// allocation that is genuinely one-time or amortized earns a per-line
+// `//lint:allow hotalloc <reason>`.
 var HotAlloc = &Analyzer{
 	Name: "hotalloc",
-	Doc:  "allocation (make/append/map literal) inside a simulator event loop",
+	Doc:  "allocation (make/append/map literal/closure/interface boxing) inside a simulator event loop",
 	Run: func(p *Pass) {
 		entries, ok := hotEntries[p.Path]
 		if !ok {
@@ -103,31 +114,366 @@ var HotAlloc = &Analyzer{
 		}
 
 		for fn := range hot {
-			fd := decls[fn]
-			ast.Inspect(fd.Body, func(n ast.Node) bool {
-				switch n := n.(type) {
-				case *ast.CallExpr:
-					if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok {
-						if b, ok := p.Info.Uses[id].(*types.Builtin); ok {
-							switch b.Name() {
-							case "make", "append":
-								p.Reportf(n.Pos(), "%s in hot path %s; hoist the allocation out of the event loop or add //lint:allow hotalloc with a justification", b.Name(), fd.Name.Name)
-							}
-						}
-					}
-				case *ast.CompositeLit:
-					t := p.Info.TypeOf(n)
-					if t == nil {
-						return true
-					}
-					if _, isMap := t.Underlying().(*types.Map); isMap {
-						p.Reportf(n.Pos(), "map literal in hot path %s; hoist the allocation out of the event loop or add //lint:allow hotalloc with a justification", fd.Name.Name)
-					}
-				}
-				return true
-			})
+			checkHotFunc(p, decls[fn])
 		}
 	},
+}
+
+// checkHotFunc reports the allocation sites of one hot function.
+func checkHotFunc(p *Pass, fd *ast.FuncDecl) {
+	hoist := hoistableMakes(p, fd)
+	panicSpans := panicArgSpans(fd)
+	inPanicArg := func(pos token.Pos) bool {
+		for _, s := range panicSpans {
+			if pos > s[0] && pos < s[1] {
+				return true
+			}
+		}
+		return false
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok {
+				if b, ok := p.Info.Uses[id].(*types.Builtin); ok {
+					switch b.Name() {
+					case "make", "append":
+						if h, ok := hoist[n]; ok {
+							p.ReportfFix(n.Pos(), h.fix, "make in hot path %s is loop-invariant and does not escape its iteration; hoist it above the loop and reuse the buffer (%s)", fd.Name.Name, h.how)
+						} else {
+							p.Reportf(n.Pos(), "%s in hot path %s; hoist the allocation out of the event loop or add //lint:allow hotalloc with a justification", b.Name(), fd.Name.Name)
+						}
+					}
+					return true
+				}
+			}
+			if !inPanicArg(n.Pos()) {
+				checkBoxing(p, fd, n)
+			}
+		case *ast.CompositeLit:
+			t := p.Info.TypeOf(n)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); isMap {
+				p.Reportf(n.Pos(), "map literal in hot path %s; hoist the allocation out of the event loop or add //lint:allow hotalloc with a justification", fd.Name.Name)
+			}
+		case *ast.FuncLit:
+			if !inPanicArg(n.Pos()) && capturesVariables(p, n) {
+				p.Reportf(n.Pos(), "capturing function literal in hot path %s allocates a closure per event; predeclare the function or hoist the capture out of the event loop", fd.Name.Name)
+			}
+		}
+		return true
+	})
+}
+
+// panicArgSpans collects the argument spans of builtin panic calls: a
+// panic aborts the run, so an allocation feeding one is not a
+// steady-state cost.
+func panicArgSpans(fd *ast.FuncDecl) [][2]token.Pos {
+	var spans [][2]token.Pos
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && isPanicCall(call) {
+			spans = append(spans, [2]token.Pos{call.Lparen, call.Rparen})
+		}
+		return true
+	})
+	return spans
+}
+
+// checkBoxing reports non-interface values bound to empty-interface
+// parameters (or converted with any(x)): each binding allocates to box
+// the value. Spread calls (f(xs...)) pass an existing slice and box
+// nothing new.
+func checkBoxing(p *Pass, fd *ast.FuncDecl, call *ast.CallExpr) {
+	if call.Ellipsis.IsValid() {
+		return
+	}
+	tv, ok := p.Info.Types[call.Fun]
+	if !ok {
+		return
+	}
+	if tv.IsType() {
+		// Conversion: any(x) with a concrete x boxes.
+		if len(call.Args) == 1 && isEmptyInterface(tv.Type) && boxes(p, call.Args[0]) {
+			p.Reportf(call.Args[0].Pos(), "value boxes into an empty interface in hot path %s; keep the concrete type or add //lint:allow hotalloc with a justification", fd.Name.Name)
+		}
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			last := params.At(params.Len() - 1).Type()
+			sl, ok := last.Underlying().(*types.Slice)
+			if !ok {
+				continue
+			}
+			pt = sl.Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if isEmptyInterface(pt) && boxes(p, arg) {
+			p.Reportf(arg.Pos(), "argument boxes into an empty interface in hot path %s; each binding allocates — avoid the interface{} sink on the event path or add //lint:allow hotalloc with a justification", fd.Name.Name)
+		}
+	}
+}
+
+// boxes reports whether passing arg to an empty-interface slot
+// allocates: its type is concrete (non-interface) and not untyped nil.
+func boxes(p *Pass, arg ast.Expr) bool {
+	tv, ok := p.Info.Types[arg]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	if b, ok := tv.Type.(*types.Basic); ok && b.Kind() == types.UntypedNil {
+		return false
+	}
+	if types.IsInterface(tv.Type) {
+		return false
+	}
+	return true
+}
+
+func isEmptyInterface(t types.Type) bool {
+	iface, ok := t.Underlying().(*types.Interface)
+	return ok && iface.Empty()
+}
+
+// capturesVariables reports whether lit closes over any variable
+// declared outside it (other than package-level state): only capturing
+// literals materialize a closure object at run time.
+func capturesVariables(p *Pass, lit *ast.FuncLit) bool {
+	captures := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if captures {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := p.Info.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		if v.Parent() != nil && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			return true // package-level: no capture needed
+		}
+		if v.Pos() < lit.Pos() || v.Pos() >= lit.End() {
+			captures = true
+		}
+		return true
+	})
+	return captures
+}
+
+// hoistableMake describes one loop-invariant, iteration-local make.
+type hoistableMake struct {
+	fix *Fix   // non-nil for the make([]T, 0, cap) shape
+	how string // human hint for the message
+}
+
+// hoistableMakes finds `x := make(...)` statements inside loops of fd
+// whose arguments are loop-invariant (every reaching definition of every
+// argument variable lies outside the loop) and whose result provably
+// does not escape its iteration. Those allocations can always be
+// replaced by a buffer reused across iterations; for the
+// make([]T, 0, cap) shape the rewrite is mechanical (hoist the make,
+// reslice to x[:0] in the loop) and returned as a fix.
+func hoistableMakes(p *Pass, fd *ast.FuncDecl) map[*ast.CallExpr]hoistableMake {
+	found := make(map[*ast.CallExpr]hoistableMake)
+
+	// Innermost enclosing loop for every node of interest.
+	var g *flow.Graph
+	var reach *flow.Reach
+	build := func() {
+		if g != nil {
+			return
+		}
+		g = flow.Build(fd.Body)
+		var fields []*ast.FieldList
+		fields = append(fields, fd.Recv)
+		if fd.Type.Params != nil {
+			fields = append(fields, fd.Type.Params)
+		}
+		if fd.Type.Results != nil {
+			fields = append(fields, fd.Type.Results)
+		}
+		reach = flow.Reaching(g, p.Info, fields...)
+	}
+
+	var loops []ast.Node // enclosing loop stack
+	var visit func(n ast.Node) bool
+	visit = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ForStmt:
+			loops = append(loops, n)
+			ast.Inspect(n.Body, visit)
+			loops = loops[:len(loops)-1]
+			return false
+		case *ast.RangeStmt:
+			loops = append(loops, n)
+			ast.Inspect(n.Body, visit)
+			loops = loops[:len(loops)-1]
+			return false
+		case *ast.FuncLit:
+			return false // a literal's body is its own scope
+		case *ast.AssignStmt:
+			if len(loops) == 0 {
+				return true
+			}
+			loop := loops[len(loops)-1]
+			if h, call, ok := hoistableAssign(p, loop, n, &reach, build); ok {
+				found[call] = h
+			}
+		}
+		return true
+	}
+	ast.Inspect(fd.Body, visit)
+	return found
+}
+
+// hoistableAssign decides whether one in-loop assignment is a hoistable
+// make.
+func hoistableAssign(p *Pass, loop ast.Node, as *ast.AssignStmt, reach **flow.Reach, build func()) (hoistableMake, *ast.CallExpr, bool) {
+	if as.Tok != token.DEFINE || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return hoistableMake{}, nil, false
+	}
+	lhs, ok := as.Lhs[0].(*ast.Ident)
+	if !ok || lhs.Name == "_" {
+		return hoistableMake{}, nil, false
+	}
+	call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+	if !ok {
+		return hoistableMake{}, nil, false
+	}
+	fun, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return hoistableMake{}, nil, false
+	}
+	if b, ok := p.Info.Uses[fun].(*types.Builtin); !ok || b.Name() != "make" {
+		return hoistableMake{}, nil, false
+	}
+
+	build()
+
+	// Loop-invariant arguments: every variable read by a make argument
+	// must have all its reaching definitions outside the loop.
+	for _, arg := range call.Args[1:] {
+		invariant := true
+		ast.Inspect(arg, func(m ast.Node) bool {
+			id, ok := m.(*ast.Ident)
+			if !ok || !invariant {
+				return invariant
+			}
+			v, ok := p.Info.Uses[id].(*types.Var)
+			if !ok || v.IsField() {
+				return true
+			}
+			defs, ok := (*reach).DefsAt(v, id.Pos())
+			if !ok {
+				invariant = false
+				return false
+			}
+			for _, d := range defs {
+				if d.Node != nil && d.Node.Pos() >= loop.Pos() && d.Node.End() <= loop.End() {
+					invariant = false
+					return false
+				}
+			}
+			return true
+		})
+		if !invariant {
+			return hoistableMake{}, nil, false
+		}
+	}
+
+	// Iteration-local result: the made value must not escape the loop
+	// body (returned, stored elsewhere, captured, appended into an
+	// accumulator...).
+	v, ok := p.Info.Defs[lhs].(*types.Var)
+	if !ok {
+		return hoistableMake{}, nil, false
+	}
+	body := loopBody(loop)
+	if esc := flow.EscapesRegion(p.Info, body, v); esc.Class != flow.Local {
+		return hoistableMake{}, nil, false
+	}
+
+	h := hoistableMake{how: "reuse a preallocated buffer across iterations"}
+	if fix, ok := buildHoistFix(p, loop, as, call, lhs); ok {
+		h.fix = fix
+		h.how = "x = x[:0] each iteration"
+	}
+	return h, call, true
+}
+
+func loopBody(loop ast.Node) *ast.BlockStmt {
+	switch l := loop.(type) {
+	case *ast.ForStmt:
+		return l.Body
+	case *ast.RangeStmt:
+		return l.Body
+	}
+	return nil
+}
+
+// buildHoistFix constructs the mechanical rewrite for the
+// make([]T, 0, cap) shape: hoist the definition above the loop and
+// replace the in-loop statement with a reslice.
+func buildHoistFix(p *Pass, loop ast.Node, as *ast.AssignStmt, call *ast.CallExpr, lhs *ast.Ident) (*Fix, bool) {
+	// Only a zero-length slice make is mechanically reusable: non-zero
+	// lengths rely on fresh zeroing, and maps need a clear loop.
+	if len(call.Args) != 3 {
+		return nil, false
+	}
+	if _, isSlice := p.Info.TypeOf(call).Underlying().(*types.Slice); !isSlice {
+		return nil, false
+	}
+	ltv, ok := p.Info.Types[call.Args[1]]
+	if !ok || ltv.Value == nil || ltv.Value.String() != "0" {
+		return nil, false
+	}
+
+	tf := p.Fset.File(loop.Pos())
+	if tf == nil {
+		return nil, false
+	}
+	loopPos := p.Fset.Position(loop.Pos())
+
+	var rendered bytes.Buffer
+	if err := printer.Fprint(&rendered, p.Fset, as); err != nil {
+		return nil, false
+	}
+	indent := strings.Repeat("\t", loopPos.Column-1)
+
+	insertAt := tf.Offset(loop.Pos())
+	return &Fix{
+		Message: "hoist the make above the loop and reslice each iteration",
+		Edits: []TextEdit{
+			{
+				File:  tf.Name(),
+				Start: insertAt,
+				End:   insertAt,
+				New:   rendered.String() + "\n" + indent,
+			},
+			{
+				File:  tf.Name(),
+				Start: tf.Offset(as.Pos()),
+				End:   tf.Offset(as.End()),
+				New:   lhs.Name + " = " + lhs.Name + "[:0]",
+			},
+		},
+	}, true
 }
 
 // funcDecls indexes the package's function and method declarations with

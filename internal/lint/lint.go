@@ -35,6 +35,17 @@
 //     *stats.Accumulator, ...) must not be shared across goroutines, by
 //     closure capture or by storing one value into several
 //     goroutine-crossing structs.
+//   - unitflow: unit/dimension flow analysis over the simulator's
+//     physical quantities (seconds, joules, watts, meters); mixing
+//     dimensions in arithmetic is reported unless annotated.
+//   - shardown: //lint:owner role domains are enforced — state owned by
+//     one goroutine role must not be touched from another except through
+//     a declared //lint:handoff boundary.
+//   - shardflow: the sharded engine's detach/eager-fix discipline is
+//     proven on the control-flow graph (internal/lint/flow): drains
+//     dominated by their detach, cross-shard pushes eagerly fixed on
+//     every path, shard methods fenced off the coordinator's SoA caches
+//     and control scalars.
 //
 // # Suppressions
 //
@@ -130,7 +141,7 @@ func (p *Pass) ReportfFix(pos token.Pos, fix *Fix, format string, args ...any) {
 
 // All returns the full analyzer suite in reporting order.
 func All() []*Analyzer {
-	return []*Analyzer{MapRange, WallClock, FloatEq, RawGoroutine, ErrDrop, HotAlloc, ChanDir, SeedFlow, SharedState, UnitFlow, ShardOwn}
+	return []*Analyzer{MapRange, WallClock, FloatEq, RawGoroutine, ErrDrop, HotAlloc, ChanDir, SeedFlow, SharedState, UnitFlow, ShardOwn, ShardFlow}
 }
 
 // ByName returns the named analyzer, or nil.
@@ -235,6 +246,17 @@ func sortFindings(all []Finding) {
 // AuditSuppressions reports directives that no longer suppress anything.
 const StaleSuppression = "stale-suppression"
 
+// UnjustifiedSuppression is the pseudo-analyzer name under which
+// AuditSuppressions reports directives still carrying the "TODO:
+// justify" stub that suppressionFix inserts: the autofix buys a clean
+// run, not a permanent exemption, and the audit fails until a human
+// replaces the stub with a real reason.
+const UnjustifiedSuppression = "unjustified-suppression"
+
+// justifyStub is the marker suppressionFix plants in generated
+// directives; its presence means nobody has written the justification.
+const justifyStub = "TODO: justify"
+
 // AuditSuppressions reruns the analyzers without applying suppressions
 // and reports every //lint: directive whose covered lines produce no
 // finding it names — dead weight that would silently mask a future
@@ -270,11 +292,18 @@ func auditPkg(pkg *Package, analyzers []*Analyzer) []Finding {
 				break
 			}
 		}
-		if !live {
+		switch {
+		case !live:
 			stale = append(stale, Finding{
 				Pos:      d.Pos,
 				Analyzer: StaleSuppression,
 				Message:  fmt.Sprintf("suppression %q no longer matches any finding; delete it", d.Text),
+			})
+		case strings.Contains(d.Text, justifyStub):
+			stale = append(stale, Finding{
+				Pos:      d.Pos,
+				Analyzer: UnjustifiedSuppression,
+				Message:  fmt.Sprintf("suppression %q still carries the generated %q stub; write the real justification", d.Text, justifyStub),
 			})
 		}
 	}

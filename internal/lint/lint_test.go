@@ -106,16 +106,22 @@ func TestFixtures(t *testing.T) {
 		{"hotalloc/faults-outside-hot-pkg", filepath.Join("hotalloc", "faults"), "econcast/internal/viz", HotAlloc, true},
 		{"hotalloc/shard-coordinator-tree", filepath.Join("hotalloc", "shard"), "econcast/internal/sim", HotAlloc, false},
 		{"hotalloc/shard-outside-hot-pkg", filepath.Join("hotalloc", "shard"), "econcast/internal/viz", HotAlloc, true},
+		{"hotalloc/flow-sensitive", filepath.Join("hotalloc", "flow"), "econcast/internal/sim", HotAlloc, false},
+		{"hotalloc/flow-outside-hot-pkg", filepath.Join("hotalloc", "flow"), "econcast/internal/viz", HotAlloc, true},
 		{"chandir", "chandir", "econcast/internal/asim", ChanDir, false},
 		{"chandir/outside-channel-pkg", "chandir", "econcast/internal/viz", ChanDir, true},
 		{"seedflow", "seedflow", "econcast/internal/experiments", SeedFlow, false},
 		{"seedflow/inside-rng", filepath.Join("seedflow", "exempt"), "econcast/internal/rng", SeedFlow, true},
+		{"seedflow/path-sensitive", filepath.Join("seedflow", "reassign"), "econcast/internal/experiments", SeedFlow, false},
 		{"sharedstate", "sharedstate", "econcast/internal/asim", SharedState, false},
 		{"sharedstate/clean-handoffs", filepath.Join("sharedstate", "clean"), "econcast/internal/asim", SharedState, true},
 		{"unitflow", "unitflow", "econcast/internal/sim", UnitFlow, false},
 		{"unitflow/outside-registry-pkg", "unitflow", "econcast/internal/viz", UnitFlow, true},
 		{"shardown", "shardown", "econcast/internal/asim", ShardOwn, false},
 		{"shardown/clean-engine", filepath.Join("shardown", "clean"), "econcast/internal/asim", ShardOwn, true},
+		{"shardflow", "shardflow", "econcast/internal/sim", ShardFlow, false},
+		{"shardflow/clean-engine", filepath.Join("shardflow", "clean"), "econcast/internal/sim", ShardFlow, true},
+		{"shardflow/outside-config", "shardflow", "econcast/internal/viz", ShardFlow, true},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

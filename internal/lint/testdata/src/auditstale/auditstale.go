@@ -1,8 +1,9 @@
 // Package fixture exercises -audit-suppressions: loaded as
-// econcast/internal/sim it carries one live directive (the wallclock
-// suppression really is holding back a finding) and one stale directive
-// (nothing on the covered lines trips floateq), so the audit must report
-// exactly the stale one.
+// econcast/internal/sim it carries live directives (the wallclock
+// suppressions really are holding back findings), one stale directive
+// (nothing on the covered lines trips floateq), and one live directive
+// still wearing the generated "TODO: justify" stub, so the audit must
+// report exactly the stale one and the unjustified one.
 package fixture
 
 import "time"
@@ -14,3 +15,7 @@ var bootTime = time.Now()
 var nodeCount = 3
 
 func uptime() time.Duration { return time.Since(bootTime) } //lint:allow wallclock fixture: trailing live directive
+
+// tied's directive suppresses a real floateq finding, but nobody has
+// replaced the autofix stub with a reason yet.
+func tied(a, b float64) bool { return a == b } //lint:allow floateq TODO: justify this exact comparison

@@ -1,0 +1,82 @@
+// Package fixture exercises hotalloc's flow-sensitive findings: the
+// hoistable loop-invariant make, the capturing-closure and
+// interface-boxing blind spots, and the shapes each one must NOT flag
+// (non-capturing literals, spread calls, panic arguments, escaping or
+// loop-variant makes keep the plain diagnostic).
+package fixture
+
+type engine struct {
+	queue []int
+	sink  [][]byte
+	cap   int
+}
+
+func sprintf(format string, args ...any) string { _ = args; return format }
+
+func consume(bs []byte) int { return len(bs) }
+
+// run is the hot entry point; every method below is reachable from it.
+func (e *engine) run() {
+	e.step(4)
+	e.variant(4)
+	e.escapes(4)
+	e.closures(4)
+	e.boxing(4, nil)
+}
+
+// step holds the hoistable shape: scratch's arguments are defined
+// outside the loop and the buffer never leaves its iteration (it is
+// only self-appended, ranged, and indexed), so the make can be hoisted
+// and the buffer reused.
+func (e *engine) step(n int) {
+	for i := 0; i < n; i++ {
+		scratch := make([]byte, 0, 64) // want hotalloc
+		scratch = append(scratch, byte(i)) // want hotalloc
+		for j := range scratch {
+			e.queue[0] += int(scratch[j])
+		}
+	}
+}
+
+// variant's make argument is redefined inside the loop, so the
+// allocation is not loop-invariant and keeps the plain diagnostic.
+func (e *engine) variant(n int) {
+	size := 8
+	for i := 0; i < n; i++ {
+		size = i
+		buf := make([]byte, 0, size) // want hotalloc
+		_ = consume(buf)
+	}
+}
+
+// escapes appends the buffer into an accumulator that outlives the
+// iteration: reusing one buffer would alias every element, so only the
+// plain diagnostic applies.
+func (e *engine) escapes(n int) {
+	for i := 0; i < n; i++ {
+		buf := make([]byte, 0, 8) // want hotalloc
+		buf = append(buf, byte(i)) // want hotalloc
+		e.sink = append(e.sink, buf) // want hotalloc
+	}
+}
+
+// closures: a literal capturing locals allocates per event; one that
+// touches nothing outside itself compiles to a static function.
+func (e *engine) closures(n int) {
+	f := func() int { return n } // want hotalloc
+	g := func() int { return 1 }
+	_ = f() + g()
+}
+
+// boxing: concrete values bound to empty-interface parameters allocate.
+// Spread calls pass an existing slice, and panic arguments are not a
+// steady-state cost.
+func (e *engine) boxing(n int, args []any) {
+	_ = sprintf("node %d of %d", n, e.cap) // want hotalloc,hotalloc
+	_ = sprintf("preboxed", args...)
+	if n < 0 {
+		panic(sprintf("impossible fan-in %d", n))
+	}
+	var a any = any(n) // want hotalloc
+	_ = a
+}

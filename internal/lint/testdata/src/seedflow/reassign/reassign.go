@@ -1,0 +1,70 @@
+// Package fixture is the path-sensitivity regression for seedflow: a
+// collision-prone initialization that EVERY path overwrites with a
+// sound derivation must stay silent — only definitions that actually
+// reach the sink count. The flow-insensitive v4 analyzer scanned all
+// assignments in source order and flagged the dead initializer. The
+// one-branch variants below keep a tainted path alive and must still
+// be findings.
+package fixture
+
+import "econcast/internal/rng"
+
+type cellCfg struct {
+	Sigma float64
+	Seed  uint64
+}
+
+// rederived overwrites the tainted initializer on both branches: no
+// arithmetic reaches rng.New, so the rewrite proves it sound.
+func rederived(base uint64, hot bool) *rng.Source {
+	seed := base + 1
+	if hot {
+		seed = rng.DeriveSeed(base, 1)
+	} else {
+		seed = rng.DeriveSeed(base, 2)
+	}
+	return rng.New(seed)
+}
+
+// rederivedField is the same shape through a Seed field store.
+func rederivedField(base uint64, i int) cellCfg {
+	s := base * 31
+	switch {
+	case i == 0:
+		s = rng.DeriveSeed(base, 0)
+	default:
+		s = rng.DeriveSeed(base, uint64(i))
+	}
+	return cellCfg{Seed: s}
+}
+
+// oneBranch only fixes the hot path: the tainted initializer still
+// reaches the sink along the else edge.
+func oneBranch(base uint64, hot bool) *rng.Source {
+	seed := base + 1 // want seedflow
+	if hot {
+		seed = rng.DeriveSeed(base, 1)
+	}
+	return rng.New(seed)
+}
+
+// lateTaint derives soundly first, then damages the seed on one path
+// before the sink; the reaching tainted definition is the finding.
+func lateTaint(base uint64, skew int) *rng.Source {
+	seed := rng.DeriveSeed(base, 7)
+	if skew > 0 {
+		seed = seed + uint64(skew) // want seedflow
+	}
+	return rng.New(seed)
+}
+
+// sunkBeforeFix sinks the tainted value BEFORE the rederivation: the
+// definition reaching the first sink is the arithmetic, even though a
+// later write would have cleaned it up for the second sink.
+func sunkBeforeFix(base uint64) (a, b *rng.Source) {
+	seed := base ^ 0x5bd1e995 // want seedflow
+	a = rng.New(seed)
+	seed = rng.DeriveSeed(base, 9)
+	b = rng.New(seed)
+	return a, b
+}

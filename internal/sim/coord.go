@@ -469,7 +469,7 @@ func (c *coordinator) accrueOccupancy(until float64) {
 func (c *coordinator) setState(i int, st model.State) {
 	c.accrue(i)
 	if c.logging {
-		c.logf("%.6f node %d: %v -> %v", c.now, i, c.state[i], st)
+		c.logf("%.6f node %d: %v -> %v", c.now, i, c.state[i], st) //lint:allow hotalloc trace logging; c.logging is off in measured runs
 	}
 	c.state[i] = st
 }
@@ -635,7 +635,7 @@ func (c *coordinator) startPacket(i, burstLen int, delivered bool) {
 	c.pktListeners[i] = listeners
 	if c.logging {
 		c.logf("%.6f node %d: packet %d of hold, %d listeners",
-			c.now, i, burstLen+1, len(listeners))
+			c.now, i, burstLen+1, len(listeners)) //lint:allow hotalloc trace logging; c.logging is off in measured runs
 	}
 	c.push(event{at: c.now + c.packetTime, kind: evPacketEnd, node: i})
 }

@@ -46,7 +46,7 @@ func (sc scaleBenchCase) config(seed uint64) Config {
 }
 
 // BenchmarkScaleGrid is the committed scale datapoint generator for
-// BENCH_PR7.json: aggregate sharded-engine throughput on grids at
+// BENCH_PR8.json: aggregate sharded-engine throughput on grids at
 // N = 1k/10k/100k, with 4 replicate sims fanned out as sweep cells at
 // worker counts 1/4/16 (clamped to the replicate count; on a 1-core
 // runner the aggregate is bounded by single-thread throughput). The

@@ -17,6 +17,8 @@ type shardRuntime struct {
 // The drain stops early when a dispatched event pushes into a foreign
 // shard (the bound may no longer be conservative), when the batch limit
 // is reached, or at the horizon.
+//
+//lint:handoff sim-engine run is the drain boundary: it executes on the coordinator's event-loop goroutine and writes the batch-control scalars (current, crossed, done) back into the coordinator
 func (s *shardRuntime) run(c *coordinator, boundAt float64, boundSeq uint64) {
 	dispatched := 0
 	for len(s.queue) > 0 {

@@ -499,7 +499,7 @@ func (e *engine) start() {
 		e.scheduleTransition(i)
 		e.push(event{at: e.tau, kind: evTick, node: i})
 		node := i
-		e.flt.Boundaries(i, func(at float64) {
+		e.flt.Boundaries(i, func(at float64) { //lint:allow hotalloc one boundary closure per node at run startup, not per event
 			e.push(event{at: at, kind: evFault, node: node})
 		})
 	}
@@ -767,7 +767,7 @@ func (e *engine) handleTransition(i int) {
 func (e *engine) setState(i int, st model.State) {
 	e.accrue(i)
 	if e.logging {
-		e.logf("%.6f node %d: %v -> %v", e.now, i, e.nodes[i].state, st)
+		e.logf("%.6f node %d: %v -> %v", e.now, i, e.nodes[i].state, st) //lint:allow hotalloc trace logging; e.logging is off in measured runs
 	}
 	e.nodes[i].state = st
 }
@@ -855,7 +855,7 @@ func (e *engine) startPacket(i, burstLen int, delivered bool) {
 	}
 	if e.logging {
 		e.logf("%.6f node %d: packet %d of hold, %d listeners",
-			e.now, i, burstLen+1, len(p.listeners))
+			e.now, i, burstLen+1, len(p.listeners)) //lint:allow hotalloc trace logging; e.logging is off in measured runs
 	}
 	e.push(event{at: e.now + e.packetTime, kind: evPacketEnd, node: i})
 }

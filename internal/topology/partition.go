@@ -34,10 +34,12 @@ type Partition struct {
 	interior  []bool    // node -> closed neighborhood within one shard
 }
 
-// NewPartition partitions t into about target shards (at least 1, at most
-// one shard per node). Cliques are always a single shard: every node
-// interferes with every other, so there is no spatial structure to
-// exploit. The result depends only on (t, target).
+// NewPartition partitions t into at least 1 and at most target shards
+// (and never more than one shard per node): the sharded engine sizes
+// per-shard runtimes from the result, so the request is a ceiling, not
+// a hint. Cliques are always a single shard: every node interferes with
+// every other, so there is no spatial structure to exploit. The result
+// depends only on (t, target).
 func NewPartition(t *Topology, target int) *Partition {
 	n := t.N()
 	if target < 1 {
@@ -67,25 +69,31 @@ func (p *Partition) assign(target int) {
 	}
 	switch t.layout {
 	case layoutGrid:
-		// Tile the rows x cols grid into br x bc blocks with br*bc ~ target,
-		// keeping blocks roughly square so frontiers stay short.
+		// Tile the rows x cols grid into br x bc blocks with br*bc <=
+		// target, keeping blocks roughly square so frontiers stay short.
+		// br is capped by target before bc divides it, so a very tall
+		// thin grid cannot push br (and with it br*bc) past the ceiling.
 		br := int(math.Round(math.Sqrt(float64(target) * float64(t.rows) / float64(t.cols))))
-		br = clamp(br, 1, t.rows)
-		bc := clamp((target+br-1)/br, 1, t.cols)
+		br = clamp(br, 1, min(t.rows, target))
+		bc := clamp(target/br, 1, t.cols)
 		for i := 0; i < n; i++ {
 			r, c := i/t.cols, i%t.cols
 			p.shardOf[i] = int32((r*br/t.rows)*bc + c*bc/t.cols)
 		}
 	case layoutSpatial:
-		// Tile the unit square into k x k cells; empty cells are compacted
+		// Tile the unit square into ky x kx cells with ky*kx <= target
+		// (ky = floor(sqrt(target)) rows, kx = target/ky columns, so a
+		// non-square target like 3 tiles into 1x3 strips instead of
+		// rounding up to a 2x2 overshoot); empty cells are compacted
 		// away afterwards.
-		k := int(math.Ceil(math.Sqrt(float64(target))))
-		cellOf := func(v float64) int {
+		ky := clamp(int(math.Sqrt(float64(target))), 1, target)
+		kx := target / ky
+		cellOf := func(v float64, k int) int {
 			c := int(v * float64(k))
 			return clamp(c, 0, k-1)
 		}
 		for i := 0; i < n; i++ {
-			p.shardOf[i] = int32(cellOf(t.py[i])*k + cellOf(t.px[i]))
+			p.shardOf[i] = int32(cellOf(t.py[i], ky)*kx + cellOf(t.px[i], kx))
 		}
 	default:
 		// Rings and arbitrary topologies: contiguous index ranges (for a

@@ -1,6 +1,7 @@
 package topology
 
 import (
+	"fmt"
 	"reflect"
 	"testing"
 
@@ -150,6 +151,91 @@ func TestPartitionDeterministic(t *testing.T) {
 	b := NewPartition(Grid(10, 13), 7)
 	if !reflect.DeepEqual(a.masks, b.masks) || !reflect.DeepEqual(a.shardOf, b.shardOf) {
 		t.Fatal("partition not deterministic")
+	}
+}
+
+// TestPartitionAutoShardBoundary exercises the exact node counts around
+// the sim engine's auto-shard threshold (autoShardMinN = 4096 nodes at
+// about 1024 per shard): the shard targets the engine computes there —
+// 4095/1024 = 3, 4096/1024 = 4, 4097/1024 = 4 — must partition rings,
+// grids, and random-geometric graphs cleanly, including the
+// non-divisible remainders either side of the power of two.
+func TestPartitionAutoShardBoundary(t *testing.T) {
+	dims := map[int][2]int{4095: {63, 65}, 4096: {64, 64}, 4097: {17, 241}}
+	for _, n := range []int{4095, 4096, 4097} {
+		target := n / 1024 // what sim's auto-selection would request
+		d := dims[n]
+		for _, tc := range []struct {
+			name string
+			topo *Topology
+		}{
+			{"ring", Ring(n)},
+			{"grid", Grid(d[0], d[1])},
+			{"rgg", RandomGeometric(n, 0.03, rng.New(uint64(n)))},
+		} {
+			t.Run(fmt.Sprintf("%s-%d", tc.name, n), func(t *testing.T) {
+				p := NewPartition(tc.topo, target)
+				if p.Shards() < 1 || p.Shards() > target {
+					t.Fatalf("shards = %d, want 1..%d", p.Shards(), target)
+				}
+				checkPartitionInvariants(t, tc.topo, p)
+			})
+		}
+	}
+}
+
+// TestPartitionDegenerateRGG collapses every point of a random-geometric
+// topology onto a single coordinate — the corner (1, 1), which also
+// exercises the cell clamp at the unit-square edge. Every node lands in
+// the same spatial bucket, so whatever the target, compaction must
+// leave exactly one full shard.
+func TestPartitionDegenerateRGG(t *testing.T) {
+	topo := RandomGeometric(40, 0.2, rng.New(11))
+	for i := range topo.px {
+		topo.px[i], topo.py[i] = 1.0, 1.0
+	}
+	p := NewPartition(topo, 8)
+	if p.Shards() != 1 {
+		t.Fatalf("one-bucket RGG partitioned into %d shards, want 1", p.Shards())
+	}
+	if len(p.Members(0)) != topo.N() {
+		t.Fatalf("single shard holds %d of %d nodes", len(p.Members(0)), topo.N())
+	}
+	checkPartitionInvariants(t, topo, p)
+}
+
+// TestPartitionGridTilesExceedNodes asks for more tiles than the grid
+// has nodes, on square, wide, single-row, and single-column shapes: the
+// target clamps to one node per shard and the tiling must still cover
+// every node exactly once, as singletons.
+func TestPartitionGridTilesExceedNodes(t *testing.T) {
+	for _, tc := range []struct{ rows, cols, target int }{
+		{3, 3, 50},
+		{2, 9, 1000},
+		{1, 7, 20},
+		{5, 1, 12},
+	} {
+		g := Grid(tc.rows, tc.cols)
+		p := NewPartition(g, tc.target)
+		if p.Shards() != g.N() {
+			t.Fatalf("%dx%d target %d: shards = %d, want %d singletons",
+				tc.rows, tc.cols, tc.target, p.Shards(), g.N())
+		}
+		checkPartitionInvariants(t, g, p)
+	}
+}
+
+// TestPartitionTargetClamp pins the low end: non-positive targets mean
+// one shard, and a clique stays one shard no matter the target.
+func TestPartitionTargetClamp(t *testing.T) {
+	for _, target := range []int{0, -3} {
+		p := NewPartition(Grid(4, 4), target)
+		if p.Shards() != 1 {
+			t.Fatalf("target %d: shards = %d, want 1", target, p.Shards())
+		}
+	}
+	if p := NewPartition(Ring(9), 100); p.Shards() != 9 {
+		t.Fatalf("over-asked ring: shards = %d, want 9", p.Shards())
 	}
 }
 
