@@ -24,8 +24,15 @@ import (
 
 // Result is one parsed benchmark line.
 type Result struct {
-	Name       string  `json:"name"`
-	Package    string  `json:"package,omitempty"`
+	Name    string `json:"name"`
+	Package string `json:"package,omitempty"`
+	// GOMAXPROCS is the name's trailing `-N` decoration: the GOMAXPROCS
+	// the benchmark ran under. 0 when the name carries no decoration.
+	// Multi-core speedup tables key on this column (see EXPERIMENTS.md).
+	GOMAXPROCS int `json:"gomaxprocs,omitempty"`
+	// CPU is the `cpu:` header of the run, attributed like Package, so
+	// archived numbers carry the hardware they were measured on.
+	CPU        string  `json:"cpu,omitempty"`
 	Iterations int64   `json:"iterations"`
 	NsPerOp    float64 `json:"ns_per_op"`
 	// No omitempty on the allocation columns: an explicit 0 is the
@@ -79,11 +86,15 @@ func parse(r io.Reader) ([]Result, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1024*1024), 1024*1024)
 	var results []Result
-	pkg := ""
+	pkg, cpu := "", ""
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
 		if rest, ok := strings.CutPrefix(line, "pkg:"); ok {
 			pkg = strings.TrimSpace(rest)
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "cpu:"); ok {
+			cpu = strings.TrimSpace(rest)
 			continue
 		}
 		if !strings.HasPrefix(line, "Benchmark") {
@@ -103,12 +114,17 @@ func parse(r io.Reader) ([]Result, error) {
 			continue
 		}
 		name := fields[0]
-		if cpuSuffix(name) > 0 {
+		gomaxprocs := cpuSuffix(name)
+		if gomaxprocs > 0 {
 			name = name[:strings.LastIndexByte(name, '-')]
+		} else {
+			gomaxprocs = 0
 		}
 		res := Result{
 			Name:       name,
 			Package:    pkg,
+			GOMAXPROCS: gomaxprocs,
+			CPU:        cpu,
 			Iterations: iters,
 			NsPerOp:    ns,
 		}

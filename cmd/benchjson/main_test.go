@@ -41,9 +41,15 @@ func TestParse(t *testing.T) {
 	if !ev.HasMemStats || ev.AllocsPerOp != 0 || ev.BytesPerOp != 0 {
 		t.Errorf("first result mem stats wrong: %+v", ev)
 	}
+	if ev.GOMAXPROCS != 8 || ev.CPU != "some CPU" {
+		t.Errorf("first result GOMAXPROCS/CPU wrong: %+v", ev)
+	}
 	fig := results[2]
 	if fig.Name != "BenchmarkFig6" || fig.Package != "econcast" {
 		t.Errorf("third result misattributed: %+v", fig)
+	}
+	if fig.GOMAXPROCS != 8 {
+		t.Errorf("third result GOMAXPROCS wrong: %+v", fig)
 	}
 	if fig.HasMemStats {
 		t.Errorf("no -benchmem columns, yet HasMemStats: %+v", fig)

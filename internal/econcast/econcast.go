@@ -12,6 +12,13 @@
 // emulated testbed in internal/testbed) drives time, carrier sensing, and
 // ping collection, and samples transition delays from the rates a Node
 // reports.
+//
+// The state is split hot/cold for structure-of-arrays hosts: Core is the
+// per-node dynamic state (multiplier, batteries, interval bookkeeping —
+// one 64-byte cache line), Params the comparable parameter block that
+// homogeneous fleets share, and the time-varying harvest profile rides
+// separately so Params stays comparable. Node packages the three behind
+// the original single-owner API for hosts that don't need the split.
 package econcast
 
 import (
@@ -115,72 +122,54 @@ type Rates struct {
 	TransmitToListen float64
 }
 
-// Node is the per-node EconCast state machine: the Lagrange multiplier,
-// the virtual battery, and the rate laws. It is not safe for concurrent
-// use; each host goroutine owns one Node.
-//
-//lint:owner goroutine each host goroutine owns one Node
-type Node struct {
-	cfg Config
-	p0  float64 // power scale max(L, X); eta is per this scale
+// Params is the cold half of a node's protocol state: the defaulted
+// configuration scalars plus the derived power scale. It deliberately
+// excludes the Harvest profile so the struct is comparable — a
+// structure-of-arrays host dedups Params across a homogeneous fleet and
+// keys the dedup with ==. Params never changes after construction.
+type Params struct {
+	Mode    model.Mode
+	Variant Variant
+	Sigma   float64
+	Delta   float64
+	Tau     float64
 
-	eta float64
+	Budget        float64
+	ListenPower   float64
+	TransmitPower float64
+	PacketTime    float64
 
-	battery         float64 // physical store (clamped if configured)
-	ledger          float64 // estimator ledger: unclamped virtual battery
-	intervalStart   float64 // ledger level at the start of the interval
-	intervalElapsed float64 // seconds into the current tau interval
-	elapsed         float64 // total seconds advanced since start
+	BatteryCapacity    float64
+	ClampBatteryAtZero bool
 
-	updates int // number of multiplier updates applied
+	P0 float64 // power scale max(L, X); eta is per this scale
 }
 
-// NewNode returns a node with the given configuration. It panics on an
-// invalid configuration; call Config.Validate first for graceful handling.
-func NewNode(cfg Config) *Node {
-	if err := cfg.Validate(); err != nil {
-		panic(err)
-	}
+// NewParams derives the cold parameter block from a validated
+// configuration (defaults applied). The Harvest profile is not part of
+// Params; hosts carry it separately (see Core.Advance).
+func NewParams(cfg Config) Params {
 	cfg = cfg.withDefaults()
-	n := &Node{
-		cfg:           cfg,
-		p0:            math.Max(cfg.ListenPower, cfg.TransmitPower),
-		battery:       cfg.InitialBattery,
-		ledger:        cfg.InitialBattery,
-		intervalStart: cfg.InitialBattery,
+	return Params{
+		Mode:               cfg.Mode,
+		Variant:            cfg.Variant,
+		Sigma:              cfg.Sigma,
+		Delta:              cfg.Delta,
+		Tau:                cfg.Tau,
+		Budget:             cfg.Budget,
+		ListenPower:        cfg.ListenPower,
+		TransmitPower:      cfg.TransmitPower,
+		PacketTime:         cfg.PacketTime,
+		BatteryCapacity:    cfg.BatteryCapacity,
+		ClampBatteryAtZero: cfg.ClampBatteryAtZero,
+		P0:                 math.Max(cfg.ListenPower, cfg.TransmitPower),
 	}
-	return n
 }
-
-// Config returns the node's (defaulted) configuration.
-func (n *Node) Config() Config { return n.cfg }
-
-// Eta returns the current Lagrange multiplier (dimensionless, scaled to the
-// node's own max power level).
-func (n *Node) Eta() float64 { return n.eta }
-
-// SetEta overrides the multiplier, e.g. to warm-start from an analytical
-// solution. The expected scale is eta_analytical * max(L, X).
-func (n *Node) SetEta(eta float64) {
-	if eta < 0 {
-		eta = 0
-	}
-	n.eta = eta
-}
-
-// Battery returns the current energy storage level in Joules.
-func (n *Node) Battery() float64 { return n.battery }
-
-// Updates returns how many multiplier updates have been applied.
-func (n *Node) Updates() int { return n.updates }
-
-// Depleted reports whether the battery is at or below zero.
-func (n *Node) Depleted() bool { return n.battery <= 0 }
 
 // Estimate converts a listener count into the estimate the protocol
 // consumes: c-hat for groupput mode, gamma-hat for anyput mode (§V-B).
-func (n *Node) Estimate(listeners int) float64 {
-	if n.cfg.Mode == model.Anyput {
+func (p *Params) Estimate(listeners int) float64 {
+	if p.Mode == model.Anyput {
 		if listeners > 0 {
 			return 1
 		}
@@ -189,10 +178,45 @@ func (n *Node) Estimate(listeners int) float64 {
 	return float64(listeners)
 }
 
-// natural returns the dimensionless exponent eta * power / sigma used by
-// the rate laws; power is scaled by the node's own p0 so eta stays O(1).
-func (n *Node) scaled(power float64) float64 {
-	return n.eta * power / n.p0 / n.cfg.Sigma
+// Core is the hot half of a node's protocol state: the Lagrange
+// multiplier, the physical and virtual batteries, and the tau-interval
+// bookkeeping the event loop touches on every energy accrual. The seven
+// 8-byte fields plus padding fill exactly one 64-byte cache line, so a
+// []Core slab in a structure-of-arrays engine keeps one node's entire
+// dynamic protocol state in a single line.
+type Core struct {
+	Eta     float64 // Lagrange multiplier, scaled by Params.P0
+	Battery float64 // physical store (clamped if configured)
+	Ledger  float64 // estimator ledger: unclamped virtual battery
+
+	intervalStart   float64 // ledger level at the start of the interval
+	intervalElapsed float64 // seconds into the current tau interval
+	elapsed         float64 // total seconds advanced since start
+	updates         int64   // number of multiplier updates applied
+
+	_ [8]byte // pad to 64 bytes; keep []Core slabs line-aligned
+}
+
+// NewCore returns the initial dynamic state for a node starting with the
+// given battery level.
+func NewCore(initialBattery float64) Core {
+	return Core{
+		Battery:       initialBattery,
+		Ledger:        initialBattery,
+		intervalStart: initialBattery,
+	}
+}
+
+// Updates returns how many multiplier updates have been applied.
+func (n *Core) Updates() int { return int(n.updates) }
+
+// Depleted reports whether the battery is at or below zero.
+func (n *Core) Depleted() bool { return n.Battery <= 0 }
+
+// scaled returns the dimensionless exponent eta * power / sigma used by
+// the rate laws; power is scaled by the node's own P0 so eta stays O(1).
+func (n *Core) scaled(p *Params, power float64) float64 {
+	return n.Eta * power / p.P0 / p.Sigma
 }
 
 // Rates evaluates eq. (18) for the current multiplier. carrierFree is the
@@ -201,23 +225,23 @@ func (n *Node) scaled(power float64) float64 {
 // estimate is c-hat (groupput) or gamma-hat (anyput), used by the
 // listen->transmit rate of the non-capture variant and the
 // transmit->listen rate of the capture variant. Rates are per second.
-func (n *Node) Rates(carrierFree bool, estimate float64) Rates {
-	perSec := 1 / n.cfg.PacketTime
+func (n *Core) Rates(p *Params, carrierFree bool, estimate float64) Rates {
+	perSec := 1 / p.PacketTime
 	a := 0.0
 	if carrierFree {
 		a = 1
 	}
 	r := Rates{
-		SleepToListen: a * math.Exp(-n.scaled(n.cfg.ListenPower)) * perSec,
+		SleepToListen: a * math.Exp(-n.scaled(p, p.ListenPower)) * perSec,
 		ListenToSleep: a * perSec,
 	}
-	lx := n.scaled(n.cfg.ListenPower) - n.scaled(n.cfg.TransmitPower)
-	switch n.cfg.Variant {
+	lx := n.scaled(p, p.ListenPower) - n.scaled(p, p.TransmitPower)
+	switch p.Variant {
 	case Capture:
 		r.ListenToTransmit = a * math.Exp(lx) * perSec
-		r.TransmitToListen = math.Exp(-estimate/n.cfg.Sigma) * perSec
+		r.TransmitToListen = math.Exp(-estimate/p.Sigma) * perSec
 	case NonCapture:
-		r.ListenToTransmit = a * math.Exp(lx+estimate/n.cfg.Sigma) * perSec
+		r.ListenToTransmit = a * math.Exp(lx+estimate/p.Sigma) * perSec
 		r.TransmitToListen = perSec
 	}
 	return r
@@ -227,55 +251,56 @@ func (n *Node) Rates(carrierFree bool, estimate float64) Rates {
 // holding time (§V-B, §VIII-C): after each unit packet an EconCast-C
 // transmitter continues with probability 1 - exp(-estimate/sigma). The
 // non-capture variant always releases (probability 0).
-func (n *Node) ContinueTransmitProb(estimate float64) float64 {
-	if n.cfg.Variant == NonCapture {
+func (n *Core) ContinueTransmitProb(p *Params, estimate float64) float64 {
+	if p.Variant == NonCapture {
 		return 0
 	}
-	return 1 - math.Exp(-estimate/n.cfg.Sigma)
+	return 1 - math.Exp(-estimate/p.Sigma)
 }
 
 // Advance accrues dt seconds of operation in the given state: the battery
-// charges at the budget rate and drains at the state's power draw, and the
-// multiplier update of eq. (17) fires at every tau boundary crossed.
-func (n *Node) Advance(dt float64, st model.State) {
+// charges at the budget rate (or the harvest profile, when non-nil) and
+// drains at the state's power draw, and the multiplier update of eq. (17)
+// fires at every tau boundary crossed.
+func (n *Core) Advance(p *Params, harvest func(elapsed float64) float64, dt float64, st model.State) {
 	if dt < 0 {
 		panic("econcast: negative dt")
 	}
-	draw := n.power(st)
+	draw := n.power(p, st)
 	for dt > 0 {
 		step := dt
-		if remaining := n.cfg.Tau - n.intervalElapsed; step > remaining {
+		if remaining := p.Tau - n.intervalElapsed; step > remaining {
 			step = remaining
 		}
-		harvest := n.cfg.Budget
-		if n.cfg.Harvest != nil {
+		h := p.Budget
+		if harvest != nil {
 			// Piecewise-constant within the step, sampled at its start;
 			// steps never exceed tau, so slowly-varying profiles are
 			// integrated accurately.
-			harvest = n.cfg.Harvest(n.elapsed)
+			h = harvest(n.elapsed)
 		}
 		n.elapsed += step
-		net := (harvest - draw) * step
+		net := (h - draw) * step
 		// The estimator ledger is the paper's virtual battery: it may go
 		// negative so eq. (17) keeps seeing true overspending even when
 		// the physical store is pinned at zero.
-		n.ledger += net
-		n.battery += net
-		if n.cfg.BatteryCapacity > 0 {
-			if n.battery > n.cfg.BatteryCapacity {
-				n.battery = n.cfg.BatteryCapacity
+		n.Ledger += net
+		n.Battery += net
+		if p.BatteryCapacity > 0 {
+			if n.Battery > p.BatteryCapacity {
+				n.Battery = p.BatteryCapacity
 			}
-			if n.ledger > n.cfg.BatteryCapacity {
-				n.ledger = n.cfg.BatteryCapacity
+			if n.Ledger > p.BatteryCapacity {
+				n.Ledger = p.BatteryCapacity
 			}
 		}
-		if n.cfg.ClampBatteryAtZero && n.battery < 0 {
-			n.battery = 0
+		if p.ClampBatteryAtZero && n.Battery < 0 {
+			n.Battery = 0
 		}
 		n.intervalElapsed += step
 		dt -= step
-		if n.intervalElapsed >= n.cfg.Tau-1e-15 {
-			n.updateMultiplier()
+		if n.intervalElapsed >= p.Tau-1e-15 {
+			n.updateMultiplier(p)
 		}
 	}
 }
@@ -283,21 +308,102 @@ func (n *Node) Advance(dt float64, st model.State) {
 // updateMultiplier applies eq. (17): eta <- [eta - delta * (b_k - b_{k-1})
 // / tau]^+, with the virtual-battery slope normalized by the node's power
 // scale so eta and delta are dimensionless.
-func (n *Node) updateMultiplier() {
-	slope := (n.ledger - n.intervalStart) / n.cfg.Tau / n.p0
-	n.eta = math.Max(0, n.eta-n.cfg.Delta*slope)
-	n.intervalStart = n.ledger
+func (n *Core) updateMultiplier(p *Params) {
+	slope := (n.Ledger - n.intervalStart) / p.Tau / p.P0
+	n.Eta = math.Max(0, n.Eta-p.Delta*slope)
+	n.intervalStart = n.Ledger
 	n.intervalElapsed = 0
 	n.updates++
 }
 
-func (n *Node) power(st model.State) float64 {
+func (n *Core) power(p *Params, st model.State) float64 {
 	switch st {
 	case model.Listen:
-		return n.cfg.ListenPower
+		return p.ListenPower
 	case model.Transmit:
-		return n.cfg.TransmitPower
+		return p.TransmitPower
 	default:
 		return 0
 	}
+}
+
+// Node is the per-node EconCast state machine behind the original
+// single-owner API: the cold Params, the optional harvest profile, and
+// the hot Core, packaged together for hosts (asim, testbed, the
+// single-queue sim engine) that keep one object per node. It is not safe
+// for concurrent use; each host goroutine owns one Node.
+//
+//lint:owner goroutine each host goroutine owns one Node
+type Node struct {
+	cfg     Config
+	par     Params
+	harvest func(elapsed float64) float64
+	core    Core
+}
+
+// NewNode returns a node with the given configuration. It panics on an
+// invalid configuration; call Config.Validate first for graceful handling.
+func NewNode(cfg Config) *Node {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	cfg = cfg.withDefaults()
+	return &Node{
+		cfg:     cfg,
+		par:     NewParams(cfg),
+		harvest: cfg.Harvest,
+		core:    NewCore(cfg.InitialBattery),
+	}
+}
+
+// Config returns the node's (defaulted) configuration.
+func (n *Node) Config() Config { return n.cfg }
+
+// Params returns the node's cold parameter block.
+func (n *Node) Params() Params { return n.par }
+
+// Core returns a copy of the node's hot dynamic state.
+func (n *Node) Core() Core { return n.core }
+
+// Eta returns the current Lagrange multiplier (dimensionless, scaled to the
+// node's own max power level).
+func (n *Node) Eta() float64 { return n.core.Eta }
+
+// SetEta overrides the multiplier, e.g. to warm-start from an analytical
+// solution. The expected scale is eta_analytical * max(L, X).
+func (n *Node) SetEta(eta float64) {
+	if eta < 0 {
+		eta = 0
+	}
+	n.core.Eta = eta
+}
+
+// Battery returns the current energy storage level in Joules.
+func (n *Node) Battery() float64 { return n.core.Battery }
+
+// Updates returns how many multiplier updates have been applied.
+func (n *Node) Updates() int { return n.core.Updates() }
+
+// Depleted reports whether the battery is at or below zero.
+func (n *Node) Depleted() bool { return n.core.Depleted() }
+
+// Estimate converts a listener count into the estimate the protocol
+// consumes: c-hat for groupput mode, gamma-hat for anyput mode (§V-B).
+func (n *Node) Estimate(listeners int) float64 { return n.par.Estimate(listeners) }
+
+// Rates evaluates eq. (18) for the current multiplier; see Core.Rates.
+func (n *Node) Rates(carrierFree bool, estimate float64) Rates {
+	return n.core.Rates(&n.par, carrierFree, estimate)
+}
+
+// ContinueTransmitProb is the packetized transmit-state holding law; see
+// Core.ContinueTransmitProb.
+func (n *Node) ContinueTransmitProb(estimate float64) float64 {
+	return n.core.ContinueTransmitProb(&n.par, estimate)
+}
+
+// Advance accrues dt seconds of operation in the given state; see
+// Core.Advance.
+func (n *Node) Advance(dt float64, st model.State) {
+	n.core.Advance(&n.par, n.harvest, dt, st)
 }

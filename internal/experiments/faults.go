@@ -135,7 +135,14 @@ func runFaultKillHalf(opts Options) (*Table, error) {
 			Duration: duration,
 			Warmup:   warmup,
 			Seed:     seed,
-			Faults:   fcfg,
+			// Warm-start at the 8-node analytic operating point: the
+			// experiment measures re-convergence after the kill, and an
+			// 8-node clique cold-started at eta=0 can fall into the
+			// full-audience hold trap (everyone listens, one transmitter
+			// holds for ~exp(N-1) packets while eta runs away), which is a
+			// startup artifact, not the robustness story.
+			WarmEta: ref8.Eta,
+			Faults:  fcfg,
 		})
 		if err != nil {
 			return 0, err

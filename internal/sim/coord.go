@@ -2,22 +2,33 @@
 // coordinator partitions nodes into spatial shards (internal/topology's
 // Partition), gives each shard its own event heap, and keeps all node
 // state in flat structure-of-arrays slices so the per-event working set
-// is dense. Dispatch order is the global (time, seq) order of the
+// is dense. Dispatch order is the global (time, key) order of the
 // single-queue engine: the coordinator maintains an indexed min-heap
 // over shard queue heads and lets the leading shard drain a run of
 // events conservatively bounded by the earliest event of any other
 // shard (the lookahead bound), resynchronizing whenever an event pushes
-// across a shard boundary. Because the dispatch order and the single
-// shared RNG stream are exactly those of the single-queue engine,
-// results are byte-identical by construction — for any shard count, and
-// at any sweep worker count above it.
+// across a shard boundary. Because the dispatch order, the per-node RNG
+// streams, and the content-derived event keys are exactly those of the
+// single-queue engine, results are byte-identical by construction — for
+// any shard count, and at any sweep worker count above it.
 //
-// The performance win is spatial: the single-queue engine's
-// hidden-terminal collision scan walks every node's packet slot on each
-// transmission start (O(N)); the coordinator inverts the listener
-// relation into a per-node counter (listeningTo), so a start checks
-// only its own neighbors — O(degree) regardless of N — and each shard's
-// event heap stays small enough that heap churn is cache-resident.
+// The handler bodies live on dispCtx, a per-dispatcher view over the
+// shared SoA state: the serial coordinator drives a single dispCtx from
+// its event-loop goroutine, and the parallel engine (par.go) gives each
+// shard worker its own dispCtx over the same arrays, so both engines
+// execute literally the same handler code. Everything a handler mutates
+// is either owned by the event's node (SoA entries, per-node RNG
+// streams and metric accumulators) or private to the dispCtx (clock,
+// counters, latency buffer), which is what makes the parallel schedule
+// equivalent to this serial one — see DESIGN.md §9.
+//
+// The performance win of sharding alone is spatial: the single-queue
+// engine's hidden-terminal collision scan walks every node's packet
+// slot on each transmission start (O(N)); the coordinator inverts the
+// listener relation into a per-node counter (listeningTo), so a start
+// checks only its own neighbors — O(degree) regardless of N — and each
+// shard's event heap stays small enough that heap churn is
+// cache-resident.
 package sim
 
 import (
@@ -28,11 +39,15 @@ import (
 	"econcast/internal/faults"
 	"econcast/internal/model"
 	"econcast/internal/rng"
+	"econcast/internal/stats"
 	"econcast/internal/topology"
 )
 
 // coordinator is the sharded engine: SoA node state plus the shard
-// scheduling structures. Exactly one goroutine drives it.
+// scheduling structures. In a serial run exactly one goroutine drives
+// it; in a parallel run (par.go) shard workers share the SoA arrays
+// under the window-synchronization protocol and the scheduling fields
+// (order/pos/current/crossed) stay idle.
 //
 //lint:owner sim-engine the event-loop goroutine owns all coordinator state
 type coordinator struct {
@@ -40,13 +55,18 @@ type coordinator struct {
 	n    int
 	topo *topology.Topology
 	part *topology.Partition
-	src  *rng.Source
 	flt  *faults.Set
 
-	now     float64
-	seq     uint64
 	tau     float64
 	horizon float64 // cfg.Duration, copied next to the other hot scalars
+	shift   uint    // node-id bit width of the event key
+
+	// split, when true, routes events at interior nodes (Depths > wdepth,
+	// marked fInterior) into each shard's separate interior heap so the
+	// parallel engine (par.go) can drain interior prefixes concurrently;
+	// the serial engine leaves it false and uses one heap per shard.
+	split  bool
+	wdepth int
 
 	shards  []shardRuntime
 	shardOf []int32 // node -> owning shard (copied flat for the push path)
@@ -68,18 +88,32 @@ type coordinator struct {
 	// full dispatch path.
 	batchLimit int
 
-	// SoA node state: one flat slice per field of the single-queue
-	// engine's nodeState, indexed by node.
-	protos        []econcast.Node // contiguous protocol state slab
-	state         []model.State
-	version       []uint64
-	busy          []int32
-	lastUpdate    []float64
-	burstCount    []int32
-	lastBurstEnd  []float64
-	hasBurst      []bool
-	sleptSince    []bool
-	collidedInPkt []bool
+	// rngs holds one independent stream per node; every draw is
+	// attributed to the node whose transition, packet decision, or
+	// estimate it realizes, so each stream's draw sequence is a function
+	// of that node's event history alone — identical across the
+	// single-queue, serial-sharded, and parallel engines.
+	rngs []rng.Source
+
+	// lamport[i] is node i's logical clock for the canonical event
+	// order; see engine.push for the key construction.
+	lamport []uint64
+
+	// hot is the cache-line-packed per-node dynamic state: one 64-byte
+	// record per node holding every scalar the dispatch path reads or
+	// writes, replacing nine parallel SoA slices whose per-event working
+	// set spanned nine cache lines.
+	hot []nodeHot
+
+	// cores is the per-node protocol dynamic state (64 bytes each);
+	// params holds the deduplicated immutable parameter blocks and
+	// paramOf/harvest map nodes onto them. Splitting econcast.Node this
+	// way keeps the per-node footprint at one cache line for the
+	// dispatch path plus one for the energy ledger.
+	cores   []econcast.Core
+	params  []econcast.Params
+	paramOf []int32
+	harvest []func(float64) float64
 
 	// Per-transmitter packet slots, SoA like the node state. Listener
 	// slices keep their capacity across holds, so starting a packet never
@@ -113,10 +147,92 @@ type coordinator struct {
 	// (test instrumentation; nil in production runs).
 	onDispatch func(event)
 
-	met           Metrics
-	measuring     bool
+	// Canonical per-node metric accumulation (see engine): throughput
+	// seconds and burst moments are attributed to the transmitter and
+	// folded in node order by finish, so the totals are independent of
+	// the dispatch schedule's interleaving across nodes.
+	gp            []float64
+	ap            []float64
+	bl            []stats.Accumulator
 	warmupBattery []float64
-	occLast       float64
+
+	met        Metrics
+	occStarted bool
+	occLast    float64
+
+	// ctx is the serial dispatcher; the parallel engine builds one
+	// dispCtx per shard worker instead and leaves this one to drain.
+	ctx dispCtx
+}
+
+// nodeHot packs one node's dispatch-path dynamic state into a single
+// 64-byte cache line. The former bool slices became bits of flags; the
+// transition version is 32 bits here (the event struct keeps 64 — the
+// coordinator casts, and a version cannot realistically wrap within one
+// transition's lifetime since wrapping would take 2^32 re-schedules of
+// one node while its event is in flight).
+type nodeHot struct {
+	lastUpdate   float64
+	lastBurstEnd float64
+	version      uint32
+	busy         int32
+	burstCount   int32
+	state        model.State
+	flags        uint8
+	_            [2]byte
+	_            [32]byte // pad to 64 bytes; see sizeof test
+}
+
+// nodeHot flag bits.
+const (
+	fHasBurst uint8 = 1 << iota
+	fSleptSince
+	fCollidedInPkt
+	fWarmSnapped
+	fInterior // deeper than wdepth: eligible for parallel window dispatch (par.go)
+)
+
+func (h *nodeHot) has(f uint8) bool { return h.flags&f != 0 }
+func (h *nodeHot) set(f uint8)      { h.flags |= f }
+func (h *nodeHot) clear(f uint8)    { h.flags &^= f }
+func (h *nodeHot) put(f uint8, v bool) {
+	if v {
+		h.flags |= f
+	} else {
+		h.flags &^= f
+	}
+}
+
+// dispCtx is one dispatcher's view over the coordinator's shared state:
+// the event clock, the measuring predicate, and the schedule-private
+// metric counters. The serial coordinator has exactly one; the parallel
+// engine has one per shard worker. Handlers are methods on dispCtx so
+// both engines share their bodies; everything reached through the
+// embedded coordinator is either node-owned (safe under the parallel
+// window protocol) or immutable after construction.
+type dispCtx struct {
+	*coordinator
+
+	now        float64
+	curLamport uint64
+	measuring  bool
+
+	// par, when non-nil, routes pushes through the parallel engine's
+	// per-shard heaps and cross-shard staging lanes instead of the
+	// coordinator's indexed heap.
+	par *parShard
+
+	// Schedule-private integer counters; exact sums, folded by finish.
+	events           int
+	packetsSent      int
+	packetsDelivered int
+	packetsAny       int
+	collided         int
+	lostRx           int
+
+	// Latency samples are receiver-attributed and order-insensitive:
+	// finish concatenates all buffers and seals them into a sorted CDF.
+	latency []float64
 }
 
 func newCoordinator(cfg Config, flt *faults.Set, shards int) *coordinator {
@@ -125,23 +241,19 @@ func newCoordinator(cfg Config, flt *faults.Set, shards int) *coordinator {
 		cfg:        cfg,
 		n:          n,
 		horizon:    cfg.Duration,
+		shift:      seqShift(n),
 		topo:       cfg.Topology,
 		part:       topology.NewPartition(cfg.Topology, shards),
-		src:        rng.New(cfg.Seed),
 		flt:        flt,
 		logging:    cfg.EventLog != nil,
 		packetTime: model.DefaultIfZero(cfg.Protocol.PacketTime, 1e-3),
 
-		protos:        make([]econcast.Node, n),
-		state:         make([]model.State, n),
-		version:       make([]uint64, n),
-		busy:          make([]int32, n),
-		lastUpdate:    make([]float64, n),
-		burstCount:    make([]int32, n),
-		lastBurstEnd:  make([]float64, n),
-		hasBurst:      make([]bool, n),
-		sleptSince:    make([]bool, n),
-		collidedInPkt: make([]bool, n),
+		rngs:    make([]rng.Source, n),
+		lamport: make([]uint64, n),
+		hot:     make([]nodeHot, n),
+		cores:   make([]econcast.Core, n),
+		paramOf: make([]int32, n),
+		harvest: make([]func(float64) float64, n),
 
 		pktActive:    make([]bool, n),
 		pktListeners: make([][]int, n),
@@ -151,7 +263,13 @@ func newCoordinator(cfg Config, flt *faults.Set, shards int) *coordinator {
 		nbr:         make([][]int, n),
 		listeningTo: make([]int32, n),
 		shardOf:     make([]int32, n),
+
+		gp:            make([]float64, n),
+		ap:            make([]float64, n),
+		bl:            make([]stats.Accumulator, n),
+		warmupBattery: make([]float64, n),
 	}
+	c.ctx.coordinator = c
 	if cfg.TrackOccupancy {
 		c.met.Occupancy = make(map[model.NetState]float64)
 	}
@@ -171,7 +289,12 @@ func newCoordinator(cfg Config, flt *faults.Set, shards int) *coordinator {
 	for i := 0; i < n; i++ {
 		c.nbr[i] = c.topo.Neighbors(i)
 		c.shardOf[i] = int32(c.part.ShardOf(i))
+		c.rngs[i] = *rng.New(rng.DeriveSeed(cfg.Seed, rngNodeDomain, uint64(i)))
 	}
+	// Parameter blocks are immutable and comparable, so identical nodes
+	// share one block: a homogeneous network keeps a single Params hot in
+	// cache instead of n copies interleaved with the dynamic state.
+	seen := make(map[econcast.Params]int32, 1)
 	for i := 0; i < n; i++ {
 		nd := cfg.Network.Nodes[i]
 		pc := econcast.Config{
@@ -192,30 +315,41 @@ func newCoordinator(cfg Config, flt *faults.Set, shards int) *coordinator {
 			// eta pinned to its warm-start value.
 			pc.Delta = 1e-300
 		}
+		par := econcast.NewParams(pc)
+		id, ok := seen[par]
+		if !ok {
+			id = int32(len(c.params))
+			c.params = append(c.params, par)
+			seen[par] = id
+		}
+		c.paramOf[i] = id
 		// Same brownout/harvest wrapper selection as the single-queue
 		// engine: the exact constant-budget path is kept bit-for-bit when
 		// neither a profile nor a brownout schedule exists.
 		if v := flt.View(i); cfg.Harvest != nil {
 			node := i
 			if v.HasBrownout() {
-				pc.Harvest = func(t float64) float64 { return cfg.Harvest(node, t) * v.HarvestScale(t) }
+				c.harvest[i] = func(t float64) float64 { return cfg.Harvest(node, t) * v.HarvestScale(t) }
 			} else {
-				pc.Harvest = func(t float64) float64 { return cfg.Harvest(node, t) }
+				c.harvest[i] = func(t float64) float64 { return cfg.Harvest(node, t) }
 			}
 		} else if v.HasBrownout() {
 			budget := nd.Budget
-			pc.Harvest = func(t float64) float64 { return budget * v.HarvestScale(t) }
+			c.harvest[i] = func(t float64) float64 { return budget * v.HarvestScale(t) }
 		}
-		c.protos[i] = *econcast.NewNode(pc)
-		c.state[i] = model.Sleep
-		c.lastBurstEnd[i] = -1
+		c.cores[i] = econcast.NewCore(cfg.InitialBattery)
+		c.hot[i].state = model.Sleep
+		c.hot[i].lastBurstEnd = -1
 		if cfg.WarmEta != nil {
 			p0 := math.Max(nd.ListenPower, nd.TransmitPower)
-			c.protos[i].SetEta(cfg.WarmEta[i] * p0)
+			c.cores[i].Eta = cfg.WarmEta[i] * p0
 		}
 	}
 	return c
 }
+
+// pr returns node i's shared parameter block.
+func (c *coordinator) pr(i int) *econcast.Params { return &c.params[c.paramOf[i]] }
 
 func (c *coordinator) run() {
 	c.start()
@@ -226,15 +360,16 @@ func (c *coordinator) run() {
 
 // start mirrors engine.start: every node's first transition and
 // multiplier tick plus all fault boundaries, seeded in node order so
-// sequence numbers and RNG draws line up with the single-queue engine.
+// event keys and RNG draws line up with the single-queue engine.
 func (c *coordinator) start() {
-	c.tau = c.protos[0].Config().Tau
+	c.tau = c.params[0].Tau
+	x := &c.ctx
 	for i := 0; i < c.n; i++ {
-		c.scheduleTransition(i)
-		c.push(event{at: c.tau, kind: evTick, node: i})
+		x.scheduleTransition(i)
+		x.push(event{at: c.tau, kind: evTick, node: i})
 		node := i
 		c.flt.Boundaries(i, func(at float64) {
-			c.push(event{at: at, kind: evFault, node: node})
+			x.push(event{at: at, kind: evFault, node: node})
 		})
 	}
 	c.crossed = false
@@ -276,62 +411,77 @@ func (c *coordinator) step() bool {
 
 // drain performs the final energy (and occupancy) accrual to the horizon.
 func (c *coordinator) drain() {
-	if c.cfg.TrackOccupancy && c.measuring {
-		c.accrueOccupancy(c.cfg.Duration)
+	x := &c.ctx
+	if c.cfg.TrackOccupancy && x.measuring {
+		x.accrueOccupancy(c.cfg.Duration)
 	}
-	c.now = c.cfg.Duration
+	x.now = c.cfg.Duration
 	for i := 0; i < c.n; i++ {
-		c.accrue(i)
+		x.accrue(i)
 	}
 }
 
 // dispatch realizes one event, mirroring the body of engine.step after
 // its horizon check.
-func (c *coordinator) dispatch(ev event) {
-	if c.onDispatch != nil {
-		c.onDispatch(ev)
+func (x *dispCtx) dispatch(ev event) {
+	if x.onDispatch != nil {
+		x.onDispatch(ev)
 	}
-	c.met.Events++
-	if c.cfg.TrackOccupancy && c.measuring {
-		c.accrueOccupancy(ev.at)
+	x.events++
+	if x.cfg.TrackOccupancy && x.measuring {
+		x.accrueOccupancy(ev.at)
 	}
-	c.now = ev.at
-	if !c.measuring && c.now >= c.cfg.Warmup {
-		c.measuring = true
-		c.occLast = c.now
-		c.warmupBattery = make([]float64, c.n) //lint:allow hotalloc once per run, at the warmup boundary
-		for i := 0; i < c.n; i++ {
-			c.accrue(i)
-			c.warmupBattery[i] = c.protos[i].Battery()
-		}
+	x.now = ev.at
+	x.curLamport = ev.seq >> x.shift
+	// Measuring is a pure per-event predicate, so it needs no global
+	// warmup rendezvous: in a parallel schedule each worker evaluates it
+	// against its own clock and per-node warmup splitting (see accrue)
+	// keeps the energy ledgers identical.
+	x.measuring = x.now >= x.cfg.Warmup
+	if x.cfg.TrackOccupancy && x.measuring && !x.occStarted {
+		x.occStarted = true
+		x.occLast = x.now
 	}
 	switch ev.kind {
 	case evTransition:
-		if ev.version == c.version[ev.node] {
-			c.handleTransition(ev.node)
+		if uint32(ev.version) == x.hot[ev.node].version {
+			x.handleTransition(ev.node)
 		} // else stale: dropped
 	case evPacketEnd:
-		c.handlePacketEnd(ev.node)
+		x.handlePacketEnd(ev.node)
 	case evTick:
-		c.handleTick(ev.node, c.tau)
+		x.handleTick(ev.node, x.tau)
 	case evFault:
-		c.handleFault(ev.node)
+		x.handleFault(ev.node)
 	}
 }
 
-// push routes an event to its node's shard, assigning the global
-// sequence number. A push into a foreign shard invalidates the current
-// drain batch's lookahead bound and repairs that shard's heap position
-// eagerly. With the draining shard detached (see step), the heap holds
-// no stale entries, so each single-position fix restores full validity
-// before the next comparison — repairing several stale positions one at
-// a time would not (a sift-up displaces clean ancestors down into
-// subtrees still holding stale nodes).
-func (c *coordinator) push(ev event) {
-	ev.seq = c.seq
-	c.seq++
+// push assigns the event its canonical content-derived key (see
+// engine.push) and routes it: serially into its node's shard queue with
+// an eager heap repair; in a parallel run through the worker's local
+// heap or a cross-shard staging lane.
+func (x *dispCtx) push(ev event) {
+	l := x.lamport[ev.node]
+	if x.curLamport > l {
+		l = x.curLamport
+	}
+	l++
+	x.lamport[ev.node] = l
+	ev.seq = l<<x.shift | uint64(ev.node)
+	if x.par != nil {
+		// Window execution: an interior event's push targets are always in
+		// its own shard (wdepth >= push radius), so no heap repair and no
+		// cross-shard traffic happen here — see DESIGN.md §9.
+		x.par.route(ev)
+		return
+	}
+	c := x.coordinator
 	s := c.shardOf[ev.node]
-	c.shards[s].queue.push(ev)
+	if c.split && c.hot[ev.node].has(fInterior) {
+		c.shards[s].iq.push(ev)
+	} else {
+		c.shards[s].queue.push(ev)
+	}
 	if s != c.current {
 		c.crossed = true
 		c.fix(s)
@@ -354,7 +504,8 @@ func (c *coordinator) shardLess(a, b int32) bool {
 // cross-shard push fixes its target immediately.
 func (c *coordinator) fix(s int32) {
 	i := c.pos[s]
-	if len(c.shards[s].queue) == 0 {
+	at, seq, ok := c.shards[s].headKey()
+	if !ok {
 		if i < 0 {
 			return
 		}
@@ -367,8 +518,7 @@ func (c *coordinator) fix(s int32) {
 		}
 		return
 	}
-	head := &c.shards[s].queue[0]
-	c.headAt[s], c.headSeq[s] = head.at, head.seq
+	c.headAt[s], c.headSeq[s] = at, seq
 	if i < 0 {
 		c.pos[s] = int32(len(c.order))
 		c.order = append(c.order, s) //lint:allow hotalloc capacity reaches the shard count and stays
@@ -425,14 +575,26 @@ func (c *coordinator) siftDown(i int) {
 
 // ---- handlers: exact ports of the engine handlers onto SoA state ----
 
-func (c *coordinator) accrue(i int) {
-	if dt := c.now - c.lastUpdate[i]; dt > 0 {
-		c.protos[i].Advance(dt, c.state[i])
-		c.lastUpdate[i] = c.now
+func (x *dispCtx) accrue(i int) {
+	h := &x.hot[i]
+	if !h.has(fWarmSnapped) && x.now >= x.cfg.Warmup {
+		// First accrual at or past the warmup boundary: advance exactly
+		// to the boundary, snapshot the battery, continue from there (see
+		// engine.accrue).
+		if dt := x.cfg.Warmup - h.lastUpdate; dt > 0 {
+			x.cores[i].Advance(x.pr(i), x.harvest[i], dt, h.state)
+		}
+		h.lastUpdate = x.cfg.Warmup
+		x.warmupBattery[i] = x.cores[i].Battery
+		h.set(fWarmSnapped)
+	}
+	if dt := x.now - h.lastUpdate; dt > 0 {
+		x.cores[i].Advance(x.pr(i), x.harvest[i], dt, h.state)
+		h.lastUpdate = x.now
 	}
 }
 
-func (c *coordinator) bump(i int) { c.version[i]++ }
+func (c *coordinator) bump(i int) { c.hot[i].version++ }
 
 func (c *coordinator) active(i int, t float64) bool {
 	if c.cfg.Churn != nil && !c.cfg.Churn(i, t) {
@@ -444,7 +606,7 @@ func (c *coordinator) active(i int, t float64) bool {
 func (c *coordinator) currentNetState() model.NetState {
 	s := model.NetState{Transmitter: model.NoTransmitter}
 	for i := 0; i < c.n; i++ {
-		switch c.state[i] {
+		switch c.hot[i].state {
 		case model.Transmit:
 			s.Transmitter = i
 		case model.Listen:
@@ -454,27 +616,27 @@ func (c *coordinator) currentNetState() model.NetState {
 	return s
 }
 
-func (c *coordinator) accrueOccupancy(until float64) {
-	if until > c.cfg.Duration {
-		until = c.cfg.Duration
+func (x *dispCtx) accrueOccupancy(until float64) {
+	if until > x.cfg.Duration {
+		until = x.cfg.Duration
 	}
-	dt := until - c.occLast
+	dt := until - x.occLast
 	if dt <= 0 {
 		return
 	}
-	c.met.Occupancy[c.currentNetState()] += dt
-	c.occLast = until
+	x.met.Occupancy[x.currentNetState()] += dt
+	x.coordinator.occLast = until
 }
 
-func (c *coordinator) setState(i int, st model.State) {
-	c.accrue(i)
-	if c.logging {
-		c.logf("%.6f node %d: %v -> %v", c.now, i, c.state[i], st) //lint:allow hotalloc trace logging; c.logging is off in measured runs
+func (x *dispCtx) setState(i int, st model.State) {
+	x.accrue(i)
+	if x.logging {
+		x.logf("%.6f node %d: %v -> %v", x.now, i, x.hot[i].state, st) //lint:allow hotalloc trace logging; x.logging is off in measured runs
 	}
-	c.state[i] = st
+	x.hot[i].state = st
 }
 
-// logf writes one trace line; hot-path callers gate on c.logging (see
+// logf writes one trace line; hot-path callers gate on x.logging (see
 // engine.logf for why).
 func (c *coordinator) logf(format string, args ...any) {
 	if c.cfg.EventLog != nil {
@@ -482,45 +644,46 @@ func (c *coordinator) logf(format string, args ...any) {
 	}
 }
 
-func (c *coordinator) estimateFor(i, count int) float64 {
-	if c.cfg.EstimateListeners != nil {
-		count = c.cfg.EstimateListeners(count, c.src)
+func (x *dispCtx) estimateFor(i, count int) float64 {
+	if x.cfg.EstimateListeners != nil {
+		count = x.cfg.EstimateListeners(count, &x.rngs[i])
 		if count < 0 {
 			count = 0
 		}
 	}
-	return c.protos[i].Estimate(count)
+	return x.pr(i).Estimate(count)
 }
 
-func (c *coordinator) listenEstimate(i int) float64 {
+func (x *dispCtx) listenEstimate(i int) float64 {
 	count := 0
-	for _, j := range c.nbr[i] {
-		if c.state[j] == model.Listen {
+	for _, j := range x.nbr[i] {
+		if x.hot[j].state == model.Listen {
 			count++
 		}
 	}
-	return c.estimateFor(i, count)
+	return x.estimateFor(i, count)
 }
 
-func (c *coordinator) scheduleTransition(i int) {
-	c.bump(i)
-	if c.state[i] == model.Transmit {
+func (x *dispCtx) scheduleTransition(i int) {
+	x.bump(i)
+	h := &x.hot[i]
+	if h.state == model.Transmit {
 		return
 	}
-	if c.cfg.HardBatteryFloor && c.state[i] == model.Sleep && c.protos[i].Depleted() {
+	if x.cfg.HardBatteryFloor && h.state == model.Sleep && x.cores[i].Depleted() {
 		return // stays asleep until a tick finds the battery recovered
 	}
-	if !c.active(i, c.now) {
+	if !x.active(i, x.now) {
 		return // absent or crashed: re-checked at the next tick / restart
 	}
-	carrierFree := c.busy[i] == 0
+	carrierFree := h.busy == 0
 	est := 0.0
-	if c.cfg.Protocol.Variant == econcast.NonCapture && c.state[i] == model.Listen {
-		est = c.listenEstimate(i)
+	if x.cfg.Protocol.Variant == econcast.NonCapture && h.state == model.Listen {
+		est = x.listenEstimate(i)
 	}
-	r := c.protos[i].Rates(carrierFree, est)
+	r := x.cores[i].Rates(x.pr(i), carrierFree, est)
 	var total float64
-	switch c.state[i] {
+	switch h.state {
 	case model.Sleep:
 		total = r.SleepToListen
 	case model.Listen:
@@ -529,70 +692,70 @@ func (c *coordinator) scheduleTransition(i int) {
 	if total <= 0 {
 		return
 	}
-	dwell := c.src.Exp(total)
-	if c.state[i] == model.Sleep {
+	dwell := x.rngs[i].Exp(total)
+	if h.state == model.Sleep {
 		// Sleep intervals run off the drift-scaled low-power clock, as in
 		// the single-queue engine.
-		dwell *= c.flt.Drift(i)
+		dwell *= x.flt.Drift(i)
 	}
-	c.push(event{
-		at:      c.now + dwell,
+	x.push(event{
+		at:      x.now + dwell,
 		kind:    evTransition,
 		node:    i,
-		version: c.version[i],
+		version: uint64(h.version),
 	})
 }
 
-func (c *coordinator) handleTransition(i int) {
-	c.accrue(i)
-	switch c.state[i] {
+func (x *dispCtx) handleTransition(i int) {
+	x.accrue(i)
+	switch x.hot[i].state {
 	case model.Sleep:
-		c.setState(i, model.Listen)
-		c.onListenSetChanged(i)
-		c.scheduleTransition(i)
+		x.setState(i, model.Listen)
+		x.onListenSetChanged(i)
+		x.scheduleTransition(i)
 	case model.Listen:
-		carrierFree := c.busy[i] == 0
+		carrierFree := x.hot[i].busy == 0
 		est := 0.0
-		if c.cfg.Protocol.Variant == econcast.NonCapture {
-			est = c.listenEstimate(i)
+		if x.cfg.Protocol.Variant == econcast.NonCapture {
+			est = x.listenEstimate(i)
 		}
-		r := c.protos[i].Rates(carrierFree, est)
+		r := x.cores[i].Rates(x.pr(i), carrierFree, est)
 		total := r.ListenToSleep + r.ListenToTransmit
 		if total <= 0 {
 			return
 		}
-		if c.src.Float64()*total < r.ListenToTransmit {
-			c.startTransmission(i)
+		if x.rngs[i].Float64()*total < r.ListenToTransmit {
+			x.startTransmission(i)
 		} else {
-			c.flushBurst(i)
-			c.setState(i, model.Sleep)
-			c.sleptSince[i] = true
-			c.onListenSetChanged(i)
-			c.scheduleTransition(i)
+			x.flushBurst(i)
+			x.setState(i, model.Sleep)
+			x.hot[i].set(fSleptSince)
+			x.onListenSetChanged(i)
+			x.scheduleTransition(i)
 		}
 	}
 }
 
-func (c *coordinator) onListenSetChanged(i int) {
-	if c.cfg.Protocol.Variant != econcast.NonCapture {
+func (x *dispCtx) onListenSetChanged(i int) {
+	if x.cfg.Protocol.Variant != econcast.NonCapture {
 		return
 	}
-	for _, j := range c.nbr[i] {
-		if c.state[j] == model.Listen {
-			c.scheduleTransition(j)
+	for _, j := range x.nbr[i] {
+		if x.hot[j].state == model.Listen {
+			x.scheduleTransition(j)
 		}
 	}
 }
 
-func (c *coordinator) startTransmission(i int) {
-	if c.busy[i] != 0 {
+func (x *dispCtx) startTransmission(i int) {
+	if x.hot[i].busy != 0 {
 		// Carrier sensing (the A(t) gate) must make this unreachable.
 		panic(fmt.Sprintf("sim: node %d transmitting into a busy channel", i))
 	}
-	c.flushBurst(i)
-	c.setState(i, model.Transmit)
-	c.bump(i) // no timer while transmitting
-	c.onListenSetChanged(i)
+	x.flushBurst(i)
+	x.setState(i, model.Transmit)
+	x.bump(i) // no timer while transmitting
+	x.onListenSetChanged(i)
 	// Occupy the channel: each neighbor gains one transmitting neighbor.
 	// Hidden-terminal collisions ride the same pass: a neighbor j sitting
 	// in any in-flight packet's listener list (listeningTo[j] > 0) now
@@ -601,214 +764,239 @@ func (c *coordinator) startTransmission(i int) {
 	// global scan — collidedInPkt is per-node there too — and the
 	// listeningTo inversion makes the check one counter load instead of
 	// walking every nearby packet's listeners.
-	for _, j := range c.nbr[i] {
-		c.busy[j]++
-		if c.busy[j] == 1 && c.state[j] != model.Transmit {
+	for _, j := range x.nbr[i] {
+		h := &x.hot[j]
+		h.busy++
+		if h.busy == 1 && h.state != model.Transmit {
 			// Channel became busy for j: freeze by resampling (rates -> 0).
-			c.scheduleTransition(j)
+			x.scheduleTransition(j)
 		}
-		if c.listeningTo[j] > 0 && !c.collidedInPkt[j] {
-			c.collidedInPkt[j] = true
-			if c.measuring {
-				c.met.CollidedReceptions++
+		if x.listeningTo[j] > 0 && !h.has(fCollidedInPkt) {
+			h.set(fCollidedInPkt)
+			if x.measuring {
+				x.collided++
 			}
 		}
 	}
-	c.startPacket(i, 0, false)
+	x.startPacket(i, 0, false)
 }
 
-func (c *coordinator) startPacket(i, burstLen int, delivered bool) {
-	c.pktActive[i] = true
-	c.pktBurstLen[i] = burstLen
-	c.pktDelivered[i] = delivered
-	listeners := c.pktListeners[i][:0]
-	for _, j := range c.nbr[i] {
-		if c.state[j] == model.Listen {
+func (x *dispCtx) startPacket(i, burstLen int, delivered bool) {
+	x.pktActive[i] = true
+	x.pktBurstLen[i] = burstLen
+	x.pktDelivered[i] = delivered
+	listeners := x.pktListeners[i][:0]
+	for _, j := range x.nbr[i] {
+		h := &x.hot[j]
+		if h.state == model.Listen {
 			listeners = append(listeners, j) //lint:allow hotalloc reuses the slot's capacity; grows at most deg times per run
-			c.listeningTo[j]++
-			c.collidedInPkt[j] = c.busy[j] > 1
-			if c.collidedInPkt[j] && c.measuring {
-				c.met.CollidedReceptions++
+			x.listeningTo[j]++
+			h.put(fCollidedInPkt, h.busy > 1)
+			if h.has(fCollidedInPkt) && x.measuring {
+				x.collided++
 			}
 		}
 	}
-	c.pktListeners[i] = listeners
-	if c.logging {
-		c.logf("%.6f node %d: packet %d of hold, %d listeners",
-			c.now, i, burstLen+1, len(listeners)) //lint:allow hotalloc trace logging; c.logging is off in measured runs
+	x.pktListeners[i] = listeners
+	if x.logging {
+		x.logf("%.6f node %d: packet %d of hold, %d listeners",
+			x.now, i, burstLen+1, len(listeners)) //lint:allow hotalloc trace logging; x.logging is off in measured runs
 	}
-	c.push(event{at: c.now + c.packetTime, kind: evPacketEnd, node: i})
+	x.push(event{at: x.now + x.packetTime, kind: evPacketEnd, node: i})
 }
 
-func (c *coordinator) handlePacketEnd(i int) {
-	if !c.pktActive[i] || c.state[i] != model.Transmit {
+func (x *dispCtx) handlePacketEnd(i int) {
+	if !x.pktActive[i] || x.hot[i].state != model.Transmit {
 		return
 	}
 	// A stuck (silenced) radio transmits carrier but delivers nothing;
 	// receiver-side loss draws are skipped for silenced packets (see the
 	// engine's handler).
-	silenced := c.flt.Silenced(i, c.now)
+	silenced := x.flt.Silenced(i, x.now)
 	success := 0
-	for _, j := range c.pktListeners[i] {
-		c.listeningTo[j]-- // this packet is over; balances startPacket
-		if c.state[j] != model.Listen {
+	for _, j := range x.pktListeners[i] {
+		x.listeningTo[j]-- // this packet is over; balances startPacket
+		h := &x.hot[j]
+		if h.state != model.Listen {
 			// Left mid-packet (churn departure or crash): no reception.
-			c.collidedInPkt[j] = false
+			h.clear(fCollidedInPkt)
 			continue
 		}
-		if c.collidedInPkt[j] {
-			c.collidedInPkt[j] = false
+		if h.has(fCollidedInPkt) {
+			h.clear(fCollidedInPkt)
 			continue
 		}
-		if silenced || c.flt.DropRx(j, c.now) {
-			if c.measuring {
-				c.met.LostReceptions++
+		if silenced || x.flt.DropRx(j, x.now) {
+			if x.measuring {
+				x.lostRx++
 			}
 			continue
 		}
 		success++
-		c.burstCount[j]++
-		if c.cfg.OnDeliver != nil {
-			c.cfg.OnDeliver(i, j, c.now)
+		h.burstCount++
+		if x.cfg.OnDeliver != nil {
+			x.cfg.OnDeliver(i, j, x.now)
 		}
-		if c.measuring {
-			c.met.PacketsDelivered++
+		if x.measuring {
+			x.packetsDelivered++
 			// Burst/latency bookkeeping: first packet of a receive burst.
-			if c.burstCount[j] == 1 && c.hasBurst[j] && c.sleptSince[j] {
-				c.met.Latency.Add(c.now - c.packetTime - c.lastBurstEnd[j])
+			if h.burstCount == 1 && h.has(fHasBurst) && h.has(fSleptSince) {
+				x.latency = append(x.latency, x.now-x.packetTime-h.lastBurstEnd) //lint:allow hotalloc amortized sample buffer growth
 			}
-			c.sleptSince[j] = false
+			h.clear(fSleptSince)
 		}
-		c.lastBurstEnd[j] = c.now
-		c.hasBurst[j] = true
+		h.lastBurstEnd = x.now
+		h.set(fHasBurst)
 	}
-	if c.measuring {
-		c.met.PacketsSent++
-		c.met.Groupput += float64(success) * c.packetTime
+	if x.measuring {
+		x.packetsSent++
+		x.gp[i] += float64(success) * x.packetTime
 		if success > 0 {
-			c.met.PacketsAnyDeliver++
-			c.met.Anyput += c.packetTime
+			x.packetsAny++
+			x.ap[i] += x.packetTime
 		}
 	}
 	if success > 0 {
-		c.pktDelivered[i] = true
+		x.pktDelivered[i] = true
 	}
 	// The slot stays readable for the remainder of this handler;
 	// startPacket reclaims it on a hold.
-	c.pktActive[i] = false
+	x.pktActive[i] = false
 
 	// A physically depleted listener is forced to sleep to recharge.
-	if c.cfg.HardBatteryFloor {
-		for _, j := range c.pktListeners[i] {
-			c.accrue(j)
-			if c.state[j] == model.Listen && c.protos[j].Depleted() {
-				c.flushBurst(j)
-				c.setState(j, model.Sleep)
-				c.sleptSince[j] = true
-				c.bump(j)
-				c.onListenSetChanged(j)
+	if x.cfg.HardBatteryFloor {
+		for _, j := range x.pktListeners[i] {
+			x.accrue(j)
+			if x.hot[j].state == model.Listen && x.cores[j].Depleted() {
+				x.flushBurst(j)
+				x.setState(j, model.Sleep)
+				x.hot[j].set(fSleptSince)
+				x.bump(j)
+				x.onListenSetChanged(j)
 			}
 		}
 	}
 
 	// Decide whether to hold the channel (EconCast-C) or release; a
 	// depleted transmitter must release regardless.
-	c.accrue(i)
-	est := c.estimateFor(i, success)
-	cont := c.protos[i].ContinueTransmitProb(est)
-	forced := c.cfg.HardBatteryFloor && c.protos[i].Depleted()
-	if !c.active(i, c.now) {
+	x.accrue(i)
+	est := x.estimateFor(i, success)
+	cont := x.cores[i].ContinueTransmitProb(x.pr(i), est)
+	forced := x.cfg.HardBatteryFloor && x.cores[i].Depleted()
+	if !x.active(i, x.now) {
 		forced = true // departed or crashed: release the channel now
 	}
-	if !forced && c.src.Bernoulli(cont) {
-		c.startPacket(i, c.pktBurstLen[i]+1, c.pktDelivered[i])
+	if !forced && x.rngs[i].Bernoulli(cont) {
+		x.startPacket(i, x.pktBurstLen[i]+1, x.pktDelivered[i])
 		return
 	}
 	// Hold complete: record its length if it reached any receiver.
-	if c.pktDelivered[i] && c.measuring {
-		c.met.BurstLengths.Add(float64(c.pktBurstLen[i] + 1))
+	if x.pktDelivered[i] && x.measuring {
+		x.bl[i].Add(float64(x.pktBurstLen[i] + 1))
 	}
 	// Release: transmitter returns to listen (Fig. 1), neighbors unfreeze.
-	c.setState(i, model.Listen)
-	c.scheduleTransition(i)
-	for _, j := range c.nbr[i] {
-		c.busy[j]--
-		if c.busy[j] == 0 && c.state[j] != model.Transmit {
-			c.scheduleTransition(j)
+	x.setState(i, model.Listen)
+	x.scheduleTransition(i)
+	for _, j := range x.nbr[i] {
+		h := &x.hot[j]
+		h.busy--
+		if h.busy == 0 && h.state != model.Transmit {
+			x.scheduleTransition(j)
 		}
 	}
-	c.onListenSetChanged(i)
+	x.onListenSetChanged(i)
 }
 
-func (c *coordinator) flushBurst(i int) {
-	c.burstCount[i] = 0
+func (x *dispCtx) flushBurst(i int) {
+	x.hot[i].burstCount = 0
 }
 
-func (c *coordinator) handleTick(i int, tau float64) {
-	c.accrue(i)
+func (x *dispCtx) handleTick(i int, tau float64) {
+	x.accrue(i)
 	// Departure: an absent node abandons listening (transmitters finish
 	// their current hold first; the packet machinery owns that state).
-	if !c.active(i, c.now) && c.state[i] == model.Listen {
-		c.flushBurst(i)
-		c.setState(i, model.Sleep)
-		c.sleptSince[i] = true
-		c.bump(i)
-		c.onListenSetChanged(i)
+	if !x.active(i, x.now) && x.hot[i].state == model.Listen {
+		x.flushBurst(i)
+		x.setState(i, model.Sleep)
+		x.hot[i].set(fSleptSince)
+		x.bump(i)
+		x.onListenSetChanged(i)
 	}
-	if c.cfg.OnTick != nil {
-		nd := c.cfg.Network.Nodes[i]
+	if x.cfg.OnTick != nil {
+		nd := x.cfg.Network.Nodes[i]
 		p0 := math.Max(nd.ListenPower, nd.TransmitPower)
-		c.cfg.OnTick(i, c.now, c.protos[i].Eta()/p0)
+		x.cfg.OnTick(i, x.now, x.cores[i].Eta/p0)
 	}
-	if c.state[i] != model.Transmit {
-		c.scheduleTransition(i)
+	if x.hot[i].state != model.Transmit {
+		x.scheduleTransition(i)
 	}
-	c.push(event{at: c.now + tau, kind: evTick, node: i})
+	x.push(event{at: x.now + tau, kind: evTick, node: i})
 }
 
-func (c *coordinator) handleFault(i int) {
-	c.accrue(i)
-	if c.flt.Alive(i, c.now) {
-		if c.state[i] != model.Transmit {
-			c.scheduleTransition(i)
+func (x *dispCtx) handleFault(i int) {
+	x.accrue(i)
+	if x.flt.Alive(i, x.now) {
+		if x.hot[i].state != model.Transmit {
+			x.scheduleTransition(i)
 		}
 		return
 	}
 	// Crashed. A transmitter abandons its hold: the in-flight packet
 	// dies undelivered and the channel is released for its neighbors.
-	switch c.state[i] {
+	switch x.hot[i].state {
 	case model.Transmit:
-		if c.pktActive[i] {
-			for _, j := range c.pktListeners[i] {
-				c.listeningTo[j]--
-				c.collidedInPkt[j] = false
+		if x.pktActive[i] {
+			for _, j := range x.pktListeners[i] {
+				x.listeningTo[j]--
+				x.hot[j].clear(fCollidedInPkt)
 			}
-			c.pktActive[i] = false
+			x.pktActive[i] = false
 		}
-		c.setState(i, model.Sleep)
-		c.bump(i)
-		for _, j := range c.nbr[i] {
-			c.busy[j]--
-			if c.busy[j] == 0 && c.state[j] != model.Transmit {
-				c.scheduleTransition(j)
+		x.setState(i, model.Sleep)
+		x.bump(i)
+		for _, j := range x.nbr[i] {
+			h := &x.hot[j]
+			h.busy--
+			if h.busy == 0 && h.state != model.Transmit {
+				x.scheduleTransition(j)
 			}
 		}
-		c.onListenSetChanged(i)
+		x.onListenSetChanged(i)
 	case model.Listen:
-		c.flushBurst(i)
-		c.setState(i, model.Sleep)
-		c.sleptSince[i] = true
-		c.bump(i)
-		c.onListenSetChanged(i)
+		x.flushBurst(i)
+		x.setState(i, model.Sleep)
+		x.hot[i].set(fSleptSince)
+		x.bump(i)
+		x.onListenSetChanged(i)
 	default:
-		c.bump(i) // cancel any pending wake-up; stays down until restart
+		x.bump(i) // cancel any pending wake-up; stays down until restart
 	}
 }
 
-// finish assembles the metrics, mirroring engine.finish.
-func (c *coordinator) finish() *Metrics {
+// finish assembles the metrics: schedule-private counters from every
+// dispatcher fold by exact integer addition (and latency buffers by
+// sorted-CDF sealing), per-node accumulations fold in ascending node
+// order — so the result is independent of which dispatcher executed
+// which event, and bit-identical to engine.finish.
+func (c *coordinator) finish(ctxs ...*dispCtx) *Metrics {
+	var latency []float64
+	for _, x := range ctxs {
+		c.met.Events += x.events
+		c.met.PacketsSent += x.packetsSent
+		c.met.PacketsDelivered += x.packetsDelivered
+		c.met.PacketsAnyDeliver += x.packetsAny
+		c.met.CollidedReceptions += x.collided
+		c.met.LostReceptions += x.lostRx
+		latency = append(latency, x.latency...)
+	}
+	c.met.Latency = stats.NewCDF(latency)
 	window := c.cfg.Duration - c.cfg.Warmup
 	c.met.Window = window
+	for i := 0; i < c.n; i++ {
+		c.met.Groupput += c.gp[i]
+		c.met.Anyput += c.ap[i]
+		c.met.BurstLengths.Merge(c.bl[i])
+	}
 	c.met.Groupput /= window
 	c.met.Anyput /= window
 	// Order audit: each occupancy entry is scaled independently at its own
@@ -823,15 +1011,11 @@ func (c *coordinator) finish() *Metrics {
 	for i := 0; i < c.n; i++ {
 		nd := c.cfg.Network.Nodes[i]
 		// Mean consumption over the window: harvest - net battery gain.
-		start := c.cfg.InitialBattery
-		if c.warmupBattery != nil {
-			start = c.warmupBattery[i]
-		}
-		gained := c.protos[i].Battery() - start
+		gained := c.cores[i].Battery - c.warmupBattery[i]
 		c.met.Power[i] = nd.Budget - gained/window
 		p0 := math.Max(nd.ListenPower, nd.TransmitPower)
-		c.met.EtaFinal[i] = c.protos[i].Eta() / p0
-		c.met.Battery[i] = c.protos[i].Battery()
+		c.met.EtaFinal[i] = c.cores[i].Eta / p0
+		c.met.Battery[i] = c.cores[i].Battery
 	}
 	c.met.FaultTrace = c.flt.Trace()
 	return &c.met

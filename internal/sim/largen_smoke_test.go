@@ -2,6 +2,8 @@ package sim
 
 import (
 	"os"
+	"reflect"
+	"runtime"
 	"testing"
 
 	"econcast/internal/econcast"
@@ -11,27 +13,39 @@ import (
 	"econcast/internal/topology"
 )
 
-// TestLargeNSmoke drives the sharded engine over a 100k-node grid on a
+// TestLargeNSmoke drives the engine over a 100k-node grid on a
 // truncated horizon, fanning two replicate cells through the sweep so
-// the race detector has concurrent shard engines to watch. At this N it
-// is far too heavy for the ordinary `go test ./...` pass, so it only
-// runs when the CI smoke step asks for it via ECONCAST_LARGE_N_SMOKE=1.
+// the race detector has concurrent engines to watch. When GOMAXPROCS
+// exceeds 1 (the CI smoke sets 4), the hook-free cells auto-select the
+// window-parallel engine, and the first cell is re-run through the
+// forced-serial single-queue path and compared for deep equality — the
+// multi-core smoke double-checks the byte-identity contract at scale.
+// At this N it is far too heavy for the ordinary `go test ./...` pass,
+// so it only runs when CI asks for it via ECONCAST_LARGE_N_SMOKE=1.
 func TestLargeNSmoke(t *testing.T) {
 	if os.Getenv("ECONCAST_LARGE_N_SMOKE") == "" {
 		t.Skip("set ECONCAST_LARGE_N_SMOKE=1 to run the 100k-node smoke test")
 	}
 	topo := topology.Grid(316, 316)
 	n := 316 * 316
-	reps := []uint64{1, 2}
-	metrics, err := sweep.Map(2, reps, func(ri int, rep uint64) (*Metrics, error) {
-		return Run(Config{
+	cell := func(rep uint64) Config {
+		return Config{
 			Network:  model.Homogeneous(n, 60*model.MicroWatt, 500*model.MicroWatt, 500*model.MicroWatt),
 			Topology: topo,
 			Protocol: Protocol{Mode: model.Groupput, Variant: econcast.Capture, Sigma: 0.5, Delta: 0.1},
 			Duration: 0.004,
 			Warmup:   0.001,
 			Seed:     rng.DeriveSeed(11, 100000, rep),
-		})
+		}
+	}
+	if cfg := cell(1); cfg.parallelPlan() > 1 {
+		t.Logf("auto plan: parallel engine with %d workers", cfg.parallelPlan())
+	} else {
+		t.Logf("auto plan: serial engine (GOMAXPROCS %d)", runtime.GOMAXPROCS(0))
+	}
+	reps := []uint64{1, 2}
+	metrics, err := sweep.Map(2, reps, func(ri int, rep uint64) (*Metrics, error) {
+		return Run(cell(rep))
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -43,5 +57,14 @@ func TestLargeNSmoke(t *testing.T) {
 		if m.Groupput <= 0 || m.Groupput > float64(n) {
 			t.Errorf("cell %d: aggregate groupput %v outside (0, N]", i, m.Groupput)
 		}
+	}
+	serial := cell(1)
+	serial.Parallel, serial.Shards = 1, 1
+	want, err := Run(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(metrics[0], want) {
+		t.Errorf("100k cell 1 diverged from the single-queue engine:\n  want %+v\n  got  %+v", want, metrics[0])
 	}
 }

@@ -1,0 +1,239 @@
+// Parallel shard execution: the window-synchronized multi-core engine.
+//
+// The run alternates two phases over the serial coordinator's state:
+//
+//   - Serial phase: the main goroutine dispatches events in global
+//     (at, seq) order through the PR 7 machinery whenever the globally
+//     earliest event is a *boundary* event — one at a node within
+//     wdepth hops of a foreign shard.
+//
+//   - Window phase: whenever the globally earliest event is *interior*
+//     (deeper than wdepth), the main goroutine computes the window
+//     bound B — the earliest boundary event key anywhere — and every
+//     shard's worker concurrently drains its interior heap up to
+//     min(B, its own boundary head), each through its own dispatch
+//     context. wdepth ≥ max(2r, r+π, 2π) for handler touch radius r
+//     and push radius π, so two facts hold inside a window: no two
+//     shards' executed events touch overlapping state, and no window
+//     execution pushes outside its own shard. The window therefore
+//     commutes into the exact global order and needs no locks, no
+//     atomics, and no cross-shard staging — only the start/finish
+//     barrier (channel handoff, which is also the happens-before edge
+//     the race detector sees).
+//
+// Determinism: the phase schedule is a pure function of heap contents
+// (global-min boundary test and the bound B), each shard's window drain
+// is a pure function of (shard state, B), and per-shard dispatch
+// contexts fold in fixed shard order at finish — so the output is
+// byte-identical to the serial engines at every GOMAXPROCS, worker
+// count, and shard count. DESIGN.md §9 gives the full merge proof.
+package sim
+
+import (
+	"math"
+	"runtime"
+
+	"econcast/internal/econcast"
+	"econcast/internal/faults"
+)
+
+// windowDepth returns wdepth for a variant: the interior margin that
+// makes window execution conflict-free and shard-closed. Capture
+// handlers touch radius r=1 and push radius π=1; NonCapture's listener
+// re-estimation extends them to r=3, π=2 (handlePacketEnd →
+// onListenSetChanged → scheduleTransition → listenEstimate walks three
+// hops). wdepth = max(2r, r+π, 2π).
+func windowDepth(v econcast.Variant) int {
+	if v == econcast.NonCapture {
+		return 6
+	}
+	return 2
+}
+
+// windowBound is the key below which a window may execute.
+type windowBound struct {
+	at  float64
+	seq uint64
+}
+
+// parCoordinator drives the window-synchronized parallel run over a
+// split-heap coordinator.
+//
+//lint:owner sim-engine the main goroutine owns all parCoordinator state; shard dispatch contexts are handed to window workers between barriers
+type parCoordinator struct {
+	c    *coordinator
+	ctxs []dispCtx  // one per shard, folded in shard order at finish
+	par  []parShard // window push targets, one per shard
+
+	nw   int // worker goroutines
+	work []chan windowBound
+	done chan struct{}
+
+	windows int // windows dispatched (observability: tests and benchjson)
+}
+
+// parShard routes a window worker's pushes into its shard's heaps.
+// Interior events can only push within their own shard, so route never
+// touches the coordinator's indexed heap (rebuilt after the barrier).
+type parShard struct {
+	c  *coordinator
+	id int32
+}
+
+func (p *parShard) route(ev event) {
+	s := &p.c.shards[p.id]
+	if p.c.hot[ev.node].has(fInterior) {
+		s.iq.push(ev)
+	} else {
+		s.queue.push(ev)
+	}
+}
+
+func newParCoordinator(cfg Config, flt *faults.Set, shards, workers int) *parCoordinator {
+	c := newCoordinator(cfg, flt, shards)
+	c.split = true
+	c.wdepth = windowDepth(cfg.Protocol.Variant)
+	depths := c.part.Depths(c.wdepth)
+	for i := 0; i < c.n; i++ {
+		if int(depths[i]) > c.wdepth {
+			c.hot[i].set(fInterior)
+		}
+	}
+	ns := c.part.Shards()
+	p := &parCoordinator{
+		c:    c,
+		ctxs: make([]dispCtx, ns),
+		par:  make([]parShard, ns),
+		done: make(chan struct{}, ns),
+	}
+	p.nw = workers
+	if p.nw > ns {
+		p.nw = ns
+	}
+	if g := runtime.GOMAXPROCS(0); p.nw > g {
+		p.nw = g
+	}
+	if p.nw < 1 {
+		p.nw = 1
+	}
+	for s := 0; s < ns; s++ {
+		p.par[s] = parShard{c: c, id: int32(s)}
+		p.ctxs[s].coordinator = c
+		p.ctxs[s].par = &p.par[s]
+	}
+	p.work = make([]chan windowBound, p.nw)
+	for w := range p.work {
+		p.work[w] = make(chan windowBound, 1)
+	}
+	return p
+}
+
+// worker drains this worker's statically assigned shards for each
+// window. The channel receive/send pair is the ownership handoff for
+// the shards' interior heaps and SoA rows.
+func (p *parCoordinator) worker(w int) {
+	for b := range p.work[w] {
+		for s := w; s < len(p.par); s += p.nw {
+			p.c.shards[s].window(p.c, &p.ctxs[s], b.at, b.seq)
+		}
+		p.done <- struct{}{}
+	}
+}
+
+// boundaryMin scans the shards' boundary heads for the window bound.
+func (p *parCoordinator) boundaryMin() windowBound {
+	b := windowBound{at: math.Inf(1), seq: 0}
+	first := true
+	for s := range p.c.shards {
+		q := p.c.shards[s].queue
+		if len(q) == 0 {
+			continue
+		}
+		if first || keyLess(q[0].at, q[0].seq, b.at, b.seq) {
+			b = windowBound{at: q[0].at, seq: q[0].seq}
+			first = false
+		}
+	}
+	return b
+}
+
+// interiorHead reports whether shard s's earliest event sits in its
+// interior heap.
+func (p *parCoordinator) interiorHead(s int32) bool {
+	sh := &p.c.shards[s]
+	if len(sh.iq) == 0 {
+		return false
+	}
+	if len(sh.queue) == 0 {
+		return true
+	}
+	return keyLess(sh.iq[0].at, sh.iq[0].seq, sh.queue[0].at, sh.queue[0].seq)
+}
+
+// rebuildOrder reconstructs the coordinator's indexed shard heap from
+// scratch after a window barrier (windows move many heads at once, and
+// the incremental fix is only sound for single stale entries).
+func (p *parCoordinator) rebuildOrder() {
+	c := p.c
+	c.order = c.order[:0]
+	for s := range c.shards {
+		c.pos[s] = -1
+		at, seq, ok := c.shards[s].headKey()
+		if !ok {
+			continue
+		}
+		c.headAt[s], c.headSeq[s] = at, seq
+		c.pos[s] = int32(len(c.order))
+		c.order = append(c.order, int32(s)) //lint:allow hotalloc order is reset to length zero and refilled; capacity reaches the shard count once and stays
+	}
+	for i := len(c.order)/2 - 1; i >= 0; i-- {
+		c.siftDown(i)
+	}
+}
+
+func (p *parCoordinator) run() {
+	c := p.c
+	c.start()
+	for w := 0; w < p.nw; w++ {
+		go p.worker(w) //lint:allow rawgoroutine bounded window-worker pool fenced by the barrier channels; econlint's shardflow rule 6 proves the dispatch/ack/rebuild discipline
+	}
+	for !c.done && len(c.order) > 0 {
+		if c.headAt[c.order[0]] > c.horizon {
+			// The globally earliest event is past the horizon; a window
+			// would dispatch nothing, so stop here rather than spin.
+			c.done = true
+			break
+		}
+		if !p.interiorHead(c.order[0]) {
+			// Global minimum is a boundary event: serial phase, exact
+			// global order through the PR 7 drain.
+			c.step()
+			continue
+		}
+		// Global minimum is interior: run a window up to the earliest
+		// boundary event anywhere. The window is never empty — at least
+		// the global minimum itself executes.
+		b := p.boundaryMin()
+		p.windows++
+		for w := 0; w < p.nw; w++ {
+			p.work[w] <- b
+		}
+		for w := 0; w < p.nw; w++ {
+			<-p.done
+		}
+		p.rebuildOrder()
+	}
+	for w := 0; w < p.nw; w++ {
+		close(p.work[w])
+	}
+	c.drain()
+}
+
+func (p *parCoordinator) finish() *Metrics {
+	ctxs := make([]*dispCtx, 0, len(p.ctxs)+1)
+	ctxs = append(ctxs, &p.c.ctx)
+	for i := range p.ctxs {
+		ctxs = append(ctxs, &p.ctxs[i])
+	}
+	return p.c.finish(ctxs...)
+}

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"econcast/internal/econcast"
@@ -46,7 +47,7 @@ func (sc scaleBenchCase) config(seed uint64) Config {
 }
 
 // BenchmarkScaleGrid is the committed scale datapoint generator for
-// BENCH_PR8.json: aggregate sharded-engine throughput on grids at
+// BENCH_PR9.json: aggregate sharded-engine throughput on grids at
 // N = 1k/10k/100k, with 4 replicate sims fanned out as sweep cells at
 // worker counts 1/4/16 (clamped to the replicate count; on a 1-core
 // runner the aggregate is bounded by single-thread throughput). The
@@ -76,6 +77,34 @@ func BenchmarkScaleGrid(b *testing.B) {
 						b.ReportMetric(float64(total)/b.Elapsed().Seconds(), "events/s")
 					}
 				})
+			}
+		})
+	}
+}
+
+// BenchmarkScaleGridParallel is the window-parallel engine datapoint:
+// one replicate per N forced through the parallel engine with one
+// worker per core (floored at 2 so `-cpu 1` still measures the window
+// machinery rather than silently falling back to the serial path). Run
+// with `-cpu 1,4,16` to produce the multi-core speedup rows; benchjson
+// keys them by its gomaxprocs column. Single-run wall time against
+// BenchmarkScaleGrid/workers=1 (which fans replicate cells, not one
+// sim) is not the speedup denominator — BenchmarkScaleGridParallel at
+// -cpu 1 is.
+func BenchmarkScaleGridParallel(b *testing.B) {
+	for _, sc := range scaleBenchCases() {
+		b.Run(sc.label, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := sc.config(rng.DeriveSeed(7, uint64(sc.n), 1))
+				cfg.Parallel = runtime.GOMAXPROCS(0)
+				if cfg.Parallel < 2 {
+					cfg.Parallel = 2
+				}
+				m, err := Run(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(m.Events)/b.Elapsed().Seconds(), "events/s")
 			}
 		})
 	}

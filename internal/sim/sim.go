@@ -16,6 +16,8 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"math/bits"
+	"runtime"
 
 	"econcast/internal/econcast"
 	"econcast/internal/faults"
@@ -122,11 +124,24 @@ type Config struct {
 	// autoShardMinN nodes), 1 forces the single-queue engine, and >= 2
 	// forces a sharded run with about that many shards. The two engines —
 	// and every shard count — produce byte-identical results: the sharded
-	// coordinator dispatches events in the same global (time, seq) order
-	// and consumes the same RNG stream; shards reorganize data, not
-	// control flow. Cliques (a single interference domain) always run on
-	// the single-queue engine.
+	// coordinator dispatches events in the same global (at, seq) order,
+	// event keys are content-derived (per-node Lamport clocks), and every
+	// RNG draw comes from the stream of the node it realizes; shards
+	// reorganize data, not control flow. Cliques (a single interference
+	// domain) always run on the single-queue engine.
 	Shards int
+
+	// Parallel controls the multi-core window-synchronized engine
+	// (par.go): 0 auto-selects (parallel kicks in for non-clique
+	// topologies at autoShardMinN nodes when GOMAXPROCS > 1 and no
+	// serial-only hook is set), 1 forces a single-threaded run, and >= 2
+	// forces that many shard workers. The parallel engine is
+	// byte-identical to the serial engines at every worker count and
+	// GOMAXPROCS setting — see DESIGN.md §9 for the merge proof. Hooks
+	// that observe the global schedule (EventLog, OnDeliver, OnTick,
+	// EstimateListeners, TrackOccupancy, Churn, Harvest) force a serial
+	// run regardless.
+	Parallel int
 
 	// Faults, when non-nil, injects the shared fault processes
 	// (crash/restart, packet loss, clock drift, brownout, stuck radio)
@@ -166,6 +181,9 @@ func (c *Config) validate() error {
 	if c.Shards < 0 {
 		return errors.New("sim: shards must be non-negative")
 	}
+	if c.Parallel < 0 {
+		return errors.New("sim: parallel must be non-negative")
+	}
 	return nil
 }
 
@@ -182,6 +200,17 @@ const (
 	autoShardMinN  = 4096
 	autoShardNodes = 1024
 )
+
+// rngNodeDomain separates the per-node stream family from any other
+// DeriveSeed use of the run seed.
+const rngNodeDomain = 0x4e4f4445 // "NODE"
+
+// seqShift returns the bit width reserved for the node id in an event
+// key: seq = lamport << seqShift(n) | node. Lamport clocks count pushes
+// per node, so the key fits comfortably in 64 bits for any feasible run.
+func seqShift(n int) uint {
+	return uint(bits.Len(uint(n)))
+}
 
 // shardPlan resolves the Shards setting to an effective shard count;
 // 1 means the single-queue engine.
@@ -201,6 +230,39 @@ func (c *Config) shardPlan() int {
 	}
 	if n >= autoShardMinN {
 		return n / autoShardNodes
+	}
+	return 1
+}
+
+// parallelEligible reports whether a run may use the parallel engine:
+// any hook that observes the global dispatch schedule (or shares
+// unpartitioned state, like the occupancy map and harvest closures
+// capturing user code) forces serial execution.
+func (c *Config) parallelEligible() bool {
+	return c.EventLog == nil &&
+		c.OnDeliver == nil &&
+		c.OnTick == nil &&
+		c.EstimateListeners == nil &&
+		!c.TrackOccupancy &&
+		c.Churn == nil &&
+		c.Harvest == nil
+}
+
+// parallelPlan resolves the Parallel setting to an effective worker
+// count; 1 means a single-threaded run.
+func (c *Config) parallelPlan() int {
+	if c.Parallel == 1 || c.Topology == nil || c.Topology.IsClique() {
+		return 1
+	}
+	if !c.parallelEligible() {
+		return 1
+	}
+	if c.Parallel >= 2 {
+		return c.Parallel
+	}
+	n := c.Topology.N()
+	if g := runtime.GOMAXPROCS(0); n >= autoShardMinN && g > 1 {
+		return g
 	}
 	return 1
 }
@@ -345,10 +407,29 @@ type engine struct {
 	n     int
 	nodes []nodeState
 	topo  *topology.Topology // nil = clique
-	src   *rng.Source
 	now   float64
 	queue eventQueue
-	seq   uint64
+
+	// rngs holds one independent stream per node (derived from the run
+	// seed via rng.DeriveSeed). Every draw the engine makes is attributed
+	// to exactly one node — the node whose transition, packet decision, or
+	// estimate it realizes — so the draw sequence each stream sees is a
+	// function of that node's event history alone. That is what lets the
+	// parallel shard engine replay the identical streams from a concurrent
+	// schedule.
+	rngs []rng.Source
+
+	// lamport[i] is node i's logical clock for the canonical event order:
+	// a push at node i gets seq = (max(lamport[i], curLamport)+1) << shift
+	// | i, where curLamport is the clock of the event being dispatched.
+	// Keys are unique (per-node clocks strictly increase), children sort
+	// strictly after their parents even at equal times, and — because the
+	// key is derived from event content rather than from a global push
+	// counter — the key of every event is independent of the dispatch
+	// schedule that produced it. See DESIGN.md §9.
+	lamport    []uint64
+	curLamport uint64
+	shift      uint
 
 	// nbr[i] is node i's neighbor set, precomputed once so the hot path
 	// never materializes a clique neighbor list per event.
@@ -360,8 +441,22 @@ type engine struct {
 
 	met           Metrics
 	measuring     bool
-	warmupBattery []float64 // battery levels at the start of the window
+	occStarted    bool      // occupancy window opened (TrackOccupancy only)
+	warmupBattery []float64 // per-node battery at the warmup boundary
+	warmSnapped   []bool    // node's warmup snapshot taken
 	packetTime    float64
+
+	// Canonical per-node metric accumulation: throughput seconds and
+	// burst-length moments are accumulated against the node that produced
+	// them (the transmitter) and latency samples are buffered, then merged
+	// in node order by finish. The totals are then independent of the
+	// dispatch schedule's interleaving across nodes — the property the
+	// parallel shard engine needs — while staying bit-identical across
+	// the single-queue, sharded, and parallel engines.
+	gp      []float64           // per-transmitter groupput seconds
+	ap      []float64           // per-transmitter anyput seconds
+	bl      []stats.Accumulator // per-transmitter burst lengths
+	latency []float64           // latency samples, sealed into a CDF
 
 	// flt is the compiled fault schedule (nil when no faults are
 	// configured); every query on it is nil-safe and allocation-free, so
@@ -380,10 +475,24 @@ func Run(cfg Config) (*Metrics, error) {
 	if err != nil {
 		return nil, err
 	}
+	if workers := cfg.parallelPlan(); workers > 1 {
+		// Honor an explicit shard count when it is finer than the worker
+		// pool; otherwise one shard per worker.
+		shards := cfg.shardPlan()
+		if shards < workers {
+			shards = workers
+		}
+		if n := cfg.Topology.N(); shards > n {
+			shards = n
+		}
+		p := newParCoordinator(cfg, flt, shards, workers)
+		p.run()
+		return p.finish(), nil
+	}
 	if shards := cfg.shardPlan(); shards > 1 {
 		c := newCoordinator(cfg, flt, shards)
 		c.run()
-		return c.finish(), nil
+		return c.finish(&c.ctx), nil
 	}
 	e := newEngine(cfg, flt)
 	e.run()
@@ -397,7 +506,6 @@ func newEngine(cfg Config, flt *faults.Set) *engine {
 		n:          n,
 		nodes:      make([]nodeState, n),
 		topo:       cfg.Topology,
-		src:        rng.New(cfg.Seed),
 		packets:    make([]packet, n),
 		logging:    cfg.EventLog != nil,
 		packetTime: cfg.Protocol.PacketTime,
@@ -409,6 +517,17 @@ func newEngine(cfg Config, flt *faults.Set) *engine {
 		e.met.Occupancy = make(map[model.NetState]float64)
 	}
 	e.packetTime = model.DefaultIfZero(e.packetTime, 1e-3)
+	e.rngs = make([]rng.Source, n)
+	for i := 0; i < n; i++ {
+		e.rngs[i] = *rng.New(rng.DeriveSeed(cfg.Seed, rngNodeDomain, uint64(i)))
+	}
+	e.lamport = make([]uint64, n)
+	e.shift = seqShift(n)
+	e.warmupBattery = make([]float64, n)
+	e.warmSnapped = make([]bool, n)
+	e.gp = make([]float64, n)
+	e.ap = make([]float64, n)
+	e.bl = make([]stats.Accumulator, n)
 	e.nbr = make([][]int, n)
 	for i := 0; i < n; i++ {
 		if e.topo != nil {
@@ -521,14 +640,15 @@ func (e *engine) step() bool {
 		e.accrueOccupancy(ev.at)
 	}
 	e.now = ev.at
-	if !e.measuring && e.now >= e.cfg.Warmup {
-		e.measuring = true
+	e.curLamport = ev.seq >> e.shift
+	// Measuring is a pure per-event predicate (dispatch order is
+	// nondecreasing in time, so it is also monotone here); per-node warmup
+	// battery snapshots happen lazily in accrue, splitting each node's
+	// first post-warmup accrual exactly at the boundary.
+	e.measuring = e.now >= e.cfg.Warmup
+	if e.cfg.TrackOccupancy && e.measuring && !e.occStarted {
+		e.occStarted = true
 		e.occLast = e.now
-		e.warmupBattery = make([]float64, e.n) //lint:allow hotalloc once per run, at the warmup boundary
-		for i := range e.nodes {
-			e.accrue(i)
-			e.warmupBattery[i] = e.nodes[i].proto.Battery()
-		}
 	}
 	switch ev.kind {
 	case evTransition:
@@ -586,8 +706,13 @@ func (e *engine) accrueOccupancy(until float64) {
 }
 
 func (e *engine) push(ev event) {
-	ev.seq = e.seq
-	e.seq++
+	l := e.lamport[ev.node]
+	if e.curLamport > l {
+		l = e.curLamport
+	}
+	l++
+	e.lamport[ev.node] = l
+	ev.seq = l<<e.shift | uint64(ev.node)
 	e.queue.push(ev)
 }
 
@@ -596,6 +721,20 @@ func (e *engine) push(ev event) {
 // land exactly on tau multiples regardless of event spacing.
 func (e *engine) accrue(i int) {
 	ns := &e.nodes[i]
+	if !e.warmSnapped[i] && e.now >= e.cfg.Warmup {
+		// First accrual at or past the warmup boundary: advance exactly to
+		// the boundary, snapshot the battery for the Power metric, and
+		// continue from there. The split point is per-node and depends only
+		// on the node's own accrual history, so every engine — including
+		// the parallel one, where no single event marks a global warmup
+		// crossing — produces bit-identical batteries.
+		if dt := e.cfg.Warmup - ns.lastUpdate; dt > 0 {
+			ns.proto.Advance(dt, ns.state)
+		}
+		ns.lastUpdate = e.cfg.Warmup
+		e.warmupBattery[i] = ns.proto.Battery()
+		e.warmSnapped[i] = true
+	}
 	if dt := e.now - ns.lastUpdate; dt > 0 {
 		ns.proto.Advance(dt, ns.state)
 		ns.lastUpdate = e.now
@@ -664,7 +803,7 @@ func (e *engine) handleFault(i int) {
 // successful receivers, applying the configured noise hook.
 func (e *engine) estimateFor(i, count int) float64 {
 	if e.cfg.EstimateListeners != nil {
-		count = e.cfg.EstimateListeners(count, e.src)
+		count = e.cfg.EstimateListeners(count, &e.rngs[i])
 		if count < 0 {
 			count = 0
 		}
@@ -716,7 +855,7 @@ func (e *engine) scheduleTransition(i int) {
 	if total <= 0 {
 		return
 	}
-	dwell := e.src.Exp(total)
+	dwell := e.rngs[i].Exp(total)
 	if ns.state == model.Sleep {
 		// Sleep intervals are timed by the node's low-power clock, which
 		// the drift fault scales; listen/transmit timing runs off the
@@ -751,7 +890,7 @@ func (e *engine) handleTransition(i int) {
 		if total <= 0 {
 			return
 		}
-		if e.src.Float64()*total < r.ListenToTransmit {
+		if e.rngs[i].Float64()*total < r.ListenToTransmit {
 			e.startTransmission(i)
 		} else {
 			e.flushBurst(i)
@@ -899,7 +1038,7 @@ func (e *engine) handlePacketEnd(i int) {
 			e.met.PacketsDelivered++
 			// Burst/latency bookkeeping: first packet of a receive burst.
 			if ns.burstCount == 1 && ns.hasBurst && ns.sleptSince {
-				e.met.Latency.Add(e.now - e.packetTime - ns.lastBurstEnd)
+				e.latency = append(e.latency, e.now-e.packetTime-ns.lastBurstEnd) //lint:allow hotalloc amortized sample buffer growth
 			}
 			ns.sleptSince = false
 		}
@@ -908,10 +1047,10 @@ func (e *engine) handlePacketEnd(i int) {
 	}
 	if e.measuring {
 		e.met.PacketsSent++
-		e.met.Groupput += float64(success) * e.packetTime
+		e.gp[i] += float64(success) * e.packetTime
 		if success > 0 {
 			e.met.PacketsAnyDeliver++
-			e.met.Anyput += e.packetTime
+			e.ap[i] += e.packetTime
 		}
 	}
 	if success > 0 {
@@ -945,14 +1084,14 @@ func (e *engine) handlePacketEnd(i int) {
 	if !e.active(i, e.now) {
 		forced = true // departed or crashed: release the channel now
 	}
-	if !forced && e.src.Bernoulli(cont) {
+	if !forced && e.rngs[i].Bernoulli(cont) {
 		e.startPacket(i, p.burstLen+1, p.delivered)
 		return
 	}
 	// Hold complete: record its length if it reached any receiver (the
 	// Appendix E burst definition behind eqs. 34-35).
 	if p.delivered && e.measuring {
-		e.met.BurstLengths.Add(float64(p.burstLen + 1))
+		e.bl[i].Add(float64(p.burstLen + 1))
 	}
 	// Release: transmitter returns to listen (Fig. 1), neighbors unfreeze.
 	e.setState(i, model.Listen)
@@ -1002,6 +1141,14 @@ func (e *engine) handleTick(i int, tau float64) {
 func (e *engine) finish() *Metrics {
 	window := e.cfg.Duration - e.cfg.Warmup
 	e.met.Window = window
+	// Canonical merge: per-node accumulations fold in ascending node
+	// order, so the floats are independent of the dispatch interleaving.
+	for i := 0; i < e.n; i++ {
+		e.met.Groupput += e.gp[i]
+		e.met.Anyput += e.ap[i]
+		e.met.BurstLengths.Merge(e.bl[i])
+	}
+	e.met.Latency = stats.NewCDF(e.latency)
 	e.met.Groupput /= window
 	e.met.Anyput /= window
 	// Order audit: each occupancy entry is scaled independently at its own
@@ -1016,11 +1163,7 @@ func (e *engine) finish() *Metrics {
 	for i := range e.nodes {
 		nd := e.cfg.Network.Nodes[i]
 		// Mean consumption over the window: harvest - net battery gain.
-		start := e.cfg.InitialBattery
-		if e.warmupBattery != nil {
-			start = e.warmupBattery[i]
-		}
-		gained := e.nodes[i].proto.Battery() - start
+		gained := e.nodes[i].proto.Battery() - e.warmupBattery[i]
 		e.met.Power[i] = nd.Budget - gained/window
 		p0 := math.Max(nd.ListenPower, nd.TransmitPower)
 		e.met.EtaFinal[i] = e.nodes[i].proto.Eta() / p0

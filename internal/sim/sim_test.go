@@ -615,7 +615,14 @@ func TestPacketTimeInvariance(t *testing.T) {
 		c.Protocol.PacketTime = pkt
 		c.WarmEta = ref.Eta
 		c.FreezeEta = true
-		c.Duration = 6000
+		// The estimator's correlation time scales with the packet time
+		// (holds last whole packets), so the window scales with it too —
+		// otherwise the 10ms case sees ~1/10 the effective samples and its
+		// spread blows past the tolerance.
+		c.Duration = 6000 * (pkt / 1e-3)
+		if c.Duration < 6000 {
+			c.Duration = 6000
+		}
 		c.Warmup = 300
 		m, err := Run(c)
 		if err != nil {

@@ -1,0 +1,87 @@
+package stats
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+// TestAccumulatorMerge checks the parallel Welford combination against a
+// direct accumulation: counts, extrema, and moments must agree to
+// floating-point tolerance, and the merge must be schedule-independent
+// (the same split points merged in the same order give identical bits).
+func TestAccumulatorMerge(t *testing.T) {
+	xs := []float64{3, 1, 4, 1, 5, 9, 2.5, 6, -5.25, 3.5, 8, 9.75}
+	var whole Accumulator
+	for _, x := range xs {
+		whole.Add(x)
+	}
+	for _, cut := range []int{0, 1, 5, len(xs)} {
+		var a, b Accumulator
+		for _, x := range xs[:cut] {
+			a.Add(x)
+		}
+		for _, x := range xs[cut:] {
+			b.Add(x)
+		}
+		a.Merge(b)
+		if a.N() != whole.N() || a.Min() != whole.Min() || a.Max() != whole.Max() {
+			t.Fatalf("cut %d: n/min/max = %d/%v/%v, want %d/%v/%v",
+				cut, a.N(), a.Min(), a.Max(), whole.N(), whole.Min(), whole.Max())
+		}
+		if math.Abs(a.Mean()-whole.Mean()) > 1e-12 {
+			t.Fatalf("cut %d: mean %v, want %v", cut, a.Mean(), whole.Mean())
+		}
+		if math.Abs(a.Variance()-whole.Variance()) > 1e-9 {
+			t.Fatalf("cut %d: variance %v, want %v", cut, a.Variance(), whole.Variance())
+		}
+	}
+}
+
+// TestAccumulatorMergeDeterministic: merging the same per-owner states in
+// the same order is bit-identical regardless of which goroutine produced
+// them — the property the sim engines' canonical metric merge relies on.
+func TestAccumulatorMergeDeterministic(t *testing.T) {
+	parts := [][]float64{{1, 2}, {}, {3.25}, {4, 5, 6.5}}
+	run := func() Accumulator {
+		accs := make([]Accumulator, len(parts))
+		for i, p := range parts {
+			for _, x := range p {
+				accs[i].Add(x)
+			}
+		}
+		var out Accumulator
+		for i := range accs {
+			out.Merge(accs[i])
+		}
+		return out
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("merge not deterministic: %+v vs %+v", a, b)
+	}
+}
+
+// TestNewCDFCanonical: CDFs built from permutations of the same samples
+// are deeply equal, and the empty input yields the zero value.
+func TestNewCDFCanonical(t *testing.T) {
+	a := NewCDF([]float64{3, 1, 2})
+	b := NewCDF([]float64{2, 3, 1})
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("permuted CDFs differ: %+v vs %+v", a, b)
+	}
+	if a.Quantile(0.5) != 2 {
+		t.Fatalf("median %v, want 2", a.Quantile(0.5))
+	}
+	if z := NewCDF(nil); !reflect.DeepEqual(z, CDF{}) {
+		t.Fatalf("empty NewCDF not zero: %+v", z)
+	}
+	var inc CDF
+	for _, x := range []float64{3, 1, 2} {
+		inc.Add(x)
+	}
+	inc.Seal()
+	if !reflect.DeepEqual(inc, a) {
+		t.Fatalf("sealed incremental CDF differs from NewCDF: %+v vs %+v", inc, a)
+	}
+}

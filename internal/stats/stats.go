@@ -43,6 +43,35 @@ func (a *Accumulator) Add(x float64) {
 // N returns the number of observations recorded.
 func (a *Accumulator) N() int { return a.n }
 
+// Merge folds accumulator b into a using the parallel (Chan et al.)
+// combination of Welford states. The result depends only on the two
+// states, not on the interleaving of the original observations, so
+// per-owner accumulators merged in a canonical order yield bit-identical
+// moments regardless of how the observations were scheduled. Merging is
+// associative in exact arithmetic; callers that need bit-identical
+// floats must merge in a fixed order (the engines merge per-node
+// accumulators in ascending node order).
+func (a *Accumulator) Merge(b Accumulator) {
+	if b.n == 0 {
+		return
+	}
+	if a.n == 0 {
+		*a = b
+		return
+	}
+	if b.min < a.min {
+		a.min = b.min
+	}
+	if b.max > a.max {
+		a.max = b.max
+	}
+	n := a.n + b.n
+	d := b.mean - a.mean
+	a.mean += d * float64(b.n) / float64(n)
+	a.m2 += b.m2 + d*d*float64(a.n)*float64(b.n)/float64(n)
+	a.n = n
+}
+
 // Mean returns the sample mean, or 0 if no observations were recorded.
 func (a *Accumulator) Mean() float64 { return a.mean }
 
@@ -128,6 +157,23 @@ func (c *CDF) Add(x float64) {
 	c.xs = append(c.xs, x)
 	c.sorted = false
 }
+
+// NewCDF builds a sealed CDF over the given samples, taking ownership of
+// the slice. The samples are sorted, so two CDFs built from the same
+// multiset of values — collected in any order — compare deeply equal;
+// the simulation engines rely on this to stay byte-identical across
+// serial and parallel schedules. An empty input yields the zero CDF.
+func NewCDF(xs []float64) CDF {
+	if len(xs) == 0 {
+		return CDF{}
+	}
+	sort.Float64s(xs)
+	return CDF{xs: xs, sorted: true}
+}
+
+// Seal sorts the recorded samples in place, putting the CDF in its
+// canonical order-independent representation.
+func (c *CDF) Seal() { c.ensureSorted() }
 
 // N returns the number of recorded samples.
 func (c *CDF) N() int { return len(c.xs) }

@@ -1,0 +1,70 @@
+package topology
+
+import (
+	"testing"
+
+	"econcast/internal/rng"
+)
+
+// TestDepthsGrid pins the boundary-depth metadata on a 2x2-sharded grid:
+// depth 1 exactly at nodes adjacent to a foreign shard, increasing by one
+// per hop inward, capped at depth+1.
+func TestDepthsGrid(t *testing.T) {
+	g := SquareGrid(64)
+	p := NewPartition(g, 4)
+	if p.Shards() != 4 {
+		t.Fatalf("shards = %d, want 4", p.Shards())
+	}
+	const cap = 3
+	d := p.Depths(cap)
+	for i := 0; i < p.N(); i++ {
+		want := int32(cap + 1)
+		// Recompute by brute-force BFS bounded to cap hops.
+		dist := map[int]int32{i: 0}
+		frontier := []int{i}
+		for hop := int32(1); hop <= cap && want > cap; hop++ {
+			var next []int
+			for _, u := range frontier {
+				for _, v := range g.Neighbors(u) {
+					if _, seen := dist[v]; seen {
+						continue
+					}
+					dist[v] = hop
+					if p.ShardOf(v) != p.ShardOf(i) && hop < want {
+						want = hop
+					}
+					next = append(next, v)
+				}
+			}
+			frontier = next
+		}
+		if d[i] != want {
+			t.Fatalf("node %d: depth %d, want %d", i, d[i], want)
+		}
+	}
+}
+
+// TestDepthsSingleShard: with one shard there is no foreign node, so
+// every depth saturates at the cap+1 sentinel.
+func TestDepthsSingleShard(t *testing.T) {
+	g := Ring(10)
+	p := NewPartition(g, 1)
+	for i, v := range p.Depths(2) {
+		if v != 3 {
+			t.Fatalf("node %d: depth %d, want 3", i, v)
+		}
+	}
+}
+
+// TestDepthsConsistentWithInterior: depth 1 implies a foreign neighbor,
+// i.e. exactly the complement of Interior.
+func TestDepthsConsistentWithInterior(t *testing.T) {
+	g := RandomGeometric(300, 0.12, rng.New(7))
+	p := NewPartition(g, 6)
+	d := p.Depths(4)
+	for i := 0; i < p.N(); i++ {
+		if (d[i] == 1) == p.Interior(i) {
+			t.Fatalf("node %d: depth %d but Interior=%v", i, d[i], p.Interior(i))
+		}
+	}
+}

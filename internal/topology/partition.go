@@ -227,3 +227,46 @@ func (p *Partition) MaskSpan(i int) int { return popcount(p.Mask(i)) }
 // within its own shard: events at interior nodes never cross a shard
 // boundary.
 func (p *Partition) Interior(i int) bool { return p.interior[i] }
+
+// Depths returns, per node, the hop distance to the nearest node of a
+// different shard, capped at depth+1: a node adjacent to a foreign node
+// has depth 1, its same-shard neighbors (without their own foreign
+// neighbor) depth 2, and so on; any node farther than the cap — including
+// every node of a single-shard partition — reports depth+1. The parallel
+// shard engine uses this as its boundary-latency metadata: an event at a
+// node deeper than the conflict-plus-push radius cannot interact with any
+// foreign shard's events and may dispatch without consulting the global
+// safe horizon. The result is a pure function of (partition, depth),
+// computed by deterministic multi-source BFS.
+func (p *Partition) Depths(depth int) []int32 {
+	n := p.topo.N()
+	far := int32(depth + 1)
+	d := make([]int32, n)
+	queue := make([]int32, 0, n)
+	for i := 0; i < n; i++ {
+		d[i] = far
+		own := p.shardOf[i]
+		for _, j := range p.topo.neighbors[i] {
+			if p.shardOf[j] != own {
+				d[i] = 1
+				queue = append(queue, int32(i))
+				break
+			}
+		}
+	}
+	for len(queue) > 0 {
+		i := queue[0]
+		queue = queue[1:]
+		next := d[i] + 1
+		if next > int32(depth) {
+			continue
+		}
+		for _, j := range p.topo.neighbors[i] {
+			if d[j] > next {
+				d[j] = next
+				queue = append(queue, int32(j))
+			}
+		}
+	}
+	return d
+}
