@@ -3,22 +3,31 @@
 // the achievable T^sigma (P4), and optionally the non-clique grid bounds
 // and the explicit Lemma 1 schedule.
 //
+// The LP-backed objectives (groupput, anyput, grid bounds) route through
+// the same internal/serve solver path as the oracled service: the same
+// validation, the same watchdog timeout, and — with -cache-dir — the
+// same crash-safe persistent cache, so batch runs and the daemon share
+// one solution store and bitwise-identical answers.
+//
 // Example:
 //
 //	oracle -n 5 -rho 10e-6 -listen 500e-6 -transmit 500e-6 -sigma 0.25
-//	oracle -n 25 -grid
-//	oracle -n 3 -schedule
+//	oracle -n 25 -grid -cache-dir /var/cache/econcast
+//	oracle -n 3 -schedule -timeout 10s
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math"
 	"os"
+	"time"
 
 	"econcast"
 	"econcast/internal/model"
 	"econcast/internal/oracle"
+	"econcast/internal/serve"
 	"econcast/internal/statespace"
 )
 
@@ -32,22 +41,29 @@ func main() {
 		grid     = flag.Bool("grid", false, "also compute square-grid non-clique bounds (n must be a square)")
 		schedule = flag.Bool("schedule", false, "build and validate the Lemma 1 periodic schedule")
 		mixing   = flag.Bool("mixing", false, "Appendix D mixing analysis at the optimal multipliers (n <= 8)")
+		timeout  = flag.Duration("timeout", 30*time.Second, "per-solve watchdog budget")
+		cacheDir = flag.String("cache-dir", "", "persistent solution cache directory (shared with oracled; empty = memory only)")
 	)
 	flag.Parse()
 
+	solver, err := serve.NewSolver(serve.SolverConfig{CacheDir: *cacheDir, MaxSolve: *timeout})
+	fatal(err)
+	defer func() { _ = solver.Close() }()
+	ctx := context.Background()
+	base := serve.Request{N: *n, Rho: *rho, Listen: *listen, Transmit: *transmit}
+
+	g := solve(ctx, solver, base, serve.ObjGroupput, nil)
+	a := solve(ctx, solver, base, serve.ObjAnyput, nil)
+
 	nw := econcast.Homogeneous(*n, *rho, *listen, *transmit)
-	g, err := econcast.OracleGroupput(nw)
-	fatal(err)
-	a, err := econcast.OracleAnyput(nw)
-	fatal(err)
 	ach, err := econcast.Achievable(nw, *sigma, econcast.Groupput)
 	fatal(err)
 	achA, err := econcast.Achievable(nw, *sigma, econcast.Anyput)
 	fatal(err)
 
 	fmt.Printf("network: N=%d rho=%.3gW L=%.3gW X=%.3gW\n", *n, *rho, *listen, *transmit)
-	fmt.Printf("oracle groupput T*_g        = %.6f  (max %d)\n", g.Throughput, *n-1)
-	fmt.Printf("oracle anyput   T*_a        = %.6f  (max 1)\n", a.Throughput)
+	fmt.Printf("oracle groupput T*_g        = %.6f  (max %d, %s)\n", g.Throughput, *n-1, g.Provenance)
+	fmt.Printf("oracle anyput   T*_a        = %.6f  (max 1, %s)\n", a.Throughput, a.Provenance)
 	fmt.Printf("achievable T^%.2f_g (P4)    = %.6f  (ratio %.3f, burst %.3g)\n",
 		*sigma, ach.Throughput, ach.Throughput/g.Throughput, ach.BurstLength)
 	fmt.Printf("achievable T^%.2f_a (P4)    = %.6f  (ratio %.3f)\n",
@@ -60,9 +76,9 @@ func main() {
 		if side*side != *n {
 			fatal(fmt.Errorf("-grid needs a square n, got %d", *n))
 		}
-		lower, upper, err := econcast.OracleGroupputBounds(nw, econcast.GridNeighbors(side, side))
-		fatal(err)
-		fmt.Printf("grid %dx%d: T*_nc in [%.6f, %.6f]\n", side, side, lower.Throughput, upper.Throughput)
+		b := solve(ctx, solver, base, serve.ObjBounds, &serve.TopoSpec{Kind: "grid", Rows: side, Cols: side})
+		fmt.Printf("grid %dx%d: T*_nc in [%.6f, %.6f] (%s)\n",
+			side, side, b.Throughput, b.Upper.Throughput, b.Provenance)
 	}
 
 	if *mixing {
@@ -93,6 +109,16 @@ func main() {
 		fmt.Printf("Lemma 1 schedule: period %d slots, realized groupput %.6f (LP %.6f)\n",
 			s.Period, gp, g.Throughput)
 	}
+}
+
+// solve routes one objective through the serving solver.
+func solve(ctx context.Context, solver *serve.Solver, base serve.Request, objective string, topo *serve.TopoSpec) *serve.Response {
+	req := base
+	req.Objective = objective
+	req.Topology = topo
+	resp, err := solver.Solve(ctx, &req)
+	fatal(err)
+	return resp
 }
 
 func fatal(err error) {

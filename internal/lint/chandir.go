@@ -35,6 +35,18 @@ var chanDirPkgs = map[string][]hotEntry{
 	"econcast/internal/testbed": {
 		{recv: "engine", method: "run"},
 	},
+	// The serving layer's selects are all two-way races against
+	// cancellation or a timer, confined to four sites: the admission
+	// gate's slot wait, a singleflight follower's wait on the leader, the
+	// solve watchdog, and the client's backoff sleep. Every channel
+	// stored in a struct or passed across a boundary is direction-typed
+	// (gate.acq/gate.rel, flightCall.done, runSolve's done parameter).
+	"econcast/internal/serve": {
+		{recv: "gate", method: "acquire"},
+		{recv: "flightGroup", method: "wait"},
+		{recv: "Solver", method: "solveGuarded"},
+		{recv: "Client", method: "sleep"},
+	},
 }
 
 // ChanDir enforces the request-reply channel discipline of the

@@ -63,6 +63,13 @@ var hotEntries = map[string][]hotEntry{
 		{recv: "Set", method: "DropRx"},
 		{recv: "Set", method: "Drift"},
 	},
+	// The serving layer's admission decision runs once per arrival even
+	// at full overload — it is the path that must stay fast precisely
+	// when the process is drowning, so shedding and queue-full rejection
+	// must not allocate.
+	"econcast/internal/serve": {
+		{recv: "gate", method: "admit"},
+	},
 }
 
 // HotAlloc flags allocation sites inside the simulators' event-loop call

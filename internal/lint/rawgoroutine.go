@@ -5,16 +5,21 @@ import (
 )
 
 // concurrencyPkgs are the only packages licensed to spawn goroutines:
-// asim's broker/node protocol, the testbed built on top of it, and
-// sweep's bounded worker pool. Each confines concurrency behind a
-// determinism fence (a conservative virtual clock, or sweep's
-// index-ordered collection barrier) so runs stay reproducible; a raw
-// `go` statement anywhere else reintroduces scheduling nondeterminism
-// (and data-race surface) outside those fences.
+// asim's broker/node protocol, the testbed built on top of it, sweep's
+// bounded worker pool, and the serving layer (plus its daemon). The
+// simulators confine concurrency behind a determinism fence (a
+// conservative virtual clock, or sweep's index-ordered collection
+// barrier) so runs stay reproducible; serve is a real server whose
+// goroutines (watchdogged solves, HTTP handlers) are inherently
+// concurrent but whose *decisions* stay seed-deterministic. A raw `go`
+// statement anywhere else reintroduces scheduling nondeterminism (and
+// data-race surface) outside those fences.
 var concurrencyPkgs = map[string]bool{
 	"econcast/internal/asim":    true,
 	"econcast/internal/testbed": true,
 	"econcast/internal/sweep":   true,
+	"econcast/internal/serve":   true,
+	"econcast/cmd/oracled":      true,
 }
 
 // RawGoroutine flags `go` statements outside the licensed concurrency

@@ -17,6 +17,17 @@ var wallclockBanned = map[string]bool{
 	"AfterFunc": true,
 }
 
+// wallclockLicensed are the packages that legitimately live on the wall
+// clock: the serving layer and its daemon, where deadlines, Retry-After
+// hints, backoff waits, and breaker cool-downs are real-time quantities
+// by definition. Their *decisions* still come from seeded streams (shed
+// draws, backoff jitter — see seedflow), so chaos runs replay; only the
+// durations are real. Simulation and protocol code stays banned.
+var wallclockLicensed = map[string]bool{
+	"econcast/internal/serve": true,
+	"econcast/cmd/oracled":    true,
+}
+
 // WallClock forbids wall-clock reads (time.Now, time.Sleep, …) and any
 // use of math/rand outside internal/rng. Both break the repo-wide
 // invariant that every run is exactly reproducible from a seed.
@@ -35,7 +46,7 @@ var WallClock = &Analyzer{
 				}
 				switch pkgNameOf(p.Info, sel.X) {
 				case "time":
-					if wallclockBanned[sel.Sel.Name] {
+					if wallclockBanned[sel.Sel.Name] && !wallclockLicensed[p.Path] {
 						p.Reportf(sel.Pos(), "time.%s reads the wall clock; simulations run on the virtual clock and must be reproducible from a seed", sel.Sel.Name)
 					}
 				case "math/rand", "math/rand/v2":

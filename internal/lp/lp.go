@@ -17,6 +17,7 @@
 package lp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -109,6 +110,16 @@ type Problem struct {
 	// anti-cycling rule. Zero selects the default (50). Tests and the
 	// fuzz harness lower it to exercise the fallback path.
 	DegenStall int
+
+	// Ctx, when non-nil, is polled between pivots: a canceled or
+	// expired context aborts the solve with an error wrapping both
+	// ErrCanceled and the context's own error. This is what makes
+	// serving-layer deadlines real — MaxIter bounds the total work, but
+	// only the context can abort an in-flight solve the moment a caller
+	// stops waiting. Polling happens outside the row arithmetic, so a
+	// solve that runs to completion is bit-identical with or without a
+	// context.
+	Ctx context.Context
 }
 
 // NewProblem returns a problem with n variables and the given sense. The
@@ -181,6 +192,11 @@ const (
 // its iteration budget, which indicates a numerical pathology.
 var ErrIterationLimit = errors.New("lp: simplex iteration limit exceeded")
 
+// ErrCanceled is returned when Problem.Ctx is canceled or expires while
+// a solve is in flight. The returned error also wraps the context's own
+// error, so errors.Is(err, context.DeadlineExceeded) works as expected.
+var ErrCanceled = errors.New("lp: solve canceled")
+
 // tableau is the dense simplex tableau: m constraint rows plus an objective
 // row, over ncols structural+slack+artificial columns.
 type tableau struct {
@@ -192,8 +208,9 @@ type tableau struct {
 	basis    []int       // basic column of each row
 	artBegin int         // first artificial column index
 
-	maxIter    int // per-phase pivot budget
-	stallAfter int // consecutive degenerate pivots before Bland engages
+	maxIter    int             // per-phase pivot budget
+	stallAfter int             // consecutive degenerate pivots before Bland engages
+	ctx        context.Context // nil unless the caller can abort the solve
 
 	// Pricing state. bland is sticky within a stall: once the run of
 	// degenerate pivots reaches stallAfter, entering columns are priced
@@ -271,6 +288,7 @@ func Solve(p *Problem) (*Result, error) {
 	if t.stallAfter <= 0 {
 		t.stallAfter = defaultDegenStall
 	}
+	t.ctx = p.Ctx
 	t.initParallel(p.Workers)
 
 	slackCol := n
@@ -453,6 +471,14 @@ func (t *tableau) initParallel(workers int) {
 func (t *tableau) iterate(maxCol int) (Status, error) {
 	t.stall, t.bland = 0, false
 	for iter := 0; iter < t.maxIter; iter++ {
+		// Abort promptly once the caller has stopped waiting. The poll
+		// sits outside the row arithmetic: a solve that completes is
+		// bit-identical whether or not a context was attached.
+		if t.ctx != nil {
+			if err := t.ctx.Err(); err != nil {
+				return Optimal, fmt.Errorf("%w: %w", ErrCanceled, err)
+			}
+		}
 		bland := t.bland
 		enter := -1
 		if bland {

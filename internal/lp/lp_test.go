@@ -1,6 +1,8 @@
 package lp
 
 import (
+	"context"
+	"errors"
 	"math"
 	"testing"
 	"testing/quick"
@@ -602,5 +604,48 @@ func TestIterationBudgetScalesWithDimensions(t *testing.T) {
 	p2.MaxIter = 1
 	if _, err := Solve(p2); err != ErrIterationLimit {
 		t.Fatalf("err = %v, want ErrIterationLimit with MaxIter=1", err)
+	}
+}
+
+// TestSolveCanceledContext pins the context contract: an expired context
+// aborts the solve with an error wrapping both ErrCanceled and the
+// context's own error, while a live context changes nothing about the
+// result bits.
+func TestSolveCanceledContext(t *testing.T) {
+	build := func() *Problem {
+		p := NewProblem(Maximize, 3)
+		p.C = []float64{3, 1, 2}
+		p.AddLE([]float64{1, 1, 3}, 30)
+		p.AddLE([]float64{2, 2, 5}, 24)
+		p.AddLE([]float64{4, 1, 2}, 36)
+		return p
+	}
+
+	canceled, cancel := context.WithCancel(context.Background())
+	cancel()
+	p := build()
+	p.Ctx = canceled
+	if _, err := Solve(p); !errors.Is(err, ErrCanceled) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled solve: err=%v, want wrap of ErrCanceled and context.Canceled", err)
+	}
+
+	plain := build()
+	res, err := Solve(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := build()
+	live.Ctx = context.Background()
+	resLive, err := Solve(live)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resLive.Objective != res.Objective {
+		t.Fatalf("live-context solve diverged: %v vs %v", resLive.Objective, res.Objective)
+	}
+	for i := range res.X {
+		if resLive.X[i] != res.X[i] {
+			t.Fatalf("live-context solution diverged at %d: %v vs %v", i, resLive.X[i], res.X[i])
+		}
 	}
 }

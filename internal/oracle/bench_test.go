@@ -1,6 +1,7 @@
 package oracle
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -69,7 +70,7 @@ func BenchmarkOracleAnyputDense(b *testing.B) {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if _, err := anyputDense(nw); err != nil {
+				if _, err := anyputDense(context.Background(), nw); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -1,6 +1,7 @@
 package oracle
 
 import (
+	"container/list"
 	"encoding/binary"
 	"math"
 	"sync"
@@ -20,25 +21,89 @@ import (
 // may mutate the slices they get back without poisoning the cache, which
 // also keeps sweep results byte-identical at any worker count (a hit
 // returns the same floats the miss computed).
+//
+// The cache is LRU-bounded: a long-running service (cmd/oracled) answers
+// an open-ended stream of distinct fleets, so unbounded memoization would
+// be a slow leak. Eviction is least-recently-used, one entry at a time,
+// and hit/miss/eviction counters are exported through CacheStats so the
+// serving layer can surface them.
 type solutionCache struct {
-	mu sync.Mutex
-	m  map[string]*Solution
+	mu    sync.Mutex
+	m     map[string]*list.Element
+	order *list.List // front = most recently used
+	cap   int
+
+	hits, misses, evictions uint64
 }
 
-// cacheMaxEntries bounds the cache; on overflow the whole map is dropped
-// (no LRU bookkeeping — oracle sweeps have far fewer distinct points, so
-// eviction is a safety valve, not a steady state).
+type cacheEntry struct {
+	key string
+	sol *Solution
+}
+
+// cacheMaxEntries bounds the cache. Eviction affects only performance,
+// never results: an evicted point re-solves to the same bits.
 const cacheMaxEntries = 1 << 14
 
-var solCache = &solutionCache{m: make(map[string]*Solution)}
+var solCache = newSolutionCache(cacheMaxEntries)
+
+func newSolutionCache(cap int) *solutionCache {
+	return &solutionCache{
+		m:     make(map[string]*list.Element),
+		order: list.New(),
+		cap:   cap,
+	}
+}
+
+// CacheStats is a snapshot of the memo cache's counters.
+type CacheStats struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+	Entries   int    `json:"entries"`
+}
+
+// CacheStatsSnapshot returns the current memo-cache counters; the
+// serving layer exposes them on its stats endpoint.
+func CacheStatsSnapshot() CacheStats {
+	solCache.mu.Lock()
+	defer solCache.mu.Unlock()
+	return CacheStats{
+		Hits:      solCache.hits,
+		Misses:    solCache.misses,
+		Evictions: solCache.evictions,
+		Entries:   solCache.order.Len(),
+	}
+}
+
+// Kind identifies one memoized LP formulation. The serving layer keys
+// its persistent cache with the same canonical bytes as the in-process
+// memo, so batch and serving answers agree by construction.
+type Kind byte
 
 // Cache key kinds: one per distinct LP formulation.
 const (
-	kindGroupput       byte = 1 // (P2) with the single-transmitter row (11)
-	kindGroupputUpper  byte = 2 // (P2) without (11): non-clique upper bound
-	kindAnyput         byte = 3 // (P3)
-	kindNonCliqueExact byte = 4 // configuration LP of GroupputNonCliqueExact
+	KindGroupput       Kind = 1 // (P2) with the single-transmitter row (11)
+	KindGroupputUpper  Kind = 2 // (P2) without (11): non-clique upper bound
+	KindAnyput         Kind = 3 // (P3)
+	KindNonCliqueExact Kind = 4 // configuration LP of GroupputNonCliqueExact
 )
+
+// Internal aliases keep the solver call sites terse.
+const (
+	kindGroupput       = byte(KindGroupput)
+	kindGroupputUpper  = byte(KindGroupputUpper)
+	kindAnyput         = byte(KindAnyput)
+	kindNonCliqueExact = byte(KindNonCliqueExact)
+)
+
+// CanonicalKey returns the canonical cache key for (kind, nw, topo): the
+// byte string two networks map to iff the solver would see identical
+// inputs. It is the dedup key of the serving layer's singleflight group
+// and the record key of its persistent cache.
+func CanonicalKey(kind Kind, nw *model.Network, topo *topology.Topology) string {
+	return cacheKey(byte(kind), nw, topo)
+}
 
 // cacheKey builds the canonical key. A nil topology (clique semantics) and
 // an explicit clique topology produce different keys; that costs at most
@@ -70,20 +135,36 @@ func cacheKey(kind byte, nw *model.Network, topo *topology.Topology) string {
 
 func (c *solutionCache) lookup(key string) (*Solution, bool) {
 	c.mu.Lock()
-	sol, ok := c.m[key]
-	c.mu.Unlock()
+	el, ok := c.m[key]
 	if !ok {
+		c.misses++
+		c.mu.Unlock()
 		return nil, false
 	}
+	c.hits++
+	c.order.MoveToFront(el)
+	sol := el.Value.(*cacheEntry).sol
+	c.mu.Unlock()
 	return sol.clone(), true
 }
 
 func (c *solutionCache) store(key string, sol *Solution) {
 	c.mu.Lock()
-	if len(c.m) >= cacheMaxEntries {
-		c.m = make(map[string]*Solution) // drop everything; no map iteration
+	if el, ok := c.m[key]; ok {
+		// Concurrent solvers can race to store the same key; both
+		// computed identical bits, so either copy is fine.
+		el.Value.(*cacheEntry).sol = sol.clone()
+		c.order.MoveToFront(el)
+		c.mu.Unlock()
+		return
 	}
-	c.m[key] = sol.clone()
+	if c.order.Len() >= c.cap {
+		back := c.order.Back()
+		delete(c.m, back.Value.(*cacheEntry).key)
+		c.order.Remove(back)
+		c.evictions++
+	}
+	c.m[key] = c.order.PushFront(&cacheEntry{key: key, sol: sol.clone()})
 	c.mu.Unlock()
 }
 
@@ -95,11 +176,13 @@ func (s *Solution) clone() *Solution {
 	}
 }
 
-// resetSolutionCache empties the cache; tests use it to force the solve
-// path.
+// resetSolutionCache empties the cache and zeroes its counters; tests
+// use it to force the solve path.
 func resetSolutionCache() {
 	solCache.mu.Lock()
-	solCache.m = make(map[string]*Solution)
+	solCache.m = make(map[string]*list.Element)
+	solCache.order = list.New()
+	solCache.hits, solCache.misses, solCache.evictions = 0, 0, 0
 	solCache.mu.Unlock()
 }
 

@@ -1,0 +1,110 @@
+package oracle
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"econcast/internal/lp"
+	"econcast/internal/model"
+)
+
+// TestCacheLRUEviction drives a tiny private cache directly and pins the
+// LRU discipline: the least-recently-used entry is evicted first, a hit
+// refreshes recency, and the counters account for every path.
+func TestCacheLRUEviction(t *testing.T) {
+	c := newSolutionCache(2)
+	solA := &Solution{Throughput: 1, Alpha: []float64{1}, Beta: []float64{0}}
+	solB := &Solution{Throughput: 2, Alpha: []float64{2}, Beta: []float64{0}}
+	solC := &Solution{Throughput: 3, Alpha: []float64{3}, Beta: []float64{0}}
+
+	c.store("a", solA)
+	c.store("b", solB)
+	if _, ok := c.lookup("a"); !ok { // refresh a: b becomes LRU
+		t.Fatal("expected hit on a")
+	}
+	c.store("c", solC) // evicts b
+	if _, ok := c.lookup("b"); ok {
+		t.Fatal("b should have been evicted as the LRU entry")
+	}
+	if got, ok := c.lookup("a"); !ok || got.Throughput != 1 {
+		t.Fatalf("a lost or corrupted after eviction: %+v ok=%v", got, ok)
+	}
+	if got, ok := c.lookup("c"); !ok || got.Throughput != 3 {
+		t.Fatalf("c lost or corrupted: %+v ok=%v", got, ok)
+	}
+	c.mu.Lock()
+	hits, misses, evictions, entries := c.hits, c.misses, c.evictions, c.order.Len()
+	c.mu.Unlock()
+	if hits != 3 || misses != 1 || evictions != 1 || entries != 2 {
+		t.Fatalf("counters: hits=%d misses=%d evictions=%d entries=%d, want 3/1/1/2",
+			hits, misses, evictions, entries)
+	}
+}
+
+// TestCacheStoreRefreshesExisting pins the double-store path: two racers
+// computing the same key leave one entry, not two, and the cache keeps
+// serving correct bits.
+func TestCacheStoreRefreshesExisting(t *testing.T) {
+	c := newSolutionCache(2)
+	sol := &Solution{Throughput: 7, Alpha: []float64{7}, Beta: []float64{0}}
+	c.store("k", sol)
+	c.store("k", sol)
+	c.mu.Lock()
+	entries := c.order.Len()
+	c.mu.Unlock()
+	if entries != 1 {
+		t.Fatalf("double store left %d entries, want 1", entries)
+	}
+	if got, ok := c.lookup("k"); !ok || got.Throughput != 7 {
+		t.Fatalf("lookup after double store: %+v ok=%v", got, ok)
+	}
+}
+
+// TestCacheStatsSnapshot exercises the exported counter surface through
+// the public solver API.
+func TestCacheStatsSnapshot(t *testing.T) {
+	resetSolutionCache()
+	nw := model.Homogeneous(5, 10e-6, 500e-6, 500e-6)
+	if _, err := Groupput(nw); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Groupput(nw); err != nil {
+		t.Fatal(err)
+	}
+	st := CacheStatsSnapshot()
+	if st.Misses != 1 || st.Hits != 1 || st.Entries != 1 || st.Evictions != 0 {
+		t.Fatalf("stats after miss+hit: %+v", st)
+	}
+}
+
+// TestCanceledSolveNotCached pins the cancellation contract end to end:
+// an already-canceled context aborts the LP with an error wrapping both
+// lp.ErrCanceled and context.Canceled, and the failed solve leaves no
+// cache entry behind — the next call with a live context solves cleanly.
+func TestCanceledSolveNotCached(t *testing.T) {
+	resetSolutionCache()
+	// Heterogeneous so the dense per-node LP path runs (the symmetric
+	// 2-variable LP could finish before its first poll otherwise).
+	nw := model.Homogeneous(6, 10e-6, 500e-6, 500e-6)
+	nw.Nodes[0].Budget = 11e-6
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := GroupputCtx(ctx, nw)
+	if err == nil {
+		t.Fatal("expected cancellation error")
+	}
+	if !errors.Is(err, lp.ErrCanceled) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v should wrap lp.ErrCanceled and context.Canceled", err)
+	}
+	if st := CacheStatsSnapshot(); st.Entries != 0 {
+		t.Fatalf("canceled solve was cached: %+v", st)
+	}
+	sol, err := GroupputCtx(context.Background(), nw)
+	if err != nil {
+		t.Fatalf("retry after cancellation: %v", err)
+	}
+	if sol.Throughput <= 0 {
+		t.Fatalf("retry produced degenerate solution: %+v", sol)
+	}
+}

@@ -1,6 +1,7 @@
 package oracle
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -42,7 +43,7 @@ func TestGoldenFig2PointsMatchDense(t *testing.T) {
 			if err != nil {
 				t.Fatalf("h=%v sample %d: Anyput: %v", h, s, err)
 			}
-			ad, err := anyputDense(nw)
+			ad, err := anyputDense(context.Background(), nw)
 			if err != nil {
 				t.Fatalf("h=%v sample %d: dense anyput: %v", h, s, err)
 			}
@@ -90,7 +91,7 @@ func TestGoldenSymmetricMatchesDenseSmallN(t *testing.T) {
 	for n := 2; n <= 8; n++ {
 		for _, rho := range []float64{0.01, 0.2, 0.6, 5} {
 			nw := homog(n, rho, 0.9, 1.1)
-			gs, err := groupputSymmetric(nw)
+			gs, err := groupputSymmetric(context.Background(), nw)
 			if err != nil {
 				t.Fatalf("n=%d rho=%v: symmetric: %v", n, rho, err)
 			}
@@ -101,11 +102,11 @@ func TestGoldenSymmetricMatchesDenseSmallN(t *testing.T) {
 			if !almost(gs.Throughput, gd.Throughput, goldenTol) {
 				t.Errorf("n=%d rho=%v: symmetric groupput %v, dense %v", n, rho, gs.Throughput, gd.Throughput)
 			}
-			as, err := anyputSymmetric(nw)
+			as, err := anyputSymmetric(context.Background(), nw)
 			if err != nil {
 				t.Fatalf("n=%d rho=%v: symmetric anyput: %v", n, rho, err)
 			}
-			ad, err := anyputDense(nw)
+			ad, err := anyputDense(context.Background(), nw)
 			if err != nil {
 				t.Fatalf("n=%d rho=%v: dense anyput: %v", n, rho, err)
 			}

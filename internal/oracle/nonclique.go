@@ -1,6 +1,7 @@
 package oracle
 
 import (
+	"context"
 	"fmt"
 
 	"econcast/internal/lp"
@@ -34,6 +35,15 @@ const MaxNodesExactNonClique = 16
 // The result always lies between the §IV-C bounds; the three coincide on
 // the paper's grid topologies.
 func GroupputNonCliqueExact(nw *model.Network, topo *topology.Topology) (*Solution, error) {
+	return GroupputNonCliqueExactCtx(context.Background(), nw, topo)
+}
+
+// GroupputNonCliqueExactCtx is GroupputNonCliqueExact with a
+// caller-controlled context; see GroupputCtx for the cancellation
+// contract. The configuration LP is the largest solve in the package
+// (2^N columns), so it is the one a serving deadline most needs to be
+// able to abort.
+func GroupputNonCliqueExactCtx(ctx context.Context, nw *model.Network, topo *topology.Topology) (*Solution, error) {
 	if err := nw.Validate(); err != nil {
 		return nil, err
 	}
@@ -49,11 +59,11 @@ func GroupputNonCliqueExact(nw *model.Network, topo *topology.Topology) (*Soluti
 			MaxNodesExactNonClique, n)
 	}
 	return cachedSolve(kindNonCliqueExact, nw, topo, func() (*Solution, error) {
-		return groupputNonCliqueExact(nw, topo)
+		return groupputNonCliqueExact(ctx, nw, topo)
 	})
 }
 
-func groupputNonCliqueExact(nw *model.Network, topo *topology.Topology) (*Solution, error) {
+func groupputNonCliqueExact(ctx context.Context, nw *model.Network, topo *topology.Topology) (*Solution, error) {
 	n := nw.N()
 	numS := 1 << uint(n)
 	nv := numS + n // pi_S for each S, then u_j
@@ -105,6 +115,7 @@ func groupputNonCliqueExact(nw *model.Network, topo *topology.Topology) (*Soluti
 		p.AddLE(cap, 0)
 	}
 
+	p.Ctx = ctx
 	res, err := lp.Solve(p)
 	if err != nil {
 		return nil, err

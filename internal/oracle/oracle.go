@@ -6,6 +6,7 @@
 package oracle
 
 import (
+	"context"
 	"fmt"
 
 	"econcast/internal/lp"
@@ -33,14 +34,22 @@ type Solution struct {
 // LP (see symmetric.go); the result is memoized either way, so sweeps that
 // revisit the same oracle point solve each LP once.
 func Groupput(nw *model.Network) (*Solution, error) {
+	return GroupputCtx(context.Background(), nw)
+}
+
+// GroupputCtx is Groupput with a caller-controlled context: when ctx is
+// canceled or its deadline passes, the in-flight LP aborts with an error
+// wrapping lp.ErrCanceled (and ctx's own error). Canceled solves are
+// never cached.
+func GroupputCtx(ctx context.Context, nw *model.Network) (*Solution, error) {
 	if err := nw.Validate(); err != nil {
 		return nil, err
 	}
 	return cachedSolve(kindGroupput, nw, nil, func() (*Solution, error) {
 		if nw.Homogeneous() {
-			return groupputSymmetric(nw)
+			return groupputSymmetric(ctx, nw)
 		}
-		return groupputWithNeighbors(nw, nil, true)
+		return groupputWithNeighbors(ctx, nw, nil, true)
 	})
 }
 
@@ -48,13 +57,13 @@ func Groupput(nw *model.Network) (*Solution, error) {
 // regardless of symmetry, bypassing both the cache and the reduced
 // routing. Golden tests and benchmarks pin the routed path against it.
 func groupputDense(nw *model.Network) (*Solution, error) {
-	return groupputWithNeighbors(nw, nil, true)
+	return groupputWithNeighbors(context.Background(), nw, nil, true)
 }
 
 // groupputWithNeighbors solves (P2) with constraint (12) restricted to each
 // node's neighbor set (nil topo means clique) and with constraint (11)
 // optionally dropped, covering the non-clique bounds of §IV-C.
-func groupputWithNeighbors(nw *model.Network, topo *topology.Topology, singleTransmitter bool) (*Solution, error) {
+func groupputWithNeighbors(ctx context.Context, nw *model.Network, topo *topology.Topology, singleTransmitter bool) (*Solution, error) {
 	if err := nw.Validate(); err != nil {
 		return nil, err
 	}
@@ -103,6 +112,7 @@ func groupputWithNeighbors(nw *model.Network, topo *topology.Topology, singleTra
 		}
 		p.AddLE(row, 1)
 	}
+	p.Ctx = ctx
 	res, err := lp.Solve(p)
 	if err != nil {
 		return nil, err
@@ -129,6 +139,12 @@ func groupputWithNeighbors(nw *model.Network, topo *topology.Topology, singleTra
 // Homogeneous networks are routed through the symmetry-reduced
 // three-variable LP (see symmetric.go); the result is memoized either way.
 func Anyput(nw *model.Network) (*Solution, error) {
+	return AnyputCtx(context.Background(), nw)
+}
+
+// AnyputCtx is Anyput with a caller-controlled context; see GroupputCtx
+// for the cancellation contract.
+func AnyputCtx(ctx context.Context, nw *model.Network) (*Solution, error) {
 	if err := nw.Validate(); err != nil {
 		return nil, err
 	}
@@ -137,16 +153,16 @@ func Anyput(nw *model.Network) (*Solution, error) {
 	}
 	return cachedSolve(kindAnyput, nw, nil, func() (*Solution, error) {
 		if nw.Homogeneous() {
-			return anyputSymmetric(nw)
+			return anyputSymmetric(ctx, nw)
 		}
-		return anyputDense(nw)
+		return anyputDense(ctx, nw)
 	})
 }
 
 // anyputDense solves (P3) through the full (n²+n)-variable per-node LP
 // regardless of symmetry, bypassing both the cache and the reduced
 // routing. Golden tests and benchmarks pin the routed path against it.
-func anyputDense(nw *model.Network) (*Solution, error) {
+func anyputDense(ctx context.Context, nw *model.Network) (*Solution, error) {
 	n := nw.N()
 	// Variables: alpha (n), beta (n), chi (n*(n-1)) indexed by chiIdx.
 	nChi := n * (n - 1)
@@ -201,6 +217,7 @@ func anyputDense(nw *model.Network) (*Solution, error) {
 	}
 	p.AddLE(row, 1)
 
+	p.Ctx = ctx
 	res, err := lp.Solve(p)
 	if err != nil {
 		return nil, err
@@ -222,14 +239,21 @@ func anyputDense(nw *model.Network) (*Solution, error) {
 // (11), allowing spatially overlapping transmissions. When the two agree
 // the exact oracle T*_nc is known.
 func GroupputNonCliqueBounds(nw *model.Network, topo *topology.Topology) (lower, upper *Solution, err error) {
+	return GroupputNonCliqueBoundsCtx(context.Background(), nw, topo)
+}
+
+// GroupputNonCliqueBoundsCtx is GroupputNonCliqueBounds with a
+// caller-controlled context; see GroupputCtx for the cancellation
+// contract.
+func GroupputNonCliqueBoundsCtx(ctx context.Context, nw *model.Network, topo *topology.Topology) (lower, upper *Solution, err error) {
 	lower, err = cachedSolve(kindGroupput, nw, topo, func() (*Solution, error) {
-		return groupputWithNeighbors(nw, topo, true)
+		return groupputWithNeighbors(ctx, nw, topo, true)
 	})
 	if err != nil {
 		return nil, nil, err
 	}
 	upper, err = cachedSolve(kindGroupputUpper, nw, topo, func() (*Solution, error) {
-		return groupputWithNeighbors(nw, topo, false)
+		return groupputWithNeighbors(ctx, nw, topo, false)
 	})
 	if err != nil {
 		return nil, nil, err

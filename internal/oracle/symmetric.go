@@ -1,6 +1,7 @@
 package oracle
 
 import (
+	"context"
 	"fmt"
 
 	"econcast/internal/lp"
@@ -27,7 +28,7 @@ import (
 //	     a + b <= 1             (10)
 //	     n*b <= 1               (11)
 //	     a - (n-1)*b <= 0       (12)
-func groupputSymmetric(nw *model.Network) (*Solution, error) {
+func groupputSymmetric(ctx context.Context, nw *model.Network) (*Solution, error) {
 	n := nw.N()
 	node := nw.Nodes[0]
 	p := lp.NewProblem(lp.Maximize, 2)
@@ -36,6 +37,7 @@ func groupputSymmetric(nw *model.Network) (*Solution, error) {
 	p.AddLE([]float64{1, 1}, 1)
 	p.AddLE([]float64{0, float64(n)}, 1)
 	p.AddLE([]float64{1, -float64(n - 1)}, 0)
+	p.Ctx = ctx
 	res, err := lp.Solve(p)
 	if err != nil {
 		return nil, err
@@ -59,7 +61,7 @@ func groupputSymmetric(nw *model.Network) (*Solution, error) {
 //	     n*b <= 1               (11)
 //	     b - (n-1)*c <= 0       (14)
 //	     a - (n-1)*c  = 0       (15)
-func anyputSymmetric(nw *model.Network) (*Solution, error) {
+func anyputSymmetric(ctx context.Context, nw *model.Network) (*Solution, error) {
 	n := nw.N()
 	node := nw.Nodes[0]
 	p := lp.NewProblem(lp.Maximize, 3)
@@ -69,6 +71,7 @@ func anyputSymmetric(nw *model.Network) (*Solution, error) {
 	p.AddLE([]float64{0, float64(n), 0}, 1)
 	p.AddLE([]float64{0, 1, -float64(n - 1)}, 0)
 	p.AddEQ([]float64{1, 0, -float64(n - 1)}, 0)
+	p.Ctx = ctx
 	res, err := lp.Solve(p)
 	if err != nil {
 		return nil, err

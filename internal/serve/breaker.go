@@ -1,0 +1,130 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// breaker is a circuit breaker around the LP solver. It exists so a
+// sick solver (numerical pathology, injected stall, resource
+// exhaustion) degrades the service instead of wedging it: while the
+// breaker is open every request takes the degrade ladder (cache, then
+// closed form) and answers immediately.
+//
+// States: closed (normal), open (solves forbidden until the cool-down
+// elapses), half-open (exactly one probe solve in flight; its outcome
+// closes or re-opens the circuit). Time is injected as a monotonic
+// nanosecond clock so the chaos harness can drive the state machine
+// deterministically.
+type breaker struct {
+	mu sync.Mutex
+
+	now        func() int64 // monotonic nanos
+	threshold  int          // consecutive failures that trip the breaker
+	resetAfter int64        // nanos the circuit stays open before probing
+
+	state    breakerState
+	fails    int   // consecutive failures while closed
+	openedAt int64 // when the circuit last opened
+	probing  bool  // half-open: a probe is in flight
+
+	trips uint64 // closed->open transitions, for /statz
+}
+
+type breakerState uint8
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+const (
+	defaultBreakerThreshold = 3
+	defaultBreakerReset     = 500 * time.Millisecond
+)
+
+func newBreaker(threshold int, resetAfter time.Duration, now func() int64) *breaker {
+	if threshold <= 0 {
+		threshold = defaultBreakerThreshold
+	}
+	if resetAfter <= 0 {
+		resetAfter = defaultBreakerReset
+	}
+	return &breaker{now: now, threshold: threshold, resetAfter: resetAfter.Nanoseconds()}
+}
+
+// allow reports whether a real solve may start now. In the open state
+// it returns false until the cool-down elapses, then admits exactly one
+// probe (transitioning to half-open); in half-open it admits nothing
+// while the probe is outstanding.
+func (b *breaker) allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		if b.now()-b.openedAt < b.resetAfter {
+			return false
+		}
+		b.state = breakerHalfOpen
+		b.probing = true
+		return true
+	default: // half-open
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// success records a completed solve: it closes the circuit from
+// half-open and clears the failure run.
+func (b *breaker) success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = breakerClosed
+	b.fails = 0
+	b.probing = false
+}
+
+// failure records a failed or timed-out solve. A failed half-open probe
+// re-opens the circuit immediately; a run of threshold consecutive
+// failures trips a closed circuit.
+func (b *breaker) failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerHalfOpen:
+		b.state = breakerOpen
+		b.openedAt = b.now()
+		b.probing = false
+	case breakerClosed:
+		b.fails++
+		if b.fails >= b.threshold {
+			b.state = breakerOpen
+			b.openedAt = b.now()
+			b.fails = 0
+			b.trips++
+		}
+	}
+	// Already open: nothing to record; the failure came from a probe
+	// raced out by a concurrent trip, and the cool-down is running.
+}
+
+// snapshot returns the state name and trip count for /statz.
+func (b *breaker) snapshot() (state string, trips uint64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerOpen:
+		state = "open"
+	case breakerHalfOpen:
+		state = "half-open"
+	default:
+		state = "closed"
+	}
+	return state, b.trips
+}

@@ -1,0 +1,182 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"econcast/internal/rng"
+)
+
+// jitterDomain namespaces the client's backoff-jitter stream.
+const jitterDomain uint64 = 0xba0ff
+
+// ClientConfig configures a Client.
+type ClientConfig struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:9090".
+	BaseURL string
+	// Attempts is the total try budget including the first (default 4).
+	Attempts int
+	// PerTry is the per-attempt timeout (default 2s).
+	PerTry time.Duration
+	// BaseBackoff seeds the exponential backoff: attempt k waits
+	// ~BaseBackoff * 2^k, jittered (default 50ms).
+	BaseBackoff time.Duration
+	// Seed drives the deterministic backoff jitter.
+	Seed uint64
+	// HTTPClient optionally overrides the transport (tests).
+	HTTPClient *http.Client
+}
+
+// Client is the retrying client for oracled: per-attempt timeouts,
+// retry on transport errors and 429/503, Retry-After honored when the
+// server sends one, exponential backoff with deterministic jitter
+// otherwise. Jitter draws come from DeriveSeed(seed, jitterDomain,
+// attempt), so a chaos run's client behavior replays exactly.
+//
+//lint:owner goroutine one request loop owns a Client; its attempt counters are unsynchronized
+type Client struct {
+	cfg ClientConfig
+	hc  *http.Client
+
+	attempts uint64 // total HTTP attempts, for harness assertions
+	retried  uint64 // attempts beyond the first
+}
+
+// ErrExhausted is returned when every attempt failed or was refused.
+var ErrExhausted = errors.New("serve: retry budget exhausted")
+
+func NewClient(cfg ClientConfig) *Client {
+	if cfg.Attempts <= 0 {
+		cfg.Attempts = 4
+	}
+	if cfg.PerTry <= 0 {
+		cfg.PerTry = 2 * time.Second
+	}
+	if cfg.BaseBackoff <= 0 {
+		cfg.BaseBackoff = 50 * time.Millisecond
+	}
+	hc := cfg.HTTPClient
+	if hc == nil {
+		hc = &http.Client{}
+	}
+	return &Client{cfg: cfg, hc: hc}
+}
+
+// Solve submits req, retrying transient refusals until ctx or the
+// attempt budget runs out. The returned error wraps ErrExhausted when
+// the budget died first.
+func (c *Client) Solve(ctx context.Context, req *Request) (*Response, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, fmt.Errorf("serve: marshal request: %w", err)
+	}
+	var lastErr error
+	for attempt := 0; attempt < c.cfg.Attempts; attempt++ {
+		if attempt > 0 {
+			if err := c.sleep(ctx, c.backoff(attempt, lastErr)); err != nil {
+				return nil, err
+			}
+			c.retried++
+		}
+		resp, retryable, err := c.try(ctx, body)
+		if err == nil {
+			return resp, nil
+		}
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		if !retryable {
+			return nil, err
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("%w after %d attempts: %w", ErrExhausted, c.cfg.Attempts, lastErr)
+}
+
+// retryAfterError carries a server-directed backoff out of one attempt.
+type retryAfterError struct {
+	status int
+	after  time.Duration
+}
+
+func (e *retryAfterError) Error() string {
+	return "serve: server refused with status " + strconv.Itoa(e.status)
+}
+
+// try runs one attempt under its own deadline. retryable reports
+// whether the failure is worth another try.
+func (c *Client) try(ctx context.Context, body []byte) (_ *Response, retryable bool, _ error) {
+	c.attempts++
+	tctx, cancel := context.WithTimeout(ctx, c.cfg.PerTry)
+	defer cancel()
+	hreq, err := http.NewRequestWithContext(tctx, http.MethodPost, c.cfg.BaseURL+"/v1/solve", bytes.NewReader(body))
+	if err != nil {
+		return nil, false, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	hresp, err := c.hc.Do(hreq)
+	if err != nil {
+		return nil, true, err // transport errors (refused, reset, timeout) are retryable
+	}
+	defer func() { _ = hresp.Body.Close() }()
+	switch hresp.StatusCode {
+	case http.StatusOK:
+		var out Response
+		if err := json.NewDecoder(hresp.Body).Decode(&out); err != nil {
+			return nil, true, fmt.Errorf("serve: decode response: %w", err)
+		}
+		return &out, false, nil
+	case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+		_, _ = io.Copy(io.Discard, hresp.Body)
+		after := time.Duration(0)
+		if v := hresp.Header.Get("Retry-After"); v != "" {
+			if secs, err := strconv.Atoi(v); err == nil && secs > 0 {
+				after = time.Duration(secs) * time.Second
+			}
+		}
+		return nil, true, &retryAfterError{status: hresp.StatusCode, after: after}
+	default:
+		b, _ := io.ReadAll(io.LimitReader(hresp.Body, 1<<12))
+		return nil, false, fmt.Errorf("serve: status %d: %s", hresp.StatusCode, bytes.TrimSpace(b))
+	}
+}
+
+// backoff computes the wait before the given (1-based) retry attempt:
+// the server's Retry-After if it sent one, else exponential growth from
+// BaseBackoff with a deterministic jitter in [0.5, 1.5).
+func (c *Client) backoff(attempt int, lastErr error) time.Duration {
+	var ra *retryAfterError
+	if errors.As(lastErr, &ra) && ra.after > 0 {
+		return ra.after
+	}
+	d := c.cfg.BaseBackoff << (attempt - 1)
+	u := float64(rng.DeriveSeed(c.cfg.Seed, jitterDomain, uint64(attempt))>>11) / (1 << 53)
+	return time.Duration(float64(d) * (0.5 + u))
+}
+
+// sleep waits d or until ctx dies — the client's one licensed select.
+func (c *Client) sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Attempts reports total HTTP attempts made; Retried reports how many
+// were retries.
+func (c *Client) Attempts() uint64 { return c.attempts }
+func (c *Client) Retried() uint64  { return c.retried }

@@ -1,0 +1,307 @@
+package serve
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// diskCache is the crash-safe persistent solution cache: an append-only
+// log of checksummed records mirrored by an in-memory map. A restarted
+// oracled replays the log and skips warm-up entirely; a corrupted log
+// (truncated tail, flipped bytes, a record half-written when the host
+// died) recovers to a working, possibly smaller, cache — never a panic
+// and never a silently wrong hit, because every record must round-trip
+// its CRC before it is believed.
+//
+// Record framing, little-endian:
+//
+//	magic "ECOR" | u32 keyLen | u32 valLen | key | val | u32 crc
+//
+// with the CRC (IEEE) covering keyLen..val. Recovery scans for the
+// magic, validates lengths and CRC, and on any mismatch resynchronizes
+// at the next magic occurrence — so one bad record costs one record,
+// not the rest of the file. If recovery dropped anything, the log is
+// rewritten compacted through a temp file + atomic rename before the
+// append handle opens, so the damage is excised exactly once.
+//
+// With dir == "" the cache is memory-only: same API, no persistence —
+// the degrade ladder and singleflight still get their lookup table.
+type diskCache struct {
+	mu   sync.Mutex
+	m    map[string][]byte
+	keys []string // insertion order; Compact and tests iterate this, never the map
+	f    *os.File // nil when memory-only
+	path string
+
+	loaded  int // records recovered at open
+	skipped int // corrupt records dropped at open
+	puts    int
+	hits    uint64
+	misses  uint64
+}
+
+var diskMagic = [4]byte{'E', 'C', 'O', 'R'}
+
+const (
+	cacheFileName = "oracle.cache"
+	maxKeyLen     = 1 << 20
+	maxValLen     = 1 << 26
+)
+
+// openDiskCache opens (creating if needed) the cache under dir, running
+// corruption-tolerant recovery first. dir == "" yields a memory-only
+// cache.
+func openDiskCache(dir string) (*diskCache, error) {
+	c := &diskCache{m: make(map[string][]byte)}
+	if dir == "" {
+		return c, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("serve: cache dir: %w", err)
+	}
+	c.path = filepath.Join(dir, cacheFileName)
+	raw, err := os.ReadFile(c.path)
+	if err != nil && !errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("serve: cache read: %w", err)
+	}
+	c.recover(raw)
+	if c.skipped > 0 {
+		// Excise the damage once, atomically: full rewrite to a temp
+		// file in the same directory, fsync, rename over the log.
+		if err := c.rewrite(); err != nil {
+			return nil, err
+		}
+	}
+	f, err := os.OpenFile(c.path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("serve: cache open: %w", err)
+	}
+	c.f = f
+	return c, nil
+}
+
+// recover replays raw into the in-memory map, skipping anything that
+// fails framing or checksum validation and resynchronizing at the next
+// magic marker.
+func (c *diskCache) recover(raw []byte) {
+	off := 0
+	for off < len(raw) {
+		i := indexMagic(raw[off:])
+		if i < 0 {
+			if len(raw)-off > 0 {
+				c.skipped++ // trailing garbage with no further marker
+			}
+			return
+		}
+		if i > 0 {
+			c.skipped++ // garbage before the marker
+		}
+		off += i
+		rec := raw[off:]
+		key, val, n, ok := parseRecord(rec)
+		if !ok {
+			// Bad or truncated record: resync just past this marker.
+			c.skipped++
+			off += len(diskMagic)
+			continue
+		}
+		c.put(string(key), append([]byte(nil), val...))
+		c.loaded++
+		off += n
+	}
+}
+
+// parseRecord parses one record starting at the magic. ok is false on
+// truncation, implausible lengths, or checksum mismatch.
+func parseRecord(b []byte) (key, val []byte, size int, ok bool) {
+	const hdr = 4 + 4 + 4 // magic + keyLen + valLen
+	if len(b) < hdr {
+		return nil, nil, 0, false
+	}
+	keyLen := int(binary.LittleEndian.Uint32(b[4:]))
+	valLen := int(binary.LittleEndian.Uint32(b[8:]))
+	if keyLen <= 0 || keyLen > maxKeyLen || valLen < 0 || valLen > maxValLen {
+		return nil, nil, 0, false
+	}
+	size = hdr + keyLen + valLen + 4
+	if len(b) < size {
+		return nil, nil, 0, false
+	}
+	body := b[4 : hdr+keyLen+valLen]
+	want := binary.LittleEndian.Uint32(b[size-4:])
+	if crc32.ChecksumIEEE(body) != want {
+		return nil, nil, 0, false
+	}
+	return b[hdr : hdr+keyLen], b[hdr+keyLen : hdr+keyLen+valLen], size, true
+}
+
+// indexMagic returns the offset of the first magic occurrence in b, or
+// -1.
+func indexMagic(b []byte) int {
+	for i := 0; i+len(diskMagic) <= len(b); i++ {
+		if b[i] == diskMagic[0] && b[i+1] == diskMagic[1] &&
+			b[i+2] == diskMagic[2] && b[i+3] == diskMagic[3] {
+			return i
+		}
+	}
+	return -1
+}
+
+// put installs key -> val in the memory map, tracking insertion order
+// for deterministic compaction.
+func (c *diskCache) put(key string, val []byte) {
+	if _, ok := c.m[key]; !ok {
+		c.keys = append(c.keys, key)
+	}
+	c.m[key] = val
+}
+
+// encodeRecord frames one record.
+func encodeRecord(key string, val []byte) []byte {
+	buf := make([]byte, 0, 16+len(key)+len(val))
+	buf = append(buf, diskMagic[:]...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(key)))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(val)))
+	buf = append(buf, key...)
+	buf = append(buf, val...)
+	crc := crc32.ChecksumIEEE(buf[4:])
+	return binary.LittleEndian.AppendUint32(buf, crc)
+}
+
+// rewrite writes the full in-memory contents to a temp file and renames
+// it over the log: the atomic, crash-safe compaction path.
+func (c *diskCache) rewrite() error {
+	tmp := c.path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("serve: cache rewrite: %w", err)
+	}
+	for _, k := range c.keys {
+		if _, err := f.Write(encodeRecord(k, c.m[k])); err != nil {
+			_ = f.Close()
+			return fmt.Errorf("serve: cache rewrite: %w", err)
+		}
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		return fmt.Errorf("serve: cache rewrite sync: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("serve: cache rewrite close: %w", err)
+	}
+	if err := os.Rename(tmp, c.path); err != nil {
+		return fmt.Errorf("serve: cache rewrite rename: %w", err)
+	}
+	return nil
+}
+
+// Get returns the cached value for key, or nil.
+func (c *diskCache) Get(key string) []byte {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	v, ok := c.m[key]
+	if !ok {
+		c.misses++
+		return nil
+	}
+	c.hits++
+	return v
+}
+
+// Put stores key -> val in memory and appends the record to the log.
+// The append either lands whole or is excised by the next open's
+// recovery; the in-memory copy is installed first, so a failed disk
+// write degrades persistence, not correctness.
+func (c *diskCache) Put(key string, val []byte) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.m[key]; ok {
+		return nil // immutable values: first write wins, no duplicate records
+	}
+	c.put(key, val)
+	c.puts++
+	if c.f == nil {
+		return nil
+	}
+	if _, err := c.f.Write(encodeRecord(key, val)); err != nil {
+		return fmt.Errorf("serve: cache append: %w", err)
+	}
+	return nil
+}
+
+// Compact rewrites the log atomically (temp + rename) and reopens the
+// append handle. Useful after recovery or for tests; the append-only
+// log never grows duplicates, so compaction is about excising corruption
+// rather than garbage collection.
+func (c *diskCache) Compact() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.f == nil {
+		return nil
+	}
+	if err := c.f.Close(); err != nil {
+		return fmt.Errorf("serve: cache close for compact: %w", err)
+	}
+	if err := c.rewrite(); err != nil {
+		return err
+	}
+	f, err := os.OpenFile(c.path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("serve: cache reopen: %w", err)
+	}
+	c.f = f
+	return nil
+}
+
+// Sync flushes the log to stable storage.
+func (c *diskCache) Sync() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.f == nil {
+		return nil
+	}
+	return c.f.Sync()
+}
+
+// Close syncs and closes the log. The cache remains usable memory-only.
+func (c *diskCache) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.f == nil {
+		return nil
+	}
+	err := c.f.Sync()
+	if cerr := c.f.Close(); err == nil {
+		err = cerr
+	}
+	c.f = nil
+	return err
+}
+
+// diskCacheStats is the /statz projection of the cache.
+type diskCacheStats struct {
+	Entries int    `json:"entries"`
+	Loaded  int    `json:"loaded"`
+	Skipped int    `json:"skipped"`
+	Puts    int    `json:"puts"`
+	Hits    uint64 `json:"hits"`
+	Misses  uint64 `json:"misses"`
+}
+
+func (c *diskCache) stats() diskCacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return diskCacheStats{
+		Entries: len(c.keys),
+		Loaded:  c.loaded,
+		Skipped: c.skipped,
+		Puts:    c.puts,
+		Hits:    c.hits,
+		Misses:  c.misses,
+	}
+}

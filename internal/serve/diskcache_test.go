@@ -1,0 +1,289 @@
+package serve
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func openTestCache(t *testing.T, dir string) *diskCache {
+	t.Helper()
+	c, err := openDiskCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = c.Close() })
+	return c
+}
+
+func cachePath(dir string) string { return filepath.Join(dir, cacheFileName) }
+
+func TestDiskCachePersistsAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	c := openTestCache(t, dir)
+	if err := c.Put("alpha", []byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put("beta", []byte("two")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	c2 := openTestCache(t, dir)
+	if got := c2.Get("alpha"); string(got) != "one" {
+		t.Fatalf("alpha = %q", got)
+	}
+	if got := c2.Get("beta"); string(got) != "two" {
+		t.Fatalf("beta = %q", got)
+	}
+	st := c2.stats()
+	if st.Loaded != 2 || st.Skipped != 0 {
+		t.Fatalf("reopen stats: %+v", st)
+	}
+}
+
+func TestDiskCacheMemoryOnly(t *testing.T) {
+	c := openTestCache(t, "")
+	if err := c.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Get("k"); string(got) != "v" {
+		t.Fatalf("memory-only get = %q", got)
+	}
+	if err := c.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Sync(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDiskCacheTruncatedTail chops the log mid-record — the classic
+// power-loss-during-append shape — and requires the cache to come back
+// with every complete record intact and the stub dropped.
+func TestDiskCacheTruncatedTail(t *testing.T) {
+	dir := t.TempDir()
+	c := openTestCache(t, dir)
+	for _, kv := range [][2]string{{"a", "AAAA"}, {"b", "BBBB"}, {"c", "CCCC"}} {
+		if err := c.Put(kv[0], []byte(kv[1])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	raw, err := os.ReadFile(cachePath(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	recLen := len(encodeRecord("a", []byte("AAAA")))
+	if err := os.WriteFile(cachePath(dir), raw[:2*recLen+recLen/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	c2 := openTestCache(t, dir)
+	if got := c2.Get("a"); string(got) != "AAAA" {
+		t.Fatalf("a after truncation = %q", got)
+	}
+	if got := c2.Get("b"); string(got) != "BBBB" {
+		t.Fatalf("b after truncation = %q", got)
+	}
+	if got := c2.Get("c"); got != nil {
+		t.Fatalf("truncated record resurrected: %q", got)
+	}
+	st := c2.stats()
+	if st.Loaded != 2 || st.Skipped == 0 {
+		t.Fatalf("post-truncation stats: %+v", st)
+	}
+	// Recovery must have rewritten the log clean: a third open sees no
+	// corruption at all.
+	if err := c2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	c3 := openTestCache(t, dir)
+	if st := c3.stats(); st.Loaded != 2 || st.Skipped != 0 {
+		t.Fatalf("post-rewrite stats: %+v", st)
+	}
+}
+
+// TestDiskCacheFlippedChecksumByte flips one byte inside a middle
+// record and requires exactly that record to vanish while its neighbors
+// survive — corruption is contained, not contagious.
+func TestDiskCacheFlippedChecksumByte(t *testing.T) {
+	dir := t.TempDir()
+	c := openTestCache(t, dir)
+	for _, kv := range [][2]string{{"a", "AAAA"}, {"b", "BBBB"}, {"c", "CCCC"}} {
+		if err := c.Put(kv[0], []byte(kv[1])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	raw, err := os.ReadFile(cachePath(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	recLen := len(encodeRecord("a", []byte("AAAA")))
+	raw[recLen+recLen-3] ^= 0xff // a CRC byte of record "b"
+	if err := os.WriteFile(cachePath(dir), raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	c2 := openTestCache(t, dir)
+	if got := c2.Get("a"); string(got) != "AAAA" {
+		t.Fatalf("a after flip = %q", got)
+	}
+	if got := c2.Get("b"); got != nil {
+		t.Fatalf("corrupt record served: %q", got)
+	}
+	if got := c2.Get("c"); string(got) != "CCCC" {
+		t.Fatalf("c after flip = %q", got)
+	}
+	if st := c2.stats(); st.Loaded != 2 || st.Skipped == 0 {
+		t.Fatalf("post-flip stats: %+v", st)
+	}
+}
+
+// TestDiskCacheMidWriteKill simulates dying inside Put: a complete log
+// plus the first half of a new record (header and part of the key, no
+// CRC). Reopen must keep everything durable and drop the stub.
+func TestDiskCacheMidWriteKill(t *testing.T) {
+	dir := t.TempDir()
+	c := openTestCache(t, dir)
+	if err := c.Put("solid", []byte("SOLID")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	partial := encodeRecord("doomed", []byte("DOOMED"))
+	f, err := os.OpenFile(cachePath(dir), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(partial[:len(partial)/2]); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	c2 := openTestCache(t, dir)
+	if got := c2.Get("solid"); string(got) != "SOLID" {
+		t.Fatalf("solid after mid-write kill = %q", got)
+	}
+	if got := c2.Get("doomed"); got != nil {
+		t.Fatalf("half-written record served: %q", got)
+	}
+	if st := c2.stats(); st.Loaded != 1 || st.Skipped == 0 {
+		t.Fatalf("post-kill stats: %+v", st)
+	}
+}
+
+func TestDiskCacheGarbagePrefix(t *testing.T) {
+	dir := t.TempDir()
+	c := openTestCache(t, dir)
+	if err := c.Put("k", []byte("V")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(cachePath(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	garbled := append([]byte("not a record at all "), raw...)
+	if err := os.WriteFile(cachePath(dir), garbled, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c2 := openTestCache(t, dir)
+	if got := c2.Get("k"); string(got) != "V" {
+		t.Fatalf("k behind garbage prefix = %q", got)
+	}
+}
+
+// TestSolverRecoveryGoldenEqual is the end-to-end crash-recovery
+// contract: solve, corrupt the persistent cache, restart — the re-solved
+// answer must be bit-for-bit the original, and the rebuilt cache must
+// serve it as a hit on the next restart.
+func TestSolverRecoveryGoldenEqual(t *testing.T) {
+	dir := t.TempDir()
+	req := cliqueReq(ObjGroupput, 7)
+
+	s1, err := NewSolver(SolverConfig{CacheDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden, err := s1.Solve(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if golden.Provenance != ProvExact {
+		t.Fatalf("first solve provenance %q", golden.Provenance)
+	}
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Corrupt the one record on disk: flip a payload byte.
+	raw, err := os.ReadFile(cachePath(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0x01
+	if err := os.WriteFile(cachePath(dir), raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart 1: the corrupt record is dropped, the solver re-solves,
+	// and the answer matches the golden bits exactly.
+	s2, err := NewSolver(SolverConfig{CacheDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := s2.disk.stats(); st.Skipped == 0 || st.Loaded != 0 {
+		t.Fatalf("recovery stats: %+v", st)
+	}
+	resolved, err := s2.Solve(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resolved.Provenance != ProvExact {
+		t.Fatalf("post-corruption provenance %q", resolved.Provenance)
+	}
+	if resolved.Throughput != golden.Throughput ||
+		!reflect.DeepEqual(resolved.Alpha, golden.Alpha) ||
+		!reflect.DeepEqual(resolved.Beta, golden.Beta) {
+		t.Fatal("re-solved answer differs from golden bits")
+	}
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart 2: the rebuilt record serves as a cache hit, still the
+	// same bits.
+	s3, err := NewSolver(SolverConfig{CacheDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = s3.Close() }()
+	cached, err := s3.Solve(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached.Provenance != ProvCached {
+		t.Fatalf("post-recovery provenance %q", cached.Provenance)
+	}
+	if cached.Throughput != golden.Throughput || !reflect.DeepEqual(cached.Alpha, golden.Alpha) {
+		t.Fatal("recovered cache hit differs from golden bits")
+	}
+}

@@ -1,0 +1,202 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"econcast/internal/faults"
+	"econcast/internal/oracle"
+)
+
+// Config configures a Server.
+type Config struct {
+	// Solver executes admitted requests; required.
+	Solver *Solver
+	// MaxInflight bounds concurrent solves (default 16); MaxQueue
+	// bounds arrivals waiting for a slot (default 4x inflight).
+	MaxInflight int
+	MaxQueue    int
+	// DefaultTimeout is the per-request deadline applied when the
+	// request does not carry a tighter one (default 10s).
+	DefaultTimeout time.Duration
+	// Seed drives the deterministic shed draws (and nothing else).
+	Seed uint64
+	// Power optionally couples admission to a fault schedule: during a
+	// brownout window the server sheds harder, mimicking a control node
+	// whose own harvested budget is collapsing. The zero NodeView means
+	// full power forever.
+	Power faults.NodeView
+}
+
+// Server is the HTTP face of the service:
+//
+//	POST /v1/solve  — answer one Request (JSON in, JSON out)
+//	GET  /healthz   — liveness
+//	GET  /statz     — counters: admission, provenance, breaker, caches
+//
+// Every arrival passes the admission gate before any work happens:
+// deterministically shed and queue-full arrivals get 429 + Retry-After
+// without touching the solver, so overload degrades to fast, replayable
+// refusals instead of timeouts.
+type Server struct {
+	cfg   Config
+	gate  *gate
+	start time.Time
+
+	requests atomic.Uint64
+	oks      atomic.Uint64
+	bads     atomic.Uint64
+	retries  atomic.Uint64 // 429s issued
+	fails    atomic.Uint64 // 5xx issued
+}
+
+// NewServer assembles a Server; it does not listen (callers wire it
+// into an http.Server or a test mux).
+func NewServer(cfg Config) *Server {
+	if cfg.DefaultTimeout <= 0 {
+		cfg.DefaultTimeout = 10 * time.Second
+	}
+	return &Server{
+		cfg:   cfg,
+		gate:  newGate(cfg.Seed, cfg.MaxInflight, cfg.MaxQueue),
+		start: time.Now(),
+	}
+}
+
+// Handler returns the routed http.Handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/solve", s.handleSolve)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /statz", s.handleStatz)
+	return mux
+}
+
+// SetShed overrides the shed fraction directly (operators and tests);
+// the brownout coupling still takes the max of this floor and the
+// schedule's demand at each arrival.
+func (s *Server) SetShed(frac float64) {
+	s.gate.setShed(frac)
+}
+
+// refreshShed recomputes the shed level from the brownout schedule.
+// During an outage window the harvest scale drops below 1 and the
+// server sheds the complementary fraction: at scale 0.25 it refuses
+// ~75% of arrivals, keeping the surviving load proportional to the
+// energy actually available.
+func (s *Server) refreshShed() {
+	if !s.cfg.Power.HasBrownout() {
+		return
+	}
+	elapsed := time.Since(s.start).Seconds()
+	scale := s.cfg.Power.HarvestScale(elapsed)
+	want := 1 - scale
+	if want < 0 {
+		want = 0
+	}
+	if s.gate.shedLevel() < want {
+		s.gate.setShed(want)
+	} else if scale >= 1 && s.gate.shedLevel() > 0 {
+		s.gate.setShed(0) // window over: recover
+	}
+}
+
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	s.refreshShed()
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.DefaultTimeout)
+	defer cancel()
+
+	switch s.gate.admit(ctx) {
+	case admitOK:
+		defer s.gate.release()
+	case admitShed, admitBusy:
+		s.retries.Add(1)
+		w.Header().Set("Retry-After", strconv.Itoa(s.gate.retryAfterSeconds()))
+		writeJSON(w, http.StatusTooManyRequests, errorBody{Error: "overloaded"})
+		return
+	default: // admitGone
+		s.fails.Add(1)
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: "deadline exceeded in queue"})
+		return
+	}
+
+	var req Request
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.bads.Add(1)
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "malformed request: " + err.Error()})
+		return
+	}
+	resp, err := s.cfg.Solver.Solve(ctx, &req)
+	switch {
+	case err == nil:
+		s.oks.Add(1)
+		writeJSON(w, http.StatusOK, resp)
+	case errors.Is(err, ErrBadRequest):
+		s.bads.Add(1)
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+	default:
+		// Only caller-context death reaches here: the degrade ladder
+		// absorbs every infrastructure failure.
+		s.fails.Add(1)
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// Stats is the /statz document.
+type Stats struct {
+	UptimeSeconds float64           `json:"uptime_seconds"`
+	Requests      uint64            `json:"requests"`
+	OK            uint64            `json:"ok"`
+	BadRequests   uint64            `json:"bad_requests"`
+	Overloaded    uint64            `json:"overloaded"`
+	Failures      uint64            `json:"failures"`
+	ShedLevel     float64           `json:"shed_level"`
+	Sheds         uint64            `json:"sheds"`
+	QueueRejects  uint64            `json:"queue_rejects"`
+	Solver        SolverStats       `json:"solver"`
+	MemoCache     oracle.CacheStats `json:"memo_cache"`
+}
+
+// StatsSnapshot collects the full counter document.
+func (s *Server) StatsSnapshot() Stats {
+	return Stats{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Requests:      s.requests.Load(),
+		OK:            s.oks.Load(),
+		BadRequests:   s.bads.Load(),
+		Overloaded:    s.retries.Load(),
+		Failures:      s.fails.Load(),
+		ShedLevel:     s.gate.shedLevel(),
+		Sheds:         s.gate.sheds.Load(),
+		QueueRejects:  s.gate.rejects.Load(),
+		Solver:        s.cfg.Solver.Stats(),
+		MemoCache:     oracle.CacheStatsSnapshot(),
+	}
+}
+
+func (s *Server) handleStatz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.StatsSnapshot())
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	// An encode failure here means the client hung up; nothing to do.
+	_ = enc.Encode(v)
+}

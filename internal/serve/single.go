@@ -1,0 +1,86 @@
+package serve
+
+import (
+	"context"
+	"sync"
+)
+
+// flightGroup is a singleflight: concurrent requests for the same
+// canonical key coalesce onto one solve, and every follower receives a
+// deep copy of the leader's answer. Under heavy traffic the request
+// population is highly repetitive (every node of a fleet asks about the
+// same fleet), so dedup converts an O(clients) solver load into
+// O(distinct fleets).
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flightCall
+
+	dups uint64 // coalesced followers, for /statz
+}
+
+// flightCall is one in-flight solve. done is receive-only by
+// construction: only the leader holds the bidirectional channel (as a
+// local) and closes it once resp/err are published.
+type flightCall struct {
+	done <-chan struct{}
+	resp *Response
+	err  error
+}
+
+// do runs fn once per key, coalescing concurrent callers. The second
+// return reports whether this caller was a follower (shared the
+// leader's answer). A follower whose own ctx expires while waiting
+// returns the ctx error without disturbing the leader.
+func (g *flightGroup) do(ctx context.Context, key string, fn func() (*Response, error)) (*Response, bool, error) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = make(map[string]*flightCall)
+	}
+	if call, ok := g.m[key]; ok {
+		g.dups++
+		g.mu.Unlock()
+		return g.wait(ctx, call)
+	}
+	ch := make(chan struct{})
+	call := &flightCall{done: ch}
+	g.m[key] = call
+	g.mu.Unlock()
+
+	call.resp, call.err = fn()
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	close(ch)
+	if call.resp == nil {
+		return nil, false, call.err
+	}
+	return call.resp, false, call.err
+}
+
+// wait blocks a follower on the leader's completion or its own
+// context, whichever ends first.
+func (g *flightGroup) wait(ctx context.Context, call *flightCall) (*Response, bool, error) {
+	select {
+	case <-call.done:
+		if call.resp == nil {
+			return nil, true, call.err
+		}
+		return call.resp.clone(), true, call.err
+	case <-ctx.Done():
+		return nil, true, ctx.Err()
+	}
+}
+
+// inFlight reports the number of keys currently being solved.
+func (g *flightGroup) inFlight() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.m)
+}
+
+// dupCount returns the number of coalesced followers so far.
+func (g *flightGroup) dupCount() uint64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.dups
+}

@@ -1,0 +1,259 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"econcast/internal/oracle"
+)
+
+// SolverConfig configures a Solver.
+type SolverConfig struct {
+	// CacheDir holds the persistent solution cache; "" keeps the cache
+	// memory-only.
+	CacheDir string
+	// MaxSolve is the hard per-solve wall budget enforced by the
+	// watchdog (default 5s). Request deadlines can only tighten it.
+	MaxSolve time.Duration
+	// BreakerThreshold consecutive solve failures trip the breaker
+	// (default 3); BreakerReset is the open-state cool-down (default
+	// 500ms).
+	BreakerThreshold int
+	BreakerReset     time.Duration
+}
+
+// Solver executes compiled requests through the robustness envelope:
+//
+//	singleflight -> persistent cache -> breaker -> watchdog solve
+//	                                        \-> degrade ladder
+//
+// The degrade ladder, taken whenever the real solve is forbidden
+// (breaker open) or fails (error, timeout, cancellation of the solve
+// budget rather than the caller): cached answer if one exists, else the
+// symmetric closed form — both provenance-labeled, neither an error.
+// A Solver therefore returns a non-nil Response for every valid request
+// whose caller sticks around; the only errors out of Solve are bad
+// requests and caller-context death.
+type Solver struct {
+	cfg     SolverConfig
+	disk    *diskCache
+	breaker *breaker
+	flights flightGroup
+
+	// solveInner is the LP dispatch; tests swap it to inject stalls and
+	// failures without touching the oracle.
+	solveInner func(ctx context.Context, c *compiled) (*Response, error)
+
+	exact    atomic.Uint64
+	cached   atomic.Uint64
+	degraded atomic.Uint64
+}
+
+const defaultMaxSolve = 5 * time.Second
+
+// NewSolver opens the persistent cache (recovering from corruption if
+// needed) and assembles the envelope.
+func NewSolver(cfg SolverConfig) (*Solver, error) {
+	disk, err := openDiskCache(cfg.CacheDir)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.MaxSolve <= 0 {
+		cfg.MaxSolve = defaultMaxSolve
+	}
+	s := &Solver{
+		cfg:        cfg,
+		disk:       disk,
+		breaker:    newBreaker(cfg.BreakerThreshold, cfg.BreakerReset, monotonicNanos),
+		solveInner: solveOracle,
+	}
+	return s, nil
+}
+
+// monotonicNanos is the breaker clock: nanoseconds on Go's monotonic
+// time base.
+func monotonicNanos() int64 {
+	return int64(time.Since(processStart))
+}
+
+var processStart = time.Now()
+
+// Close flushes and closes the persistent cache.
+func (s *Solver) Close() error {
+	return s.disk.Close()
+}
+
+// Solve answers req. ctx carries the caller's deadline; the solve
+// itself additionally runs under the MaxSolve watchdog. Invalid
+// requests fail with ErrBadRequest; infrastructure trouble degrades the
+// provenance instead of surfacing as an error.
+func (s *Solver) Solve(ctx context.Context, req *Request) (*Response, error) {
+	c, err := req.compile()
+	if err != nil {
+		return nil, err
+	}
+	if req.TimeoutMs > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMs)*time.Millisecond)
+		defer cancel()
+	}
+	resp, _, err := s.flights.do(ctx, c.key, func() (*Response, error) {
+		return s.solveCompiled(ctx, c)
+	})
+	if err != nil {
+		return nil, err
+	}
+	switch resp.Provenance {
+	case ProvExact:
+		s.exact.Add(1)
+	case ProvCached:
+		s.cached.Add(1)
+	default:
+		s.degraded.Add(1)
+	}
+	return resp, nil
+}
+
+// solveCompiled is the leader's path: cache, then breaker-guarded
+// solve, then the degrade ladder.
+func (s *Solver) solveCompiled(ctx context.Context, c *compiled) (*Response, error) {
+	if raw := s.disk.Get(c.key); raw != nil {
+		if resp, err := decodeResponse(raw); err == nil {
+			return resp, nil
+		}
+		// A corrupt in-memory value can only mean the recovery layer was
+		// bypassed (or a test poked the map); fall through and re-solve.
+	}
+	if !s.breaker.allow() {
+		return degraded(c), nil
+	}
+	resp, err := s.solveGuarded(ctx, c)
+	if err != nil {
+		// The caller's own death is not the solver's failure: propagate
+		// it untouched and leave the breaker alone.
+		if ctx.Err() != nil && errors.Is(err, ctx.Err()) {
+			s.breaker.success()
+			return nil, err
+		}
+		s.breaker.failure()
+		return degraded(c), nil
+	}
+	s.breaker.success()
+	// A failed append is persistence loss, not answer loss; the
+	// in-memory copy is already installed and the response stands.
+	_ = s.disk.Put(c.key, encodeResponse(resp))
+	return resp, nil
+}
+
+// solveGuarded runs the LP under the MaxSolve watchdog. The solve
+// itself honors ctx through the lp layer, so a fired watchdog actually
+// aborts the pivoting; a pathologically stuck injected solve (chaos
+// harness) merely strands its goroutine until it returns — the request
+// is answered on time either way, and the breaker stops further
+// traffic into the stall.
+func (s *Solver) solveGuarded(ctx context.Context, c *compiled) (*Response, error) {
+	ctx, cancel := context.WithTimeout(ctx, s.cfg.MaxSolve)
+	defer cancel()
+	done := make(chan outcome, 1)
+	go s.runSolve(ctx, c, done)
+	select { // watchdog race: solve completion vs deadline/cancel
+	case out := <-done:
+		return out.resp, out.err
+	case <-ctx.Done():
+		return nil, fmt.Errorf("serve: solve watchdog: %w", ctx.Err())
+	}
+}
+
+// runSolve executes the dispatch and reports into the watchdog channel.
+// The goroutine owns only its compiled input and the buffered outcome
+// channel; results cross by value through done.
+func (s *Solver) runSolve(ctx context.Context, c *compiled, done chan<- outcome) {
+	resp, err := s.solveInner(ctx, c)
+	done <- outcome{resp: resp, err: err}
+}
+
+// outcome is the watchdog channel payload.
+type outcome struct {
+	resp *Response
+	err  error
+}
+
+// solveOracle dispatches a compiled request to the oracle layer.
+func solveOracle(ctx context.Context, c *compiled) (*Response, error) {
+	switch c.objective {
+	case ObjGroupput:
+		sol, err := oracle.GroupputCtx(ctx, c.nw)
+		if err != nil {
+			return nil, err
+		}
+		return exactResponse(sol, nil), nil
+	case ObjAnyput:
+		sol, err := oracle.AnyputCtx(ctx, c.nw)
+		if err != nil {
+			return nil, err
+		}
+		return exactResponse(sol, nil), nil
+	case ObjBounds:
+		lower, upper, err := oracle.GroupputNonCliqueBoundsCtx(ctx, c.nw, c.topo)
+		if err != nil {
+			return nil, err
+		}
+		return exactResponse(lower, upper), nil
+	case ObjExact:
+		sol, err := oracle.GroupputNonCliqueExactCtx(ctx, c.nw, c.topo)
+		if err != nil {
+			return nil, err
+		}
+		return exactResponse(sol, nil), nil
+	}
+	return nil, fmt.Errorf("%w: unknown objective %q", ErrBadRequest, c.objective)
+}
+
+func exactResponse(sol, upper *oracle.Solution) *Response {
+	out := &Response{
+		Result:     resultFromSolution(sol),
+		Provenance: ProvExact,
+	}
+	if upper != nil {
+		u := resultFromSolution(upper)
+		out.Upper = &u
+	}
+	return out
+}
+
+func resultFromSolution(sol *oracle.Solution) Result {
+	return Result{
+		Throughput: sol.Throughput,
+		Alpha:      append([]float64(nil), sol.Alpha...),
+		Beta:       append([]float64(nil), sol.Beta...),
+	}
+}
+
+// SolverStats is the /statz projection of the solver.
+type SolverStats struct {
+	Exact        uint64         `json:"exact"`
+	Cached       uint64         `json:"cached"`
+	Degraded     uint64         `json:"degraded"`
+	InFlight     int            `json:"in_flight"`
+	Coalesced    uint64         `json:"coalesced"`
+	BreakerState string         `json:"breaker_state"`
+	BreakerTrips uint64         `json:"breaker_trips"`
+	DiskCache    diskCacheStats `json:"disk_cache"`
+}
+
+func (s *Solver) Stats() SolverStats {
+	state, trips := s.breaker.snapshot()
+	return SolverStats{
+		Exact:        s.exact.Load(),
+		Cached:       s.cached.Load(),
+		Degraded:     s.degraded.Load(),
+		InFlight:     s.flights.inFlight(),
+		Coalesced:    s.flights.dupCount(),
+		BreakerState: state,
+		BreakerTrips: trips,
+		DiskCache:    s.disk.stats(),
+	}
+}
